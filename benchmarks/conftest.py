@@ -1,0 +1,43 @@
+"""Shared helpers for the figure-regeneration benchmarks.
+
+Every benchmark regenerates one table/figure of the paper.  Results are
+
+* printed to stdout (visible with ``pytest -s`` / in the captured
+  output), and
+* appended to ``benchmarks/out/<name>.txt`` so EXPERIMENTS.md can quote
+  them.
+
+``REPRO_PAPER_SCALE=1`` switches the scenario knobs from the fast
+defaults to the paper's process counts and iteration budgets.
+"""
+
+import pathlib
+
+import pytest
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture
+def figure_output():
+    """Returns ``emit(name, text)``: print + persist one figure's table."""
+    OUT_DIR.mkdir(exist_ok=True)
+
+    def emit(name: str, text: str) -> None:
+        print()
+        print(text)
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n", encoding="utf-8")
+
+    return emit
+
+
+@pytest.fixture
+def once(benchmark):
+    """Run an expensive experiment exactly once under pytest-benchmark."""
+
+    def run(fn, *args, **kwargs):
+        return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return run

@@ -1,0 +1,72 @@
+"""Ablation — statistical outlier filtering in the selection logic.
+
+The paper attributes ADCL's few wrong decisions to measurement outliers
+(OS interference) during the learning phase.  This ablation establishes
+the ground-truth ranking with a noise-free run, then injects heavy-
+tailed OS noise into the tuning runs and compares the decision accuracy
+of the cluster filter vs a plain (unfiltered) mean across seeds.
+"""
+
+from dataclasses import replace
+
+from repro.bench import (
+    OverlapConfig,
+    SweepResult,
+    bench_seed,
+    format_table,
+    function_set_for,
+    run_overlap,
+    scaled,
+)
+from repro.units import KiB
+
+
+def test_filtering_improves_decision_accuracy(once, figure_output):
+    seeds = scaled(range(12), range(24))
+    base = OverlapConfig(
+        platform="whale", nprocs=16, nbytes=128 * KiB,
+        compute_total=10.0, paper_iterations=1000,
+        iterations=25, nprogress=5,
+    )
+    fnset = function_set_for("alltoall")
+
+    def run():
+        # ground truth from deterministic (noise-free) fixed runs
+        clean = replace(base, iterations=8)
+        fixed = {
+            fn.name: run_overlap(clean, selector=i).mean_iteration
+            for i, fn in enumerate(fnset)
+        }
+        best = min(fixed.values())
+        correct = {n for n, t in fixed.items() if t <= best * 1.05}
+
+        sweeps = {m: SweepResult(f"filter={m}") for m in ("cluster", "mean")}
+        rows = []
+        for seed in seeds:
+            noisy = replace(base, noise_sigma=0.05, noise_outlier_prob=0.02,
+                            seed=bench_seed() + seed)
+            verdicts = {}
+            for method in sweeps:
+                res = run_overlap(noisy, selector="brute_force",
+                                  evals_per_function=5, filter_method=method)
+                ok = res.winner in correct
+                verdicts[method] = (res.winner, ok)
+                sweeps[method].add(f"seed={seed}", res.winner, hit=ok)
+            rows.append([seed] + [
+                f"{verdicts[m][0]} ({'ok' if verdicts[m][1] else 'WRONG'})"
+                for m in sweeps
+            ])
+        table = format_table(
+            ["seed"] + list(sweeps), rows,
+            title=(
+                f"Ablation: outlier filtering under heavy OS noise "
+                f"(truth: {sorted(correct)})"
+            ),
+        )
+        summary = "\n".join(s.summary() for s in sweeps.values())
+        return sweeps, table + "\n\n" + summary
+
+    sweeps, text = once(run)
+    figure_output("abl_filtering", text)
+    assert sweeps["cluster"].hit_rate >= sweeps["mean"].hit_rate
+    assert sweeps["cluster"].hit_rate >= 0.65

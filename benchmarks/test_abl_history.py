@@ -1,0 +1,44 @@
+"""Ablation — historic learning across executions.
+
+The paper (§IV-B) highlights historic learning as the remedy for the
+learning-phase cost: a second execution of the same problem reuses the
+recorded winner and skips the tuning phase entirely.  This benchmark
+measures the first-run vs second-run total times.
+"""
+
+from repro.adcl import HistoryStore
+from repro.bench import OverlapConfig, format_table, run_overlap
+from repro.units import KiB
+
+
+def test_history_amortizes_learning(once, figure_output, tmp_path):
+    cfg = OverlapConfig(
+        platform="whale", nprocs=16, nbytes=128 * KiB,
+        compute_total=10.0, paper_iterations=1000,
+        iterations=30, nprogress=5,
+    )
+
+    def run():
+        store = HistoryStore(str(tmp_path / "history.json"))
+        first = run_overlap(cfg, selector="brute_force",
+                            evals_per_function=5, history=store)
+        second = run_overlap(cfg, selector="brute_force",
+                             evals_per_function=5, history=store)
+        table = format_table(
+            ["run", "total", "learning iters", "winner"],
+            [
+                ["first (cold)", f"{first.total_time:.4f}s",
+                 first.decided_at, first.winner],
+                ["second (historic)", f"{second.total_time:.4f}s",
+                 second.decided_at, second.winner],
+            ],
+            title="Ablation: historic learning (same problem, second run)",
+        )
+        return first, second, table
+
+    first, second, text = once(run)
+    figure_output("abl_history", text)
+    assert second.winner == first.winner
+    # second run never tests suboptimal candidates -> strictly cheaper
+    assert second.total_time < first.total_time
+    assert all(not r.learning for r in second.records)

@@ -1,0 +1,61 @@
+"""Ablation — selection logics: learning cost vs decision quality.
+
+Compares brute force, the attribute heuristic and the 2^k factorial
+design on the 21-function Ibcast set: how many learning iterations each
+needs and whether each lands within 5% of the true best implementation.
+The heuristic needs ~half the learning phase of brute force (10 vs 21
+candidates) and the factorial design even less (<= 8 corners).
+"""
+
+from repro.bench import (
+    OverlapConfig,
+    format_table,
+    function_set_for,
+    run_overlap,
+)
+from repro.units import KiB
+
+SELECTORS = ("brute_force", "heuristic", "factorial")
+
+
+def test_selection_logic_ablation(once, figure_output):
+    fnset = function_set_for("bcast")
+    base = dict(
+        platform="whale", nprocs=16, operation="bcast", nbytes=512 * KiB,
+        compute_total=10.0, paper_iterations=1000, nprogress=5,
+    )
+
+    def run():
+        # ground truth: best fixed implementation
+        fixed_cfg = OverlapConfig(iterations=6, **base)
+        fixed = {
+            fn.name: run_overlap(fixed_cfg, selector=i).mean_iteration
+            for i, fn in enumerate(fnset)
+        }
+        best = min(fixed.values())
+        rows = []
+        stats = {}
+        for sel in SELECTORS:
+            cfg = OverlapConfig(iterations=3 * len(fnset) + 10, **base)
+            res = run_overlap(cfg, selector=sel, evals_per_function=3)
+            correct = fixed[res.winner] <= best * 1.05
+            stats[sel] = (res.decided_at, correct)
+            rows.append([
+                sel, res.decided_at, res.winner,
+                f"{fixed[res.winner] / best:.3f}x best",
+                "yes" if correct else "NO",
+            ])
+        table = format_table(
+            ["selector", "decided at iter", "winner", "quality", "correct"],
+            rows,
+            title="Ablation: selection logics on the 21-function Ibcast set",
+        )
+        return stats, table
+
+    stats, text = once(run)
+    figure_output("abl_selection", text)
+    # learning length ordering: factorial <= heuristic < brute force
+    assert stats["heuristic"][0] < stats["brute_force"][0]
+    assert stats["factorial"][0] <= stats["heuristic"][0]
+    # deterministic runs: all three must find a near-best function
+    assert all(correct for _, correct in stats.values())

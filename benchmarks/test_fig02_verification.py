@@ -1,0 +1,74 @@
+"""Fig. 2 — Ialltoall verification runs.
+
+Paper setup: 128 KB per process pair, 50 s total compute; whale with 32
+and 128 processes, crill with 32, 128 and 256.  Each implementation is
+executed with the selection logic circumvented, then ADCL runs with the
+brute-force search and the attribute heuristic; ADCL must land on (or
+within 5% of) the best fixed implementation.
+
+Fast mode uses the smaller process counts; ``REPRO_PAPER_SCALE=1`` adds
+the 128/256-rank scenarios.
+"""
+
+from repro.bench import (
+    OverlapConfig,
+    format_bars,
+    format_table,
+    bench_seed,
+    paper_scale,
+    run_verification,
+)
+from repro.units import KiB
+
+
+def scenarios():
+    scen = [("whale", 32), ("crill", 32)]
+    if paper_scale():
+        scen += [("whale", 128), ("crill", 128), ("crill", 256)]
+    return scen
+
+
+def test_fig02_ialltoall_verification(once, figure_output):
+    def run():
+        rows = []
+        charts = []
+        for platform, nprocs in scenarios():
+            cfg = OverlapConfig(
+                platform=platform,
+                nprocs=nprocs,
+                operation="alltoall",
+                nbytes=128 * KiB,
+                compute_total=50.0,
+                paper_iterations=1000,
+                iterations=25,
+                nprogress=5,
+                noise_sigma=0.02,
+                noise_outlier_prob=0.001,
+                seed=bench_seed(),
+            )
+            v = run_verification(cfg, selectors=("brute_force", "heuristic"),
+                                 evals_per_function=5, fixed_iterations=8)
+            series = dict(v.fixed_times)
+            for sel in ("brute_force", "heuristic"):
+                series[f"ADCL[{sel}]"] = v.adcl_results[sel].mean_after_learning(
+                    robust=True
+                )
+            charts.append(format_bars(
+                series,
+                title=f"Fig.2 verification: Ialltoall 128KB, {platform} P={nprocs} "
+                      f"(mean iteration time)",
+            ))
+            for sel in ("brute_force", "heuristic"):
+                rows.append([
+                    platform, nprocs, sel,
+                    v.adcl_results[sel].winner,
+                    v.best_fixed,
+                    "yes" if v.decision_correct(sel) else "NO",
+                ])
+        table = format_table(
+            ["platform", "P", "selector", "adcl winner", "best fixed", "correct"],
+            rows, title="Fig.2 decision summary",
+        )
+        return "\n\n".join(charts + [table])
+
+    figure_output("fig02_verification", once(run))

@@ -1,0 +1,42 @@
+"""Fig. 3 — influence of the network interconnect.
+
+Ialltoall with 32 processes, 128 KB per pair, 50 s compute, 5 progress
+calls per iteration, on whale (InfiniBand) vs whale-tcp (GigE).  The
+paper's finding: the linear algorithm is the best choice on InfiniBand
+and (one of) the worst on TCP — the same code, the same machine, only
+the network differs.
+"""
+
+from repro.bench import OverlapConfig, format_bars, function_set_for, run_overlap
+from repro.units import KiB
+
+
+def sweep(platform):
+    fnset = function_set_for("alltoall")
+    cfg = OverlapConfig(
+        platform=platform, nprocs=32, nbytes=128 * KiB,
+        compute_total=50.0, paper_iterations=1000,
+        iterations=8, nprogress=5,
+    )
+    return {
+        fn.name: run_overlap(cfg, selector=i).mean_iteration
+        for i, fn in enumerate(fnset)
+    }
+
+
+def test_fig03_network_flips_the_winner(once, figure_output):
+    def run():
+        ib = sweep("whale")
+        tcp = sweep("whale_tcp")
+        text = "\n\n".join([
+            format_bars(ib, title="Fig.3 Ialltoall 32p 128KB, whale (InfiniBand)"),
+            format_bars(tcp, title="Fig.3 Ialltoall 32p 128KB, whale-tcp (GigE)"),
+        ])
+        return ib, tcp, text
+
+    ib, tcp, text = once(run)
+    figure_output("fig03_network", text)
+    # the paper's shape: linear wins on IB, loses badly on TCP
+    assert min(ib, key=ib.get) == "linear"
+    assert max(tcp, key=tcp.get) == "linear"
+    assert tcp["linear"] > 1.5 * min(tcp.values())

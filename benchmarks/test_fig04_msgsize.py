@@ -1,0 +1,49 @@
+"""Fig. 4 — influence of the communication volume.
+
+Ialltoall on crill with 256 processes (fast mode: 128), 10 s compute, 5
+progress calls, comparing 1 KB vs 128 KB blocks.  Paper shape: the
+dissemination algorithm is the best choice at 1 KB and the worst at
+128 KB; linear and pairwise behave the other way around.
+"""
+
+from repro.bench import (
+    OverlapConfig,
+    format_bars,
+    function_set_for,
+    run_overlap,
+    scaled,
+)
+from repro.units import KiB
+
+
+def sweep(nprocs, nbytes, paper_iters, iterations):
+    fnset = function_set_for("alltoall")
+    cfg = OverlapConfig(
+        platform="crill", nprocs=nprocs, nbytes=nbytes,
+        compute_total=10.0, paper_iterations=paper_iters,
+        iterations=iterations, nprogress=5,
+    )
+    return {
+        fn.name: run_overlap(cfg, selector=i).mean_iteration
+        for i, fn in enumerate(fnset)
+    }
+
+
+def test_fig04_message_length_flips_the_winner(once, figure_output):
+    nprocs = scaled(256, 256)  # shape needs the dense-node scale
+
+    def run():
+        small = sweep(nprocs, 1 * KiB, 10000, scaled(3, 8))
+        large = sweep(nprocs, 128 * KiB, 1000, scaled(2, 6))
+        text = "\n\n".join([
+            format_bars(small, title=f"Fig.4 Ialltoall crill P={nprocs}, 1KB blocks"),
+            format_bars(large, title=f"Fig.4 Ialltoall crill P={nprocs}, 128KB blocks"),
+        ])
+        return small, large, text
+
+    small, large, text = once(run)
+    figure_output("fig04_msgsize", text)
+    assert min(small, key=small.get) == "dissemination"
+    assert max(large, key=large.get) == "dissemination"
+    assert large["pairwise"] < large["dissemination"]
+    assert large["linear"] < large["dissemination"]

@@ -1,0 +1,41 @@
+"""Fig. 5 — influence of the number of processes.
+
+Ialltoall on whale with 1 KB blocks, 10 s compute and 100 progress
+calls, comparing 32 vs 128 processes.  Paper shape: linear and pairwise
+are poor at 32 processes and very good at 128; the dissemination
+algorithm flips the other way.
+"""
+
+from repro.bench import OverlapConfig, format_bars, function_set_for, run_overlap
+from repro.units import KiB
+
+
+def sweep(nprocs):
+    fnset = function_set_for("alltoall")
+    cfg = OverlapConfig(
+        platform="whale", nprocs=nprocs, nbytes=1 * KiB,
+        compute_total=10.0, paper_iterations=10000,
+        iterations=6, nprogress=100,
+    )
+    return {
+        fn.name: run_overlap(cfg, selector=i).mean_iteration
+        for i, fn in enumerate(fnset)
+    }
+
+
+def test_fig05_process_count_flips_the_winner(once, figure_output):
+    def run():
+        p32 = sweep(32)
+        p128 = sweep(128)
+        text = "\n\n".join([
+            format_bars(p32, title="Fig.5 Ialltoall whale 1KB, 32 processes"),
+            format_bars(p128, title="Fig.5 Ialltoall whale 1KB, 128 processes"),
+        ])
+        return p32, p128, text
+
+    p32, p128, text = once(run)
+    figure_output("fig05_nprocs", text)
+    # dissemination wins at 32 ranks, loses to both at 128 ranks
+    assert min(p32, key=p32.get) == "dissemination"
+    assert p128["linear"] < p128["dissemination"]
+    assert p128["pairwise"] < p128["dissemination"]

@@ -1,0 +1,42 @@
+"""Fig. 6 — too many progress calls hurt.
+
+Ibcast on whale with 32 processes, 1 KB message, 50 s compute: for a
+small message that needs no help to progress, every additional progress
+call is pure overhead, so the execution time *increases* with the
+number of progress calls.
+"""
+
+from repro.bench import OverlapConfig, format_series, function_set_for, run_overlap
+from repro.units import KiB
+
+PROGRESS_COUNTS = (1, 5, 10, 100, 500)
+
+
+def test_fig06_progress_calls_can_reduce_performance(once, figure_output):
+    fnset = function_set_for("bcast")
+    binomial = fnset.index_of("binomial_seg32KB")
+    chain = fnset.index_of("chain_seg32KB")
+
+    def run():
+        series = {"binomial": [], "chain": []}
+        for npg in PROGRESS_COUNTS:
+            cfg = OverlapConfig(
+                platform="whale", nprocs=32, operation="bcast",
+                nbytes=1 * KiB, compute_total=50.0, paper_iterations=10000,
+                iterations=6, nprogress=npg,
+            )
+            series["binomial"].append(run_overlap(cfg, selector=binomial).mean_iteration)
+            series["chain"].append(run_overlap(cfg, selector=chain).mean_iteration)
+        text = format_series(
+            "progress calls", PROGRESS_COUNTS, series,
+            title="Fig.6 Ibcast whale 32p 1KB: iteration time vs progress calls",
+        )
+        return series, text
+
+    series, text = once(run)
+    figure_output("fig06_progress_overhead", text)
+    for name, values in series.items():
+        # monotone cost growth once calls are plentiful, and a
+        # measurable penalty at 500 calls vs 1 call
+        assert values[-1] > values[0], name
+        assert values[-1] > 1.02 * values[0], name

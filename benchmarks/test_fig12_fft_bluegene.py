@@ -1,0 +1,54 @@
+"""Fig. 12 — the extended function-set on the BlueGene/P.
+
+Same experiment as Fig. 11 on the KAUST BlueGene/P (paper: 1024
+processes; fast mode: 64).  The slow (850 MHz) cores make posting and
+progress overheads relatively larger, and the paper notes this is a
+platform where the blocking version sometimes beats all non-blocking
+patterns — the extended set converges to whatever is best.
+"""
+
+from repro.apps.fft import FFTConfig, run_fft
+from repro.bench import format_table, scaled
+
+PATTERNS = ("pipelined", "tiled", "windowed", "window_tiled")
+
+
+def test_fig12_bluegene_extended_set(once, figure_output):
+    nprocs = scaled(64, 1024)
+    n = scaled(640, 10240)
+    iterations = scaled(16, 30)
+
+    def run():
+        rows = []
+        checks = []
+        for pattern in PATTERNS:
+            ext = run_fft(FFTConfig(
+                n=n, nprocs=nprocs, platform="bluegene_p", pattern=pattern,
+                method="adcl_ext", iterations=iterations, evals_per_function=2,
+            ))
+            mpi = run_fft(FFTConfig(
+                n=n, nprocs=nprocs, platform="bluegene_p", pattern=pattern,
+                method="mpi", iterations=iterations,
+            ))
+            steady = ext.mean_after_learning()
+            mpi_t = mpi.mean_iteration
+            rows.append([
+                pattern,
+                f"{mpi_t:.4f}s",
+                f"{ext.mean_iteration:.4f}s",
+                f"{steady:.4f}s",
+                ext.winner,
+                f"{100 * (1 - steady / mpi_t):+.1f}%",
+            ])
+            checks.append(steady <= mpi_t * 1.03)
+        text = format_table(
+            ["pattern", "blocking MPI", "ADCL-ext total", "ADCL-ext steady",
+             "winner", "steady vs MPI"],
+            rows,
+            title=f"Fig.12 3-D FFT BlueGene/P P={nprocs} N={n}",
+        )
+        return checks, text
+
+    checks, text = once(run)
+    figure_output("fig12_fft_bluegene", text)
+    assert all(checks)

@@ -1,0 +1,67 @@
+#!/usr/bin/env python
+"""Co-tuning two collectives with one timer (the paper's §V outlook).
+
+An application loop that overlaps *two* non-blocking collectives — an
+all-to-all and an all-gather — with the same computation.  The two
+operations share the NIC, so the best algorithm for one depends on what
+the other is doing; tuning them independently can settle on a pair of
+individually-plausible choices that interact badly.
+
+`CoTuner` searches the cross-product of both function-sets with one
+timed window per combination and selects the *jointly* fastest pair.
+
+Run:  python examples/cotuning.py
+"""
+
+from repro.adcl import ADCLRequest, CollSpec, CoTuner, ialltoall_function_set
+from repro.adcl.fnsets import iallgather_function_set
+from repro.sim import Compute, Progress, SimWorld, get_platform
+from repro.units import KiB, fmt_time
+
+NPROCS = 16
+ITER_TAIL = 8
+COMPUTE = 0.004
+
+
+def main() -> None:
+    world = SimWorld(get_platform("whale"), NPROCS)
+    fns_a2a = ialltoall_function_set()
+    fns_ag = iallgather_function_set(size=NPROCS)
+    req_a = ADCLRequest(fns_a2a, CollSpec("alltoall", world.comm_world, 32 * KiB))
+    req_b = ADCLRequest(fns_ag, CollSpec("allgather", world.comm_world, 64 * KiB))
+    tuner = CoTuner([req_a, req_b], evals_per_combo=2)
+    iterations = tuner.learning_iterations + ITER_TAIL
+
+    print(f"co-tuning {len(fns_a2a)} x {len(fns_ag)} = "
+          f"{len(tuner.combos)} combinations over {iterations} iterations\n")
+
+    def program(ctx):
+        for _ in range(iterations):
+            tuner.start(ctx)
+            ha = yield from req_a.start(ctx)
+            hb = yield from req_b.start(ctx)
+            for _ in range(5):
+                yield Compute(COMPUTE / 5)
+                yield Progress([ha, hb])
+            yield from req_a.wait(ctx)
+            yield from req_b.wait(ctx)
+            tuner.stop(ctx)
+
+    world.launch(program)
+    world.run()
+
+    print("combination trace (alltoall + allgather -> window time):")
+    for rec in tuner.records:
+        a_idx, b_idx = tuner.combos[rec.fn_index]
+        mark = "learn " if rec.learning else "steady"
+        print(f"  iter {rec.iteration:>2} [{mark}] "
+              f"{fns_a2a[a_idx].name:<14} + {fns_ag[b_idx].name:<19} "
+              f"{fmt_time(rec.seconds)}")
+    names = tuner.winner_names
+    print(f"\njoint winner: alltoall={names[0]!r} with allgather={names[1]!r}")
+    print(f"learning cost {fmt_time(tuner.learning_time())}, "
+          f"steady phase {fmt_time(tuner.time_excluding_learning())}")
+
+
+if __name__ == "__main__":
+    main()

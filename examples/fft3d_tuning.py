@@ -1,0 +1,59 @@
+#!/usr/bin/env python
+"""The 3-D FFT application kernel with run-time tuned transposes (§IV-B).
+
+Runs a slab-decomposed 3-D FFT whose z<->y transpose (the all-to-all)
+is overlapped with the plane FFTs using the window-tiled pattern, and
+compares three ways to drive the communication:
+
+* stock LibNBC   — single fixed (linear) non-blocking algorithm,
+* blocking MPI   — `MPI_Alltoall`, no overlap,
+* ADCL           — run-time selection among linear / dissemination /
+                   pairwise.
+
+It also demonstrates the numerical path: with ``validate=True`` real
+complex data travels through the simulated network and the distributed
+result is checked against ``numpy.fft.fftn``.
+
+Run:  python examples/fft3d_tuning.py
+"""
+
+from repro.apps.fft import FFTConfig, run_fft
+from repro.units import fmt_time
+
+PLATFORM = "crill"
+NPROCS = 48
+N = 480
+PATTERN = "window_tiled"
+
+
+def main() -> None:
+    print(f"3-D FFT of {N}^3 complex points on {NPROCS} simulated "
+          f"{PLATFORM} ranks, pattern={PATTERN}\n")
+
+    # 1. correctness: small instance with real data through the network
+    check = run_fft(FFTConfig(n=16, nprocs=4, pattern=PATTERN, method="adcl",
+                              iterations=6, validate=True,
+                              evals_per_function=2))
+    print(f"numerical validation vs numpy.fft.fftn: "
+          f"{'PASSED' if check.validated else 'FAILED'}\n")
+
+    # 2. performance: the three methods on the big instance
+    results = {}
+    for method in ("libnbc", "mpi", "adcl"):
+        res = run_fft(FFTConfig(n=N, nprocs=NPROCS, platform=PLATFORM,
+                                pattern=PATTERN, method=method,
+                                iterations=12, evals_per_function=2))
+        results[method] = res
+        extra = f" -> selected {res.winner!r}" if method == "adcl" else ""
+        print(f"{method:>7}: mean iteration {fmt_time(res.mean_iteration)}, "
+              f"steady state {fmt_time(res.mean_after_learning())}{extra}")
+
+    nbc_t = results["libnbc"].mean_iteration
+    adcl_t = results["adcl"].mean_after_learning()
+    print(f"\nADCL steady state vs stock LibNBC: "
+          f"{100 * (1 - adcl_t / nbc_t):+.1f}% "
+          f"(the paper reports improvements up to 40%)")
+
+
+if __name__ == "__main__":
+    main()

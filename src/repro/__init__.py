@@ -1,0 +1,52 @@
+"""repro — Auto-tuning non-blocking collective communication operations.
+
+A reproduction of Barigou, Venkatesan & Gabriel (IPDPS Workshops 2015):
+the ADCL run-time auto-tuner for non-blocking collectives, the
+LibNBC-style schedule engine it tunes, and a discrete-event simulated
+single-threaded MPI substrate standing in for the paper's clusters.
+
+Quickstart::
+
+    from repro import get_platform, SimWorld
+    from repro.sim import Compute, Progress, Wait
+
+    world = SimWorld(get_platform("whale"), nprocs=8)
+    ...
+
+See ``examples/quickstart.py`` for a complete runnable walk-through.
+"""
+
+from . import adcl, apps, bench, nbc, sim
+from .errors import (
+    AdclError,
+    DeadlockError,
+    HistoryError,
+    MatchingError,
+    ReproError,
+    ScheduleError,
+    SelectionError,
+    SimulationError,
+)
+from .sim import NoiseModel, SimWorld, get_platform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdclError",
+    "DeadlockError",
+    "HistoryError",
+    "MatchingError",
+    "NoiseModel",
+    "ReproError",
+    "ScheduleError",
+    "SelectionError",
+    "SimWorld",
+    "SimulationError",
+    "__version__",
+    "adcl",
+    "apps",
+    "bench",
+    "get_platform",
+    "nbc",
+    "sim",
+]

@@ -1,0 +1,89 @@
+"""Attributes characterizing collective implementations (§III-C).
+
+An ADCL *function-set* may carry an *attribute-set*: each attribute
+describes one characteristic of an implementation (the tree fan-out, the
+segment size, the algorithm family, the data-transfer primitive, ...).
+The attribute-based selection heuristic and the 2^k factorial design
+operate on these attributes instead of enumerating every function.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Mapping, Sequence
+
+from ..errors import AdclError
+
+__all__ = ["Attribute", "AttributeSet"]
+
+
+class Attribute:
+    """One named characteristic with its finite value domain."""
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str, values: Sequence[Any]):
+        if not values:
+            raise AdclError(f"attribute {name!r} needs at least one value")
+        if len(set(values)) != len(values):
+            raise AdclError(f"attribute {name!r} has duplicate values")
+        self.name = name
+        self.values = tuple(values)
+
+    def index_of(self, value: Any) -> int:
+        """Position of ``value`` in the domain (raises on unknown values)."""
+        try:
+            return self.values.index(value)
+        except ValueError:
+            raise AdclError(
+                f"value {value!r} not in domain of attribute {self.name!r}: "
+                f"{self.values}"
+            ) from None
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Attribute({self.name!r}, {self.values!r})"
+
+
+class AttributeSet:
+    """An ordered collection of :class:`Attribute` objects."""
+
+    __slots__ = ("attributes",)
+
+    def __init__(self, attributes: Sequence[Attribute]):
+        names = [a.name for a in attributes]
+        if len(set(names)) != len(names):
+            raise AdclError(f"duplicate attribute names: {names}")
+        self.attributes = tuple(attributes)
+
+    def __iter__(self):
+        return iter(self.attributes)
+
+    def __len__(self) -> int:
+        return len(self.attributes)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.attributes)
+
+    def get(self, name: str) -> Attribute:
+        for a in self.attributes:
+            if a.name == name:
+                return a
+        raise AdclError(f"no attribute named {name!r}; have {self.names}")
+
+    def validate_values(self, values: Mapping[str, Any]) -> None:
+        """Check that ``values`` assigns a legal value to every attribute."""
+        missing = set(self.names) - set(values)
+        if missing:
+            raise AdclError(f"missing attribute value(s): {sorted(missing)}")
+        extra = set(values) - set(self.names)
+        if extra:
+            raise AdclError(f"unknown attribute(s): {sorted(extra)}")
+        for a in self.attributes:
+            a.index_of(values[a.name])
+
+    def cardinality(self) -> int:
+        """Size of the full attribute cross-product."""
+        n = 1
+        for a in self.attributes:
+            n *= len(a.values)
+        return n

@@ -1,0 +1,200 @@
+"""Co-tuning several operations with one timer (the paper's §V outlook).
+
+    "One of the interesting features not yet explored in this work is
+     the ability of the ADCL timer object to co-tune multiple operations
+     simultaneously, since the algorithmic choice for one non-blocking
+     operation could have an effect on the performance of another
+     operation."
+
+:class:`CoTuner` implements exactly that: it takes several
+:class:`~repro.adcl.request.ADCLRequest` objects, enslaves their
+selectors, and searches the **cross-product** of their function-sets —
+each timed window executes one *combination* of implementations, and
+the winner is the jointly fastest combination rather than the product
+of individually fastest choices.
+
+Usage::
+
+    tuner = CoTuner([req_a, req_b], evals_per_combo=3)
+    # per rank, per iteration:
+    tuner.start(ctx)
+    ... req_a.start/wait, req_b.start/wait, overlapped compute ...
+    tuner.stop(ctx)
+
+The brute-force combination search costs ``prod(len(fnset_i))`` x
+``evals_per_combo`` learning iterations, so it only pays off for small
+function-sets — which is why the paper left it as future work and why
+we gate it behind an explicit opt-in class.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Optional, Sequence
+
+from ..errors import AdclError
+from ..sim.mpi import MPIContext
+from .request import ADCLRequest
+from .selection.base import MeasurementLog, Selector
+from .timer import TimerRecord
+
+__all__ = ["CoTuner"]
+
+
+class _SlavedSelector(Selector):
+    """Per-request selector view delegating to the shared CoTuner."""
+
+    def __init__(self, tuner: "CoTuner", index: int, fnset):
+        super().__init__(fnset, evals_per_function=1)
+        self._tuner = tuner
+        self._index = index
+
+    def function_for_iteration(self, it: int) -> int:
+        return self._tuner.combo_for_iteration(it)[self._index]
+
+    def feed(self, it: int, fn_index: int, seconds: float) -> None:
+        # measurements flow through the CoTuner, never per request
+        pass
+
+    @property
+    def decided(self) -> bool:  # type: ignore[override]
+        return self._tuner.decided
+
+    @property
+    def winner(self) -> Optional[int]:  # type: ignore[override]
+        if not self._tuner.decided:
+            return None
+        return self._tuner.winner_combo[self._index]
+
+    @winner.setter
+    def winner(self, value) -> None:  # Selector.__init__ assigns None
+        pass
+
+    @property
+    def winner_name(self) -> Optional[str]:  # type: ignore[override]
+        w = self.winner
+        return None if w is None else self.fnset[w].name
+
+    @property
+    def decided_at(self) -> Optional[int]:  # type: ignore[override]
+        return self._tuner.decided_at
+
+    @decided_at.setter
+    def decided_at(self, value) -> None:
+        pass
+
+
+class CoTuner:
+    """Joint brute-force tuner + timer for a group of ADCL requests."""
+
+    def __init__(self, requests: Sequence[ADCLRequest],
+                 evals_per_combo: int = 3, filter_method: str = "cluster"):
+        if not requests:
+            raise AdclError("CoTuner needs at least one request")
+        if evals_per_combo < 1:
+            raise AdclError("evals_per_combo must be >= 1")
+        self.requests = list(requests)
+        self.evals_per_combo = evals_per_combo
+        self.combos = list(itertools.product(
+            *[range(len(r.fnset)) for r in self.requests]
+        ))
+        self._log = MeasurementLog(len(self.combos), filter_method)
+        self._winner_idx: Optional[int] = None
+        self.decided_at: Optional[int] = None
+        for i, req in enumerate(self.requests):
+            req.selector = _SlavedSelector(self, i, req.fnset)
+            req._attach_timer(self)  # we play the timer role for each
+        self._t0: dict[int, float] = {}
+        self._counts: dict[int, int] = {}
+        self._pending: dict[int, dict[int, float]] = {}
+        self.records: list[TimerRecord] = []
+
+    # ------------------------------------------------------------------
+    # combination schedule
+    # ------------------------------------------------------------------
+
+    @property
+    def decided(self) -> bool:
+        return self._winner_idx is not None
+
+    @property
+    def winner_combo(self) -> Optional[tuple[int, ...]]:
+        """Winning function index per request (None while learning)."""
+        return None if self._winner_idx is None else self.combos[self._winner_idx]
+
+    @property
+    def winner_names(self) -> Optional[tuple[str, ...]]:
+        combo = self.winner_combo
+        if combo is None:
+            return None
+        return tuple(r.fnset[i].name for r, i in zip(self.requests, combo))
+
+    @property
+    def learning_iterations(self) -> int:
+        return len(self.combos) * self.evals_per_combo
+
+    def combo_for_iteration(self, it: int) -> tuple[int, ...]:
+        if self.decided:
+            return self.combos[self._winner_idx]
+        idx = it // self.evals_per_combo
+        if idx < len(self.combos):
+            return self.combos[idx]
+        # grace window: rank skew means the last combo's aggregated
+        # measurement may still be in flight when the fastest rank asks
+        # for the next iteration — re-run unmeasured combos briefly
+        # instead of deciding without their data
+        unmeasured = [c for c in range(len(self.combos))
+                      if self._log.count(c) == 0]
+        if unmeasured and it < self.learning_iterations + 2:
+            return self.combos[unmeasured[0]]
+        measured = [c for c in range(len(self.combos)) if self._log.count(c) > 0]
+        if not measured:
+            return self.combos[0]
+        self._winner_idx = self._log.best(measured)
+        self.decided_at = it
+        return self.combos[self._winner_idx]
+
+    # ------------------------------------------------------------------
+    # timer interface (used directly by programs and by the requests)
+    # ------------------------------------------------------------------
+
+    def window_index(self, rank: int) -> int:
+        """Current timed-window index of ``rank`` (requests pin their
+        implementation choice to this)."""
+        return self._counts.get(rank, 0)
+
+    def start(self, ctx: MPIContext) -> None:
+        if ctx.rank in self._t0:
+            raise AdclError(f"rank {ctx.rank}: CoTuner timer started twice")
+        self._t0[ctx.rank] = ctx.now
+
+    def stop(self, ctx: MPIContext) -> None:
+        try:
+            t0 = self._t0.pop(ctx.rank)
+        except KeyError:
+            raise AdclError(f"rank {ctx.rank}: CoTuner stop without start")
+        it = self._counts.get(ctx.rank, 0)
+        self._counts[ctx.rank] = it + 1
+        per_rank = self._pending.setdefault(it, {})
+        per_rank[ctx.rank] = ctx.now - t0
+        size = self.requests[0].spec.comm.size
+        if len(per_rank) == size:
+            del self._pending[it]
+            seconds = max(per_rank.values())
+            learning = not self.decided
+            combo = self.combo_for_iteration(it)
+            combo_idx = self.combos.index(combo)
+            if not self.decided or combo_idx == self._winner_idx:
+                self._log.add(combo_idx, seconds)
+            self.records.append(TimerRecord(it, combo_idx, seconds, learning))
+
+    # reporting --------------------------------------------------------
+
+    def total_time(self) -> float:
+        return sum(r.seconds for r in self.records)
+
+    def learning_time(self) -> float:
+        return sum(r.seconds for r in self.records if r.learning)
+
+    def time_excluding_learning(self) -> float:
+        return sum(r.seconds for r in self.records if not r.learning)

@@ -1,0 +1,191 @@
+"""Predefined ADCL function-sets (§III-E).
+
+* :func:`ibcast_function_set` — the paper's 21-function ``Ibcast`` set:
+  fan-out ∈ {0 linear, 1 chain, 2..5, binomial} x segment size
+  ∈ {32 KB, 64 KB, 128 KB};
+* :func:`ialltoall_function_set` — the 3-function ``Ialltoall`` set:
+  linear, dissemination (Bruck), pairwise exchange;
+* :func:`ialltoall_extended_function_set` — the §IV-B extension that
+  adds *blocking* variants of the same algorithms (wait pointer NULL),
+  letting the selection logic decide blocking vs non-blocking at run
+  time;
+* :func:`ireduce_function_set` / :func:`iallgather_function_set` — the
+  further operations ADCL supports.
+"""
+
+from __future__ import annotations
+
+
+from typing import Mapping, Optional
+
+import numpy as np
+
+from ..nbc.ialltoall import alltoall_scratch_bytes, build_ialltoall
+from ..nbc.iallgather import build_iallgather
+from ..nbc.ibcast import BINOMIAL, IBCAST_FANOUTS, build_ibcast
+from ..nbc.ireduce import build_ireduce
+from ..nbc.request import NBCRequest, make_buffers
+from ..sim.mpi import MPIContext
+from ..units import KiB
+from .attributes import Attribute, AttributeSet
+from .function import CollFunction, CollSpec, FunctionSet
+
+__all__ = [
+    "IBCAST_SEGSIZES",
+    "ibcast_function_set",
+    "ialltoall_function_set",
+    "ialltoall_extended_function_set",
+    "iallgather_function_set",
+    "ireduce_function_set",
+]
+
+#: the paper's three pipeline segment sizes
+IBCAST_SEGSIZES = (32 * KiB, 64 * KiB, 128 * KiB)
+
+#: paper name for the Bruck algorithm
+_A2A_NAME = {"linear": "linear", "bruck": "dissemination", "pairwise": "pairwise"}
+_A2A_ALGO = {v: k for k, v in _A2A_NAME.items()}
+
+
+def _as_buffers(buffers: Optional[Mapping[str, np.ndarray]]):
+    if buffers is None:
+        return None
+    return make_buffers(**buffers)
+
+
+def _fanout_label(fanout: int) -> str:
+    return {0: "linear", 1: "chain", BINOMIAL: "binomial"}.get(fanout, f"{fanout}ary")
+
+
+def ibcast_function_set() -> FunctionSet:
+    """The 21-function non-blocking broadcast set (7 fan-outs x 3 segments)."""
+    attrs = AttributeSet([
+        Attribute("fanout", IBCAST_FANOUTS),
+        Attribute("segsize", IBCAST_SEGSIZES),
+    ])
+    functions = []
+    for fanout in IBCAST_FANOUTS:
+        for segsize in IBCAST_SEGSIZES:
+            def maker(ctx: MPIContext, spec: CollSpec, buffers,
+                      fanout=fanout, segsize=segsize) -> NBCRequest:
+                comm = spec.comm
+                rank = comm.local_rank(ctx.rank)
+                sched = build_ibcast(comm.size, rank, spec.root, spec.nbytes,
+                                     fanout, segsize)
+                return NBCRequest(sched, comm, rank, _as_buffers(buffers)).start(ctx)
+
+            functions.append(CollFunction(
+                name=f"{_fanout_label(fanout)}_seg{segsize // KiB}KB",
+                maker=maker,
+                attributes={"fanout": fanout, "segsize": segsize},
+            ))
+    return FunctionSet("ibcast", functions, attrs)
+
+
+def _alltoall_maker(algorithm: str, ctx: MPIContext, spec: CollSpec,
+                    buffers) -> NBCRequest:
+    comm = spec.comm
+    rank = comm.local_rank(ctx.rank)
+    sched = build_ialltoall(comm.size, rank, spec.nbytes, algorithm)
+    bufs = _as_buffers(buffers)
+    if bufs is not None:
+        for name, nbytes in alltoall_scratch_bytes(
+            comm.size, spec.nbytes, algorithm
+        ).items():
+            if name not in bufs:
+                bufs[name] = np.empty(nbytes, dtype=np.uint8)
+    return NBCRequest(sched, comm, rank, bufs).start(ctx)
+
+
+def ialltoall_function_set() -> FunctionSet:
+    """The paper's 3-algorithm non-blocking all-to-all set."""
+    attrs = AttributeSet([
+        Attribute("algorithm", tuple(_A2A_NAME.values())),
+    ])
+    functions = []
+    for algorithm, label in _A2A_NAME.items():
+        def maker(ctx, spec, buffers, algorithm=algorithm):
+            return _alltoall_maker(algorithm, ctx, spec, buffers)
+
+        functions.append(CollFunction(
+            name=label, maker=maker, attributes={"algorithm": label},
+        ))
+    return FunctionSet("ialltoall", functions, attrs)
+
+
+def ialltoall_extended_function_set() -> FunctionSet:
+    """Non-blocking + blocking all-to-all in one set (§IV-B).
+
+    Blocking functions set the *wait pointer to NULL*: the whole
+    operation runs inside ``start``, so the selection logic effectively
+    decides at run time whether the code section benefits from
+    overlapping at all.
+    """
+    attrs = AttributeSet([
+        Attribute("algorithm", tuple(_A2A_NAME.values())),
+        Attribute("blocking", (False, True)),
+    ])
+    functions = []
+    for blocking in (False, True):
+        for algorithm, label in _A2A_NAME.items():
+            def maker(ctx, spec, buffers, algorithm=algorithm):
+                return _alltoall_maker(algorithm, ctx, spec, buffers)
+
+            prefix = "blocking_" if blocking else ""
+            functions.append(CollFunction(
+                name=f"{prefix}{label}",
+                maker=maker,
+                attributes={"algorithm": label, "blocking": blocking},
+                blocking=blocking,
+            ))
+    return FunctionSet("ialltoall_ext", functions, attrs)
+
+
+def iallgather_function_set(size: Optional[int] = None) -> FunctionSet:
+    """All-gather set: ring, linear, and (for power-of-two sizes)
+    recursive doubling."""
+    algos = ["ring", "linear"]
+    if size is None or (size > 0 and size & (size - 1) == 0):
+        algos.append("recursive_doubling")
+    attrs = AttributeSet([Attribute("algorithm", tuple(algos))])
+    functions = []
+    for algorithm in algos:
+        def maker(ctx, spec, buffers, algorithm=algorithm):
+            comm = spec.comm
+            rank = comm.local_rank(ctx.rank)
+            sched = build_iallgather(comm.size, rank, spec.nbytes, algorithm)
+            return NBCRequest(sched, comm, rank, _as_buffers(buffers)).start(ctx)
+
+        functions.append(CollFunction(
+            name=algorithm, maker=maker, attributes={"algorithm": algorithm},
+        ))
+    return FunctionSet("iallgather", functions, attrs)
+
+
+def ireduce_function_set(segsizes=(0, 64 * KiB)) -> FunctionSet:
+    """Reduce set: binomial tree plus (segmented) chain pipelines."""
+    attrs = AttributeSet([
+        Attribute("algorithm", ("binomial", "chain")),
+        Attribute("segsize", tuple(segsizes)),
+    ])
+    functions = []
+    for algorithm in ("binomial", "chain"):
+        for segsize in segsizes:
+            def maker(ctx, spec, buffers, algorithm=algorithm, segsize=segsize):
+                comm = spec.comm
+                rank = comm.local_rank(ctx.rank)
+                sched = build_ireduce(comm.size, rank, spec.root, spec.nbytes,
+                                      algorithm, segsize=segsize)
+                bufs = _as_buffers(buffers)
+                if bufs is not None:
+                    bufs.setdefault("acc", np.empty(spec.nbytes, np.uint8))
+                    bufs.setdefault("in", np.empty(spec.nbytes, np.uint8))
+                return NBCRequest(sched, comm, rank, bufs).start(ctx)
+
+            seg_label = "noseg" if segsize == 0 else f"seg{segsize // KiB}KB"
+            functions.append(CollFunction(
+                name=f"{algorithm}_{seg_label}",
+                maker=maker,
+                attributes={"algorithm": algorithm, "segsize": segsize},
+            ))
+    return FunctionSet("ireduce", functions, attrs)

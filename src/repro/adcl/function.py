@@ -1,0 +1,124 @@
+"""ADCL functions and function-sets (§III-C terminology).
+
+* a **function-set** is a communication operation ADCL can tune
+  (e.g. the non-blocking all-to-all),
+* a **function** is one concrete implementation in that set (e.g. the
+  pairwise-exchange algorithm),
+* each function may carry attribute values describing it.
+
+A function is *non-blocking* (separate init/wait — the normal case) or
+*blocking* (the wait pointer left empty; the init performs the whole
+operation).  §IV-B exploits the latter to add ``MPI_Alltoall`` to the
+``Ialltoall`` function-set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from ..errors import AdclError
+from ..nbc.request import NBCRequest
+from ..sim.mpi import MPIContext, SimComm
+from .attributes import AttributeSet
+
+__all__ = ["CollSpec", "CollFunction", "FunctionSet"]
+
+
+@dataclass(frozen=True)
+class CollSpec:
+    """Problem description of a persistent collective operation.
+
+    ``nbytes`` means bytes-per-pair for all-to-all style operations and
+    the total payload for rooted ones (bcast/reduce).  Buffers are
+    supplied per-call by the rank program (they may change between
+    iterations, e.g. the FFT's window buffers).
+    """
+
+    kind: str
+    comm: SimComm
+    nbytes: int
+    root: int = 0
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise AdclError(f"negative payload {self.nbytes}")
+        if self.kind in ("bcast", "reduce") and not 0 <= self.root < self.comm.size:
+            raise AdclError(f"root {self.root} out of range")
+
+    def signature(self) -> str:
+        """Stable key describing the problem (used by historic learning)."""
+        return f"{self.kind}:P{self.comm.size}:B{self.nbytes}:R{self.root}"
+
+
+#: builds + starts the NBC handle for one implementation:
+#: ``maker(ctx, spec, buffers) -> NBCRequest``
+Maker = Callable[[MPIContext, CollSpec, Optional[Mapping[str, np.ndarray]]], NBCRequest]
+
+
+@dataclass(frozen=True)
+class CollFunction:
+    """One implementation (an "ADCL function") within a function-set."""
+
+    name: str
+    maker: Maker = field(repr=False)
+    attributes: Mapping[str, Any] = field(default_factory=dict)
+    #: blocking functions perform the whole operation inside init
+    #: (the wait function pointer is NULL, §III-C)
+    blocking: bool = False
+
+    def make(self, ctx: MPIContext, spec: CollSpec,
+             buffers: Optional[Mapping[str, np.ndarray]] = None) -> NBCRequest:
+        """Instantiate and post the operation for this rank."""
+        return self.maker(ctx, spec, buffers)
+
+
+class FunctionSet:
+    """An operation with its pool of candidate implementations."""
+
+    def __init__(
+        self,
+        name: str,
+        functions: Sequence[CollFunction],
+        attribute_set: Optional[AttributeSet] = None,
+    ):
+        if not functions:
+            raise AdclError(f"function-set {name!r} needs at least one function")
+        names = [f.name for f in functions]
+        if len(set(names)) != len(names):
+            raise AdclError(f"duplicate function names in {name!r}: {names}")
+        if attribute_set is not None:
+            for f in functions:
+                attribute_set.validate_values(f.attributes)
+        self.name = name
+        self.functions = tuple(functions)
+        self.attribute_set = attribute_set
+
+    def __len__(self) -> int:
+        return len(self.functions)
+
+    def __iter__(self):
+        return iter(self.functions)
+
+    def __getitem__(self, idx: int) -> CollFunction:
+        return self.functions[idx]
+
+    def index_of(self, name: str) -> int:
+        """Position of the function called ``name``."""
+        for i, f in enumerate(self.functions):
+            if f.name == name:
+                return i
+        raise AdclError(f"no function named {name!r} in set {self.name!r}")
+
+    def subset_where(self, **attr_values) -> list[int]:
+        """Indices of functions whose attributes match all given values."""
+        return [
+            i
+            for i, f in enumerate(self.functions)
+            if all(f.attributes.get(k) == v for k, v in attr_values.items())
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<FunctionSet {self.name!r}: {len(self.functions)} functions>"

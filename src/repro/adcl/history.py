@@ -1,0 +1,82 @@
+"""Historic learning: persist tuning decisions across executions (§IV-B).
+
+The paper points out that for short-running applications the learning
+phase can eat the gains, and mentions ADCL's *historic learning* feature
+— transferring the winner of a previous execution so the next run skips
+(or shortens) the tuning phase.  :class:`HistoryStore` is a small JSON
+key-value store holding one record per problem signature::
+
+    {"ialltoall@crill:P32:B131072": {"winner": "pairwise", "decided_at": 15}}
+
+Keys combine the function-set name, the platform, and the
+:meth:`~repro.adcl.function.CollSpec.signature` of the problem, so a
+record only ever short-circuits the *same* tuning problem.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Optional
+
+from ..errors import HistoryError
+
+__all__ = ["HistoryStore"]
+
+
+class HistoryStore:
+    """JSON-backed winner cache.
+
+    Parameters
+    ----------
+    path:
+        File to persist to.  ``None`` keeps the store in memory only
+        (useful in tests and single-process experiments).
+    """
+
+    def __init__(self, path: Optional[str] = None):
+        self.path = path
+        self._records: dict[str, dict] = {}
+        if path is not None and os.path.exists(path):
+            self._load()
+
+    def _load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            raise HistoryError(f"cannot read history store {self.path!r}: {exc}")
+        if not isinstance(data, dict):
+            raise HistoryError(f"history store {self.path!r} is not a JSON object")
+        self._records = data
+
+    def _save(self) -> None:
+        if self.path is None:
+            return
+        tmp = f"{self.path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(self._records, fh, indent=1, sort_keys=True)
+        os.replace(tmp, self.path)
+
+    # ------------------------------------------------------------------
+
+    def lookup(self, key: str) -> Optional[str]:
+        """Winner function name recorded for ``key``, if any."""
+        rec = self._records.get(key)
+        return None if rec is None else rec.get("winner")
+
+    def record(self, key: str, winner: str, decided_at: int) -> None:
+        """Store (and persist) a tuning decision."""
+        self._records[key] = {"winner": winner, "decided_at": decided_at}
+        self._save()
+
+    def forget(self, key: str) -> None:
+        """Drop one record (no-op when absent)."""
+        if self._records.pop(key, None) is not None:
+            self._save()
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, key: str) -> bool:
+        return key in self._records

@@ -1,0 +1,251 @@
+"""Persistent ADCL requests: the high-level tuning interface (§III).
+
+An :class:`ADCLRequest` is the simulated equivalent of the paper's
+``ADCL_Request``: a persistent non-blocking collective whose concrete
+implementation is chosen at run time by a selection logic.  A rank
+program uses it like::
+
+    areq = ADCLRequest(fnset, spec, selector="brute_force")   # shared
+
+    def program(ctx):                                         # per rank
+        for _ in range(iterations):
+            yield from areq.start(ctx)          # ADCL_Request_init
+            for _ in range(num_progress):
+                yield Compute(chunk)
+                yield Progress([areq.handle(ctx)])   # ADCL_Progress
+            yield from areq.wait(ctx)           # ADCL_Request_wait
+
+The request object is shared by all ranks (the simulation equivalent of
+ADCL's replicated deterministic selection state), so every rank uses the
+same implementation for the same iteration.
+
+Timing: if no :class:`~repro.adcl.timer.ADCLTimer` is attached, each
+iteration is self-timed from ``start`` to ``wait`` completion and the
+per-iteration maximum over the ranks is fed to the selector.  Attaching
+a timer (§III-D) moves the measurement boundary to arbitrary code
+locations — the paper's solution for timing non-blocking operations.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Union
+
+import numpy as np
+
+from ..errors import AdclError
+from ..sim.mpi import MPIContext
+from ..sim.process import Wait, Waitable
+from .function import CollSpec, FunctionSet
+from .history import HistoryStore
+from .selection.base import FixedSelector, Selector
+from .selection.brute_force import BruteForceSelector
+from .selection.factorial import FactorialSelector
+from .selection.heuristic import HeuristicSelector
+
+__all__ = ["ADCLRequest", "make_selector", "SELECTOR_NAMES"]
+
+SELECTOR_NAMES = ("brute_force", "heuristic", "factorial")
+
+
+def make_selector(name: str, fnset: FunctionSet, **kw) -> Selector:
+    """Construct a selector by name (``brute_force`` / ``heuristic`` /
+    ``factorial``)."""
+    if name == "brute_force":
+        return BruteForceSelector(fnset, **kw)
+    if name == "heuristic":
+        return HeuristicSelector(fnset, **kw)
+    if name == "factorial":
+        return FactorialSelector(fnset, **kw)
+    raise AdclError(f"unknown selector {name!r}; expected one of {SELECTOR_NAMES}")
+
+
+class _DoneHandle(Waitable):
+    """Stand-in handle for blocking functions (already complete)."""
+
+    __slots__ = ()
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.done = True
+
+
+class ADCLRequest:
+    """A persistent, runtime-tuned collective operation."""
+
+    def __init__(
+        self,
+        fnset: FunctionSet,
+        spec: CollSpec,
+        selector: Union[str, Selector] = "brute_force",
+        evals_per_function: int = 5,
+        filter_method: str = "cluster",
+        history: Optional[HistoryStore] = None,
+    ):
+        self.fnset = fnset
+        self.spec = spec
+        self.history = history
+        self.from_history = False
+        if isinstance(selector, str):
+            selector = make_selector(
+                selector, fnset,
+                evals_per_function=evals_per_function,
+                filter_method=filter_method,
+            )
+        self.selector = selector
+        self._history_key = None
+        if history is not None:
+            platform = spec.comm.world.platform.name
+            self._history_key = f"{fnset.name}@{platform}:{spec.signature()}"
+            winner = history.lookup(self._history_key)
+            if winner is not None:
+                self.selector = FixedSelector(fnset, fnset.index_of(winner))
+                self.from_history = True
+        self._timer = None
+        self._history_saved = self.from_history
+        #: per-rank live state: rank -> {"it", "handles": FIFO of in-flight}
+        self._rstate: dict[int, dict] = {}
+        #: function index actually used per iteration (frozen at start time)
+        self._iter_fn: dict[int, int] = {}
+        #: self-timing accumulation: iteration -> {rank: seconds}
+        self._self_times: dict[int, dict[int, float]] = {}
+
+    # ------------------------------------------------------------------
+    # program-facing API (per rank)
+    # ------------------------------------------------------------------
+
+    def _current_iteration(self, ctx: MPIContext, rs: dict) -> int:
+        """Tuning-iteration index for a new invocation.
+
+        With a timer attached, the *timer window* is the tuning unit
+        (§III-D): every invocation inside one timed section uses the
+        same implementation, which is what makes windowed patterns with
+        several outstanding operations well-defined.  Without a timer,
+        each start/wait cycle is its own iteration.
+        """
+        if self._timer is not None:
+            return self._timer.window_index(ctx.rank)
+        it = rs.setdefault("started", 0)
+        rs["started"] = it + 1
+        return it
+
+    def start(self, ctx: MPIContext,
+              buffers: Optional[Mapping[str, np.ndarray]] = None):
+        """Initiate the operation (generator).
+
+        Use ``handle = yield from areq.start(ctx)``; the returned handle
+        can be progressed (``yield Progress([handle])``) and completed
+        with :meth:`wait`.  Several invocations may be in flight at once
+        (windowed communication patterns); they complete in FIFO order
+        unless a specific handle is passed to :meth:`wait`.
+
+        Blocking implementations complete inside this call.
+        """
+        rs = self._rstate.setdefault(ctx.rank, {"it": 0, "handles": []})
+        it = self._current_iteration(ctx, rs)
+        fn_idx = self._iter_fn.get(it)
+        if fn_idx is None:
+            fn_idx = self.selector.function_for_iteration(it)
+            self._iter_fn[it] = fn_idx
+        fn = self.fnset[fn_idx]
+        handle = fn.make(ctx, self.spec, buffers)
+        rs["handles"].append((handle, it, fn_idx, ctx.now))
+        if fn.blocking:
+            if not handle.done:
+                yield Wait(handle)
+        return handle
+
+    def handle(self, ctx: MPIContext) -> Waitable:
+        """The oldest in-flight handle (single-outstanding usage)."""
+        rs = self._rstate.get(ctx.rank)
+        if rs is None or not rs["handles"]:
+            raise AdclError(f"rank {ctx.rank}: no operation in flight")
+        return rs["handles"][0][0]
+
+    def handles(self, ctx: MPIContext) -> tuple[Waitable, ...]:
+        """All in-flight handles, for ``yield Progress(areq.handles(ctx))``."""
+        rs = self._rstate.get(ctx.rank)
+        if rs is None:
+            return ()
+        return tuple(h for h, _, _, _ in rs["handles"])
+
+    def in_flight(self, ctx: MPIContext) -> int:
+        """Number of outstanding invocations on this rank."""
+        rs = self._rstate.get(ctx.rank)
+        return 0 if rs is None else len(rs["handles"])
+
+    def wait(self, ctx: MPIContext, handle: Optional[Waitable] = None):
+        """Complete the oldest (or the given) invocation (generator)."""
+        rs = self._rstate.get(ctx.rank)
+        if rs is None or not rs["handles"]:
+            raise AdclError(f"rank {ctx.rank}: wait() without start()")
+        if handle is None:
+            entry = rs["handles"].pop(0)
+        else:
+            for i, e in enumerate(rs["handles"]):
+                if e[0] is handle:
+                    entry = rs["handles"].pop(i)
+                    break
+            else:
+                raise AdclError(f"rank {ctx.rank}: unknown handle in wait()")
+        handle, it, fn_idx, t0 = entry
+        if not handle.done:
+            yield Wait(handle)
+        rs["it"] += 1
+        if self._timer is None:
+            self._record_self_time(ctx, it, fn_idx, ctx.now - t0)
+
+    # ------------------------------------------------------------------
+    # measurement feeding
+    # ------------------------------------------------------------------
+
+    def _record_self_time(self, ctx: MPIContext, it: int, fn_idx: int,
+                          seconds: float) -> None:
+        per_rank = self._self_times.setdefault(it, {})
+        per_rank[ctx.rank] = seconds
+        if len(per_rank) == self.spec.comm.size:
+            del self._self_times[it]
+            self._feed(it, fn_idx, max(per_rank.values()))
+
+    def _feed(self, it: int, fn_idx: int, seconds: float) -> None:
+        """One aggregated (max-over-ranks) measurement for iteration ``it``."""
+        self.selector.feed(it, fn_idx, seconds)
+        if (
+            not self._history_saved
+            and self.history is not None
+            and self.selector.decided
+        ):
+            self.history.record(
+                self._history_key,
+                self.selector.winner_name,
+                self.selector.decided_at,
+            )
+            self._history_saved = True
+
+    def _attach_timer(self, timer) -> None:
+        if self._timer is not None:
+            raise AdclError("a timer is already associated with this request")
+        self._timer = timer
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def decided(self) -> bool:
+        return self.selector.decided
+
+    @property
+    def winner_name(self) -> Optional[str]:
+        return self.selector.winner_name
+
+    @property
+    def decided_at(self) -> Optional[int]:
+        return self.selector.decided_at
+
+    def function_used(self, it: int) -> Optional[int]:
+        """Function index iteration ``it`` ran with (None if never started)."""
+        return self._iter_fn.get(it)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        state = f"winner={self.winner_name!r}" if self.decided else "learning"
+        return f"<ADCLRequest {self.fnset.name!r} {self.spec.signature()} {state}>"

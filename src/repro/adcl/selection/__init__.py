@@ -1,0 +1,16 @@
+"""Runtime selection algorithms (§III-A): brute force, attribute
+heuristic, and 2^k factorial design."""
+
+from .base import FixedSelector, MeasurementLog, Selector
+from .brute_force import BruteForceSelector
+from .factorial import FactorialSelector
+from .heuristic import HeuristicSelector
+
+__all__ = [
+    "BruteForceSelector",
+    "FactorialSelector",
+    "FixedSelector",
+    "HeuristicSelector",
+    "MeasurementLog",
+    "Selector",
+]

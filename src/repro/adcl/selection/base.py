@@ -1,0 +1,107 @@
+"""Selector interface shared by ADCL's runtime selection algorithms.
+
+A selector is a deterministic state machine: given the measurements fed
+so far, :meth:`Selector.function_for_iteration` answers *which
+implementation should iteration k use*.  During the **learning phase**
+it cycles through candidates; once enough data exists it **decides** and
+returns the winner forever after.
+
+Determinism matters: in the simulation every rank consults the same
+(shared) selector object, mirroring how the real ADCL keeps replicated
+deterministic state on every process so that all ranks always pick the
+same implementation for the same iteration.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ...errors import SelectionError
+from ..function import FunctionSet
+from ..statistics import robust_mean
+
+__all__ = ["Selector", "FixedSelector", "MeasurementLog"]
+
+
+class MeasurementLog:
+    """Per-function measurement storage with robust aggregation."""
+
+    def __init__(self, nfunctions: int, filter_method: str = "cluster"):
+        self.samples: list[list[float]] = [[] for _ in range(nfunctions)]
+        self.filter_method = filter_method
+
+    def add(self, fn_index: int, seconds: float) -> None:
+        self.samples[fn_index].append(seconds)
+
+    def count(self, fn_index: int) -> int:
+        return len(self.samples[fn_index])
+
+    def estimate(self, fn_index: int) -> float:
+        """Outlier-filtered mean execution time of a function."""
+        if not self.samples[fn_index]:
+            raise SelectionError(f"no measurements for function {fn_index}")
+        return robust_mean(self.samples[fn_index], method=self.filter_method)
+
+    def best(self, candidates: Sequence[int]) -> int:
+        """Candidate with the lowest filtered mean."""
+        if not candidates:
+            raise SelectionError("empty candidate list")
+        return min(candidates, key=self.estimate)
+
+
+class Selector:
+    """Base class: subclasses implement the learning schedule."""
+
+    def __init__(self, fnset: FunctionSet, evals_per_function: int = 5,
+                 filter_method: str = "cluster"):
+        if evals_per_function < 1:
+            raise SelectionError("evals_per_function must be >= 1")
+        self.fnset = fnset
+        self.evals_per_function = evals_per_function
+        self.log = MeasurementLog(len(fnset), filter_method)
+        self.winner: Optional[int] = None
+        #: iteration index at which the decision was made (None = still learning)
+        self.decided_at: Optional[int] = None
+
+    # -- interface ------------------------------------------------------
+
+    @property
+    def decided(self) -> bool:
+        return self.winner is not None
+
+    @property
+    def winner_name(self) -> Optional[str]:
+        return None if self.winner is None else self.fnset[self.winner].name
+
+    def function_for_iteration(self, it: int) -> int:
+        """Implementation index iteration ``it`` must use."""
+        raise NotImplementedError
+
+    def feed(self, it: int, fn_index: int, seconds: float) -> None:
+        """Record the aggregated measurement of iteration ``it``."""
+        if not self.decided:
+            self.log.add(fn_index, seconds)
+
+    # -- helpers ---------------------------------------------------------
+
+    def _decide(self, it: int, candidates: Sequence[int]) -> int:
+        self.winner = self.log.best(candidates)
+        self.decided_at = it
+        return self.winner
+
+
+class FixedSelector(Selector):
+    """Always use one implementation (the paper's *verification runs*,
+    which execute a single function circumventing the selection logic)."""
+
+    def __init__(self, fnset: FunctionSet, fn_index: int):
+        super().__init__(fnset, evals_per_function=1)
+        if not 0 <= fn_index < len(fnset):
+            raise SelectionError(
+                f"function index {fn_index} out of range for {fnset.name!r}"
+            )
+        self.winner = fn_index
+        self.decided_at = 0
+
+    def function_for_iteration(self, it: int) -> int:
+        return self.winner

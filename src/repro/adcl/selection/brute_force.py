@@ -1,0 +1,32 @@
+"""Brute-force runtime selection (§III-A).
+
+Every implementation in the function-set is executed
+``evals_per_function`` times while the application runs; afterwards the
+one with the lowest outlier-filtered mean wins.  Guaranteed to find the
+best candidate, at the cost of a learning phase proportional to the
+function-set size — the trade-off Figs. 11/12 of the paper quantify.
+"""
+
+from __future__ import annotations
+
+from .base import Selector
+
+__all__ = ["BruteForceSelector"]
+
+
+class BruteForceSelector(Selector):
+    """Test all functions round-by-round, then pick the fastest."""
+
+    def function_for_iteration(self, it: int) -> int:
+        if self.decided:
+            return self.winner
+        idx = it // self.evals_per_function
+        if idx < len(self.fnset):
+            return idx
+        # learning complete: decide among all functions
+        return self._decide(it, range(len(self.fnset)))
+
+    @property
+    def learning_iterations(self) -> int:
+        """Length of the learning phase in iterations."""
+        return len(self.fnset) * self.evals_per_function

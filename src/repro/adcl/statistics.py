@@ -1,0 +1,58 @@
+"""Statistical filtering of runtime measurements.
+
+ADCL's selection logic must not be fooled by the occasional measurement
+where the operating system or another job stole the core (§IV-A notes
+that the few wrong decisions ADCL made "typically involved having a
+larger number of data outliers during the evaluation phase").  Following
+Benkert/Gabriel/Roller ("Timing Collective Communications in an
+Empirical Optimization Framework"), measurements are filtered before
+averaging.
+
+Three estimators are provided:
+
+* ``"mean"``    — plain arithmetic mean (no filtering; ablation baseline),
+* ``"iqr"``     — drop samples outside ``[Q1 - 1.5 IQR, Q3 + 1.5 IQR]``,
+* ``"cluster"`` — keep the samples within ``rtol`` of the minimum (the
+  ADCL heuristic: the cluster of unperturbed runs sits just above the
+  true cost; everything else is interference).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import AdclError
+
+__all__ = ["robust_mean", "filter_outliers", "FILTER_METHODS"]
+
+FILTER_METHODS = ("mean", "iqr", "cluster")
+
+
+def filter_outliers(samples: Sequence[float], method: str = "cluster",
+                    rtol: float = 0.25) -> np.ndarray:
+    """Return the subset of ``samples`` the estimator considers clean."""
+    arr = np.asarray(samples, dtype=float)
+    if arr.size == 0:
+        raise AdclError("cannot filter an empty sample set")
+    if method == "mean":
+        return arr
+    if method == "iqr":
+        if arr.size < 4:
+            return arr
+        q1, q3 = np.percentile(arr, [25, 75])
+        iqr = q3 - q1
+        mask = (arr >= q1 - 1.5 * iqr) & (arr <= q3 + 1.5 * iqr)
+        return arr[mask] if mask.any() else arr
+    if method == "cluster":
+        lo = arr.min()
+        kept = arr[arr <= lo * (1.0 + rtol)]
+        return kept if kept.size else arr
+    raise AdclError(f"unknown filter method {method!r}; expected {FILTER_METHODS}")
+
+
+def robust_mean(samples: Sequence[float], method: str = "cluster",
+                rtol: float = 0.25) -> float:
+    """Outlier-filtered mean of a measurement series."""
+    return float(filter_outliers(samples, method=method, rtol=rtol).mean())

@@ -1,0 +1,109 @@
+"""ADCL timer objects (§III-D): decoupled timing of non-blocking operations.
+
+The execution time of a non-blocking collective cannot be measured at
+the function call — most of the operation happens in the background.
+The paper's solution is the ``ADCL_Timer``: the user brackets a larger
+code section (communication *and* the computation overlapping it) with
+``ADCL_Timer_start`` / ``ADCL_Timer_end``, and that duration becomes the
+measurement attributed to whichever implementation the associated
+request used in that iteration.
+
+Aggregation follows ADCL: an iteration's time is the **maximum over all
+ranks** (the straggler defines the cost of a collective), recorded once
+the last rank has called :meth:`ADCLTimer.stop` for that iteration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import AdclError
+from ..sim.mpi import MPIContext
+from .request import ADCLRequest
+
+__all__ = ["ADCLTimer", "TimerRecord"]
+
+
+@dataclass(frozen=True)
+class TimerRecord:
+    """One completed (all ranks) timed iteration."""
+
+    iteration: int
+    fn_index: int
+    seconds: float
+    learning: bool
+
+
+class ADCLTimer:
+    """Times arbitrary code sections on behalf of an :class:`ADCLRequest`."""
+
+    def __init__(self, request: ADCLRequest):
+        self.request = request
+        request._attach_timer(self)
+        self._t0: dict[int, float] = {}
+        self._counts: dict[int, int] = {}
+        self._pending: dict[int, dict[int, float]] = {}
+        #: completed iteration records in feeding order (for reporting)
+        self.records: list[TimerRecord] = []
+
+    def window_index(self, rank: int) -> int:
+        """The timer iteration ``rank`` is currently inside.
+
+        Used by the associated request to pin every invocation within
+        one timed window to the same implementation.
+        """
+        return self._counts.get(rank, 0)
+
+    # ------------------------------------------------------------------
+
+    def start(self, ctx: MPIContext) -> None:
+        """Begin timing this rank's current iteration."""
+        if ctx.rank in self._t0:
+            raise AdclError(f"rank {ctx.rank}: timer started twice")
+        self._t0[ctx.rank] = ctx.now
+
+    def stop(self, ctx: MPIContext) -> None:
+        """End timing; feeds the selector once every rank has stopped."""
+        try:
+            t0 = self._t0.pop(ctx.rank)
+        except KeyError:
+            raise AdclError(f"rank {ctx.rank}: timer stopped without start")
+        it = self._counts.get(ctx.rank, 0)
+        self._counts[ctx.rank] = it + 1
+        per_rank = self._pending.setdefault(it, {})
+        per_rank[ctx.rank] = ctx.now - t0
+        if len(per_rank) == self.request.spec.comm.size:
+            del self._pending[it]
+            seconds = max(per_rank.values())
+            fn_idx = self.request.function_used(it)
+            if fn_idx is None:
+                raise AdclError(
+                    f"timer iteration {it} completed but the request never "
+                    f"started that iteration"
+                )
+            learning = not self.request.decided
+            self.request._feed(it, fn_idx, seconds)
+            self.records.append(TimerRecord(it, fn_idx, seconds, learning))
+
+    # ------------------------------------------------------------------
+    # reporting helpers used by the benchmark harness
+    # ------------------------------------------------------------------
+
+    def total_time(self) -> float:
+        """Sum of all completed iteration times."""
+        return sum(r.seconds for r in self.records)
+
+    def time_excluding_learning(self) -> float:
+        """Sum over iterations run *after* the selection decision.
+
+        This is the paper's Fig. 11/12 breakdown separating the learning
+        phase from steady-state execution.
+        """
+        return sum(r.seconds for r in self.records if not r.learning)
+
+    def learning_time(self) -> float:
+        """Sum over iterations that were part of the learning phase."""
+        return sum(r.seconds for r in self.records if r.learning)
+
+    def iterations_completed(self) -> int:
+        return len(self.records)

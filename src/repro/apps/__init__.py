@@ -1,0 +1,5 @@
+"""Application kernels built on the tuned collectives (the paper's §IV-B)."""
+
+from . import fft
+
+__all__ = ["fft"]

@@ -1,0 +1,30 @@
+"""The 3-D FFT application kernel of §IV-B (after Hoefler et al. [14]).
+
+* :mod:`~repro.apps.fft.decomposition` — slab decomposition geometry,
+* :mod:`~repro.apps.fft.patterns` — pipelined / tiled / windowed /
+  window-tiled interleavings (Fig. 8),
+* :mod:`~repro.apps.fft.cost` — FFT compute-cost model,
+* :mod:`~repro.apps.fft.kernel` — the runnable kernel comparing
+  LibNBC, ADCL, extended-ADCL and blocking-MPI methods.
+"""
+
+from .cost import fft_flops, fft_seconds, line_fft_seconds, plane_fft_seconds
+from .decomposition import SlabDecomposition
+from .kernel import FFT_METHODS, FFTConfig, FFTResult, run_fft
+from .patterns import DEFAULT_TILE, PATTERNS, Pattern, get_pattern
+
+__all__ = [
+    "DEFAULT_TILE",
+    "FFT_METHODS",
+    "FFTConfig",
+    "FFTResult",
+    "PATTERNS",
+    "Pattern",
+    "SlabDecomposition",
+    "fft_flops",
+    "fft_seconds",
+    "get_pattern",
+    "line_fft_seconds",
+    "plane_fft_seconds",
+    "run_fft",
+]

@@ -1,0 +1,49 @@
+"""Compute-cost model for the FFT kernel's simulated time.
+
+Simulated compute durations follow the standard FFT operation count,
+``5 N log2 N`` floating-point operations for a complex transform of
+length ``N``, divided by a sustained per-core FFT rate.  The base rate
+(1.5 GFLOP/s) matches a 2008-era x86 core running FFTW; a platform's
+``cpu_speed`` scales it (BlueGene/P cores are ~3x slower).
+
+Only the *ratios* between compute and communication matter for the
+shape of the paper's results; the model keeps them in the physically
+right regime (a 2-D plane FFT takes far longer than sending it).
+"""
+
+from __future__ import annotations
+
+import math
+
+from ...sim.netmodel import MachineParams
+
+__all__ = ["fft_flops", "fft_seconds", "plane_fft_seconds", "line_fft_seconds"]
+
+#: sustained FFT rate of one reference core, flops/second
+BASE_FFT_RATE = 1.5e9
+
+
+def fft_flops(npoints: int) -> float:
+    """Operation count of a complex FFT over ``npoints`` total points."""
+    if npoints <= 1:
+        return 0.0
+    return 5.0 * npoints * math.log2(npoints)
+
+
+def fft_seconds(npoints: int, params: MachineParams) -> float:
+    """Simulated seconds for one complex FFT of ``npoints`` points."""
+    return fft_flops(npoints) / (BASE_FFT_RATE * params.cpu_speed)
+
+
+def plane_fft_seconds(n: int, nplanes: int, params: MachineParams) -> float:
+    """Cost of 2-D FFTs over ``nplanes`` planes of ``n x n`` points.
+
+    A 2-D FFT of an ``n x n`` plane is ``2n`` length-``n`` transforms.
+    """
+    per_plane = 2 * n * fft_seconds(n, params)
+    return nplanes * per_plane
+
+
+def line_fft_seconds(n: int, nlines: int, params: MachineParams) -> float:
+    """Cost of ``nlines`` 1-D FFTs of length ``n``."""
+    return nlines * fft_seconds(n, params)

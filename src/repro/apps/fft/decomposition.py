@@ -1,0 +1,85 @@
+"""Slab decomposition of a 3-D array for the parallel FFT kernel.
+
+The kernel (after Hoefler et al. [14]) uses the classic 1-D (slab)
+decomposition: an ``N x N x N`` complex array is distributed over ``P``
+ranks as ``N/P`` contiguous *z*-planes.  The forward 3-D FFT is
+
+1. a 2-D FFT over ``(y, x)`` on every local plane,
+2. a global transpose ``z <-> y`` (the all-to-all this paper tunes),
+3. a 1-D FFT along ``z`` on the received *y*-slab.
+
+Tiling splits the local planes into chunks of ``tile`` planes whose
+transposes can be started while later tiles are still computing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ReproError
+
+__all__ = ["SlabDecomposition"]
+
+COMPLEX_BYTES = 16  # complex128
+
+
+@dataclass(frozen=True)
+class SlabDecomposition:
+    """Geometry of one N^3 FFT distributed over P ranks.
+
+    Requires ``P | N`` (the standard slab constraint).
+    """
+
+    n: int
+    nprocs: int
+
+    def __post_init__(self) -> None:
+        if self.n <= 0 or self.nprocs <= 0:
+            raise ReproError("n and nprocs must be positive")
+        if self.n % self.nprocs:
+            raise ReproError(
+                f"slab decomposition needs nprocs | N; got N={self.n}, "
+                f"P={self.nprocs}"
+            )
+
+    @property
+    def planes_per_rank(self) -> int:
+        """Local z-planes (before the transpose) / y-rows (after)."""
+        return self.n // self.nprocs
+
+    @property
+    def local_points(self) -> int:
+        """Complex points a rank owns."""
+        return self.planes_per_rank * self.n * self.n
+
+    @property
+    def local_bytes(self) -> int:
+        return self.local_points * COMPLEX_BYTES
+
+    # ------------------------------------------------------------------
+    # tiles
+    # ------------------------------------------------------------------
+
+    def tiles(self, tile: int) -> list[tuple[int, int]]:
+        """Partition the local planes into ``(first_plane, count)`` tiles.
+
+        ``tile`` is the requested planes per tile; the final tile may be
+        smaller.  ``tile`` larger than the local plane count yields a
+        single tile (the degenerate blocking shape).
+        """
+        if tile <= 0:
+            raise ReproError(f"tile size must be positive, got {tile}")
+        l = self.planes_per_rank
+        return [(z0, min(tile, l - z0)) for z0 in range(0, l, tile)]
+
+    def block_bytes(self, tile_planes: int) -> int:
+        """All-to-all block size (bytes per pair) for one tile's transpose.
+
+        Each tile plane contributes ``planes_per_rank`` y-rows of ``n``
+        points for every destination rank.
+        """
+        return tile_planes * self.planes_per_rank * self.n * COMPLEX_BYTES
+
+    def total_transpose_bytes(self) -> int:
+        """Bytes each rank exchanges in one full transpose (excl. self)."""
+        return (self.nprocs - 1) * self.block_bytes(self.planes_per_rank)

@@ -1,0 +1,60 @@
+"""The four communication/computation interleavings of §IV-B (Fig. 8).
+
+All four are special cases of the *window-tiled* scheme:
+
+==============  ===========  ==========
+pattern         window size  tile size
+==============  ===========  ==========
+pipelined       2            1
+tiled           2            10 (default)
+windowed        3            1
+window-tiled    3            10 (default)
+==============  ===========  ==========
+
+The *window* is the number of transposes allowed in flight at once
+(double buffering = 2); the *tile* is the number of planes whose 2-D
+FFTs are computed before their transpose is initiated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ...errors import ReproError
+
+__all__ = ["Pattern", "PATTERNS", "get_pattern", "DEFAULT_TILE"]
+
+#: the benchmark's default tile size ("we considered the default tile
+#: size of the benchmark which is set to 10")
+DEFAULT_TILE = 10
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """One interleaving scheme."""
+
+    name: str
+    window: int
+    tile: int
+
+    def __post_init__(self) -> None:
+        if self.window < 1 or self.tile < 1:
+            raise ReproError(f"bad pattern geometry {self!r}")
+
+
+PATTERNS: dict[str, Pattern] = {
+    "pipelined": Pattern("pipelined", window=2, tile=1),
+    "tiled": Pattern("tiled", window=2, tile=DEFAULT_TILE),
+    "windowed": Pattern("windowed", window=3, tile=1),
+    "window_tiled": Pattern("window_tiled", window=3, tile=DEFAULT_TILE),
+}
+
+
+def get_pattern(name: str) -> Pattern:
+    """Look up one of the four §IV-B patterns by name."""
+    try:
+        return PATTERNS[name]
+    except KeyError:
+        raise ReproError(
+            f"unknown FFT pattern {name!r}; expected one of {sorted(PATTERNS)}"
+        ) from None

@@ -1,0 +1,37 @@
+"""Micro-benchmark machinery for the paper's §IV-A evaluation.
+
+* :mod:`repro.bench.overlap` — the communication/computation overlap
+  micro-benchmark (loop of init / chunked compute with progress calls /
+  wait);
+* :mod:`repro.bench.verification` — verification runs: every fixed
+  implementation vs. the ADCL selectors, with the paper's 5%%
+  correct-decision criterion;
+* :mod:`repro.bench.report` — paper-style text tables and bar charts;
+* :mod:`repro.bench.runner` — fast-vs-paper-scale knobs.
+"""
+
+from .overlap import OverlapConfig, OverlapResult, function_set_for, run_overlap
+from .report import format_bars, format_series, format_table
+from .runner import SweepResult, bench_seed, paper_scale, scaled
+from .verification import (
+    CORRECTNESS_TOLERANCE,
+    VerificationResult,
+    run_verification,
+)
+
+__all__ = [
+    "CORRECTNESS_TOLERANCE",
+    "OverlapConfig",
+    "OverlapResult",
+    "SweepResult",
+    "VerificationResult",
+    "bench_seed",
+    "format_bars",
+    "format_series",
+    "format_table",
+    "function_set_for",
+    "paper_scale",
+    "run_overlap",
+    "run_verification",
+    "scaled",
+]

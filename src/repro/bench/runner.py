@@ -1,0 +1,72 @@
+"""Benchmark scaling knobs and sweep helpers.
+
+Paper-scale runs (256/500/1024 ranks, hundreds of iterations) are
+expensive in a pure-Python discrete-event simulator, so every benchmark
+has a *fast* default and honours two environment variables:
+
+* ``REPRO_PAPER_SCALE=1`` — run the paper's full process counts and
+  iteration budgets;
+* ``REPRO_BENCH_SEED=<int>`` — change the noise seed of stochastic runs.
+
+:func:`scaled` picks between the fast and paper value, and
+:class:`SweepResult` accumulates (config -> result) pairs with summary
+statistics used by the §IV-A/§IV-B summary tables.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Generic, TypeVar
+
+__all__ = ["paper_scale", "scaled", "bench_seed", "SweepResult"]
+
+T = TypeVar("T")
+
+
+def paper_scale() -> bool:
+    """True when full paper-scale benchmarks were requested."""
+    return os.environ.get("REPRO_PAPER_SCALE", "0") not in ("", "0", "false")
+
+
+def scaled(fast: T, paper: T) -> T:
+    """Pick the fast or the paper-scale value of a benchmark knob."""
+    return paper if paper_scale() else fast
+
+
+def bench_seed(default: int = 12345) -> int:
+    """Noise seed for stochastic benchmark runs."""
+    try:
+        return int(os.environ.get("REPRO_BENCH_SEED", default))
+    except ValueError:
+        return default
+
+
+@dataclass
+class SweepResult(Generic[T]):
+    """Accumulates per-scenario outcomes plus pass/fail style counters."""
+
+    name: str
+    entries: list[tuple[str, T]] = field(default_factory=list)
+    hits: int = 0
+    total: int = 0
+
+    def add(self, label: str, value: T, hit: bool | None = None) -> None:
+        self.entries.append((label, value))
+        if hit is not None:
+            self.total += 1
+            if hit:
+                self.hits += 1
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of scenarios that satisfied the success predicate."""
+        return self.hits / self.total if self.total else 0.0
+
+    def summary(self) -> str:
+        if not self.total:
+            return f"{self.name}: {len(self.entries)} scenarios"
+        return (
+            f"{self.name}: {self.hits}/{self.total} scenarios "
+            f"({100.0 * self.hit_rate:.0f}%)"
+        )

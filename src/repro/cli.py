@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``platforms``
+    List the simulated machine presets.
+``sweep``
+    Run the overlap micro-benchmark for every implementation of an
+    operation and print the Fig.-2-style bar chart.
+``tune``
+    Run ADCL on one scenario and print the learning trace + decision.
+``fft``
+    Run the 3-D FFT application kernel and compare methods.
+
+Examples
+--------
+::
+
+    python -m repro platforms
+    python -m repro sweep --platform whale_tcp --nprocs 32 --nbytes 128KB
+    python -m repro tune --selector heuristic --operation bcast
+    python -m repro fft --platform crill --nprocs 48 --n 480
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import Optional, Sequence
+
+from .apps.fft import FFTConfig, run_fft
+from .bench import OverlapConfig, format_bars, format_table, function_set_for, run_overlap
+from .sim import available_platforms, get_platform
+from .units import fmt_time, parse_size
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Auto-tuning non-blocking collectives (paper reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("platforms", help="list simulated machine presets")
+
+    def common(p):
+        p.add_argument("--platform", default="whale",
+                       help="machine preset (see `platforms`)")
+        p.add_argument("--nprocs", type=int, default=16)
+        p.add_argument("--nbytes", type=parse_size, default="64KB",
+                       help="message size, e.g. 1KB / 128KB / 2MB")
+        p.add_argument("--compute", type=float, default=10.0,
+                       help="total loop compute seconds (paper convention)")
+        p.add_argument("--loop-iterations", type=int, default=1000,
+                       help="paper loop length the compute is spread over")
+        p.add_argument("--iterations", type=int, default=20,
+                       help="iterations actually simulated")
+        p.add_argument("--nprogress", type=int, default=5)
+        p.add_argument("--operation", default="alltoall",
+                       choices=["alltoall", "alltoall_ext", "bcast"])
+
+    p_sweep = sub.add_parser(
+        "sweep", help="time every implementation of an operation")
+    common(p_sweep)
+
+    p_tune = sub.add_parser("tune", help="run the ADCL selection logic")
+    common(p_tune)
+    p_tune.add_argument("--selector", default="brute_force",
+                        choices=["brute_force", "heuristic", "factorial"])
+    p_tune.add_argument("--evals", type=int, default=3,
+                        help="measurements per candidate implementation")
+
+    p_fft = sub.add_parser("fft", help="run the 3-D FFT application kernel")
+    p_fft.add_argument("--platform", default="whale")
+    p_fft.add_argument("--nprocs", type=int, default=16)
+    p_fft.add_argument("--n", type=int, default=160, help="FFT size (N^3)")
+    p_fft.add_argument("--pattern", default="window_tiled",
+                       choices=["pipelined", "tiled", "windowed", "window_tiled"])
+    p_fft.add_argument("--iterations", type=int, default=12)
+    p_fft.add_argument("--methods", nargs="+",
+                       default=["libnbc", "adcl", "mpi"],
+                       choices=["libnbc", "adcl", "adcl_ext", "mpi"])
+    return parser
+
+
+def _overlap_config(args) -> OverlapConfig:
+    return OverlapConfig(
+        platform=args.platform,
+        nprocs=args.nprocs,
+        operation=args.operation,
+        nbytes=args.nbytes,
+        compute_total=args.compute,
+        paper_iterations=args.loop_iterations,
+        iterations=args.iterations,
+        nprogress=args.nprogress,
+    )
+
+
+def cmd_platforms() -> int:
+    rows = []
+    for name in available_platforms():
+        plat = get_platform(name)
+        rows.append([
+            name,
+            plat.nnodes,
+            plat.cores_per_node,
+            f"{plat.params.inter.beta / 1e9:.2f} GB/s",
+            f"{plat.params.inter.alpha * 1e6:.0f} us",
+            plat.description,
+        ])
+    print(format_table(
+        ["name", "nodes", "cores/node", "inter bw", "latency", "description"],
+        rows, title="simulated platform presets",
+    ))
+    return 0
+
+
+def cmd_sweep(args) -> int:
+    cfg = _overlap_config(args)
+    fnset = function_set_for(args.operation)
+    print(f"sweeping {len(fnset)} implementations of {cfg.describe()} ...")
+    times = {}
+    for i, fn in enumerate(fnset):
+        times[fn.name] = run_overlap(cfg, selector=i).mean_iteration
+    print()
+    print(format_bars(times, title="mean iteration time per implementation"))
+    return 0
+
+
+def cmd_tune(args) -> int:
+    cfg = _overlap_config(args)
+    fnset = function_set_for(args.operation)
+    res = run_overlap(cfg, selector=args.selector,
+                      evals_per_function=args.evals)
+    print(f"tuning {cfg.describe()} with the {args.selector} selector\n")
+    for rec, name in zip(res.records, res.fn_names):
+        phase = "learn " if rec.learning else "steady"
+        print(f"  iter {rec.iteration:>3} [{phase}] {name:<22} "
+              f"{fmt_time(rec.seconds)}")
+    if res.winner is None:
+        print("\nno decision yet — increase --iterations")
+        return 1
+    print(f"\ndecision at iteration {res.decided_at}: {res.winner!r}")
+    print(f"steady-state iteration time {fmt_time(res.mean_after_learning())}")
+    return 0
+
+
+def cmd_fft(args) -> int:
+    print(f"3-D FFT N={args.n}^3, P={args.nprocs} on {args.platform}, "
+          f"pattern={args.pattern}\n")
+    rows = []
+    for method in args.methods:
+        res = run_fft(FFTConfig(
+            n=args.n, nprocs=args.nprocs, platform=args.platform,
+            pattern=args.pattern, method=method,
+            iterations=args.iterations, evals_per_function=2,
+        ))
+        rows.append([
+            method,
+            fmt_time(res.mean_iteration),
+            fmt_time(res.mean_after_learning()),
+            res.winner or "-",
+        ])
+    print(format_table(
+        ["method", "mean iteration", "steady state", "selected"],
+        rows,
+    ))
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "platforms":
+        return cmd_platforms()
+    if args.command == "sweep":
+        return cmd_sweep(args)
+    if args.command == "tune":
+        return cmd_tune(args)
+    if args.command == "fft":
+        return cmd_fft(args)
+    raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

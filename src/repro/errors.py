@@ -1,0 +1,48 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-specific errors derive from :class:`ReproError` so callers can
+catch everything raised by this package with one ``except`` clause.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class SimulationError(ReproError):
+    """A structural problem inside the discrete-event simulator.
+
+    Raised e.g. when a rank program misbehaves (yields an unknown syscall,
+    finishes while holding pending requests) or when the event loop is
+    driven incorrectly.
+    """
+
+
+class DeadlockError(SimulationError):
+    """The event queue drained while at least one rank was still blocked.
+
+    This is the simulated equivalent of an MPI deadlock: every process is
+    waiting on a request that can no longer complete.
+    """
+
+
+class MatchingError(SimulationError):
+    """A message could not be matched (communicator/tag/peer misuse)."""
+
+
+class ScheduleError(ReproError):
+    """An NBC schedule was malformed or used after completion."""
+
+
+class AdclError(ReproError):
+    """Misuse of the ADCL API (bad function-set, timer state, ...)."""
+
+
+class SelectionError(AdclError):
+    """The runtime selection logic was configured inconsistently."""
+
+
+class HistoryError(AdclError):
+    """The historic-learning store is unreadable or corrupt."""

@@ -1,0 +1,66 @@
+"""LibNBC-style non-blocking collectives: schedules + progress engine.
+
+The paper (§III-B) builds every candidate implementation of a
+non-blocking collective as a *schedule* — rounds of sends/receives/
+copies separated by local barriers — executed incrementally by a
+progress engine.  This package re-implements that design:
+
+* :mod:`repro.nbc.schedule` — the schedule data structure,
+* :mod:`repro.nbc.request` — the NBC handle / progress engine,
+* :mod:`repro.nbc.ibcast` / :mod:`~repro.nbc.ialltoall` /
+  :mod:`~repro.nbc.iallgather` / :mod:`~repro.nbc.ireduce` — algorithm
+  builders (including the paper's 21 Ibcast and 3 Ialltoall variants),
+* :mod:`repro.nbc.coll` — one-call entry points and blocking wrappers.
+"""
+
+from .coll import (
+    allgather,
+    alltoall,
+    barrier,
+    bcast,
+    reduce,
+    start_iallgather,
+    start_ialltoall,
+    start_ibarrier,
+    start_ibcast,
+    start_ireduce,
+)
+from .iallgather import ALLGATHER_ALGORITHMS, build_iallgather
+from .ialltoall import ALLTOALL_ALGORITHMS, alltoall_scratch_bytes, build_ialltoall
+from .ibcast import BINOMIAL, IBCAST_FANOUTS, bcast_tree, build_ibcast
+from .ireduce import REDUCE_ALGORITHMS, build_ireduce
+from .request import NBCRequest, make_buffers
+from .schedule import BufSpec, CombineOp, CopyOp, RecvOp, Schedule, SendOp, resolve
+
+__all__ = [
+    "ALLGATHER_ALGORITHMS",
+    "ALLTOALL_ALGORITHMS",
+    "BINOMIAL",
+    "BufSpec",
+    "CombineOp",
+    "CopyOp",
+    "IBCAST_FANOUTS",
+    "NBCRequest",
+    "RecvOp",
+    "REDUCE_ALGORITHMS",
+    "Schedule",
+    "SendOp",
+    "allgather",
+    "alltoall",
+    "alltoall_scratch_bytes",
+    "barrier",
+    "bcast",
+    "bcast_tree",
+    "build_iallgather",
+    "build_ialltoall",
+    "build_ibcast",
+    "build_ireduce",
+    "make_buffers",
+    "reduce",
+    "resolve",
+    "start_iallgather",
+    "start_ialltoall",
+    "start_ibarrier",
+    "start_ibcast",
+    "start_ireduce",
+]

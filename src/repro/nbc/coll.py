@@ -1,0 +1,180 @@
+"""High-level collective entry points (persistent-style helpers).
+
+These wrap the schedule builders into one-call APIs for rank programs:
+
+* ``start_*`` — build + post a non-blocking collective, returning the
+  :class:`~repro.nbc.request.NBCRequest` to progress/wait on;
+* the module-level generators (``alltoall``, ``bcast``, ...) — blocking
+  convenience wrappers (``yield from nbc.alltoall(ctx, ...)``), used for
+  the paper's blocking-MPI baselines.
+
+Payload mode: pass ``sendbuf`` / ``recvbuf`` numpy arrays to move real
+data; omit them for size-only performance runs.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from ..sim.mpi import MPIContext, SimComm
+from ..sim.process import Wait
+from .ialltoall import alltoall_scratch_bytes, build_ialltoall
+from .iallgather import build_iallgather
+from .ibcast import BINOMIAL, build_ibcast
+from .ireduce import build_ireduce
+from .request import NBCRequest, make_buffers
+from .schedule import Schedule
+
+__all__ = [
+    "start_ialltoall",
+    "start_ibcast",
+    "start_iallgather",
+    "start_ireduce",
+    "start_ibarrier",
+    "alltoall",
+    "bcast",
+    "allgather",
+    "reduce",
+    "barrier",
+]
+
+
+def _local_rank(ctx: MPIContext, comm: Optional[SimComm]) -> tuple[SimComm, int]:
+    comm = comm or ctx.comm_world
+    return comm, comm.local_rank(ctx.rank)
+
+
+def start_ialltoall(
+    ctx: MPIContext,
+    m: int,
+    algorithm: str = "linear",
+    comm: Optional[SimComm] = None,
+    sendbuf: Optional[np.ndarray] = None,
+    recvbuf: Optional[np.ndarray] = None,
+) -> NBCRequest:
+    """Post a non-blocking all-to-all of ``m`` bytes per process pair."""
+    comm, rank = _local_rank(ctx, comm)
+    sched = build_ialltoall(comm.size, rank, m, algorithm)
+    buffers = None
+    if sendbuf is not None or recvbuf is not None:
+        buffers = make_buffers(send=sendbuf, recv=recvbuf)
+        for name, nbytes in alltoall_scratch_bytes(comm.size, m, algorithm).items():
+            buffers[name] = np.empty(nbytes, dtype=np.uint8)
+    return NBCRequest(sched, comm, rank, buffers).start(ctx)
+
+
+def start_ibcast(
+    ctx: MPIContext,
+    nbytes: int,
+    root: int = 0,
+    fanout: int = BINOMIAL,
+    segsize: int = 128 * 1024,
+    comm: Optional[SimComm] = None,
+    buf: Optional[np.ndarray] = None,
+) -> NBCRequest:
+    """Post a non-blocking broadcast of ``nbytes`` from ``root``."""
+    comm, rank = _local_rank(ctx, comm)
+    sched = build_ibcast(comm.size, rank, root, nbytes, fanout, segsize)
+    buffers = make_buffers(data=buf) if buf is not None else None
+    return NBCRequest(sched, comm, rank, buffers).start(ctx)
+
+
+def start_iallgather(
+    ctx: MPIContext,
+    m: int,
+    algorithm: str = "ring",
+    comm: Optional[SimComm] = None,
+    sendbuf: Optional[np.ndarray] = None,
+    recvbuf: Optional[np.ndarray] = None,
+) -> NBCRequest:
+    """Post a non-blocking all-gather of ``m`` bytes per rank."""
+    comm, rank = _local_rank(ctx, comm)
+    sched = build_iallgather(comm.size, rank, m, algorithm)
+    buffers = None
+    if sendbuf is not None or recvbuf is not None:
+        buffers = make_buffers(send=sendbuf, recv=recvbuf)
+    return NBCRequest(sched, comm, rank, buffers).start(ctx)
+
+
+def start_ireduce(
+    ctx: MPIContext,
+    nbytes: int,
+    root: int = 0,
+    algorithm: str = "binomial",
+    comm: Optional[SimComm] = None,
+    buf: Optional[np.ndarray] = None,
+    dtype: str = "float64",
+    op: str = "sum",
+    segsize: int = 0,
+) -> NBCRequest:
+    """Post a non-blocking reduction of ``nbytes`` to ``root``."""
+    comm, rank = _local_rank(ctx, comm)
+    sched = build_ireduce(comm.size, rank, root, nbytes, algorithm,
+                          dtype=dtype, op=op, segsize=segsize)
+    buffers = None
+    if buf is not None:
+        buffers = make_buffers(data=buf)
+        buffers["acc"] = np.empty(nbytes, dtype=np.uint8)
+        buffers["in"] = np.empty(nbytes, dtype=np.uint8)
+    return NBCRequest(sched, comm, rank, buffers).start(ctx)
+
+
+def _barrier_schedule(size: int, rank: int) -> Schedule:
+    """Dissemination barrier: ceil(log2 P) zero-byte exchange rounds."""
+    sched = Schedule(name="ibarrier[dissemination]")
+    nrounds = math.ceil(math.log2(size)) if size > 1 else 0
+    for k in range(nrounds):
+        d = 1 << k
+        sched.round()
+        sched.recv((rank - d) % size, 0, tagoff=k)
+        sched.send((rank + d) % size, 0, tagoff=k)
+    return sched
+
+
+def start_ibarrier(ctx: MPIContext, comm: Optional[SimComm] = None) -> NBCRequest:
+    """Post a non-blocking dissemination barrier."""
+    comm, rank = _local_rank(ctx, comm)
+    return NBCRequest(_barrier_schedule(comm.size, rank), comm, rank).start(ctx)
+
+
+# ---------------------------------------------------------------------------
+# blocking wrappers (generators: use as ``yield from nbc.alltoall(ctx, ...)``)
+# ---------------------------------------------------------------------------
+
+
+def alltoall(ctx: MPIContext, m: int, algorithm: str = "pairwise", **kw):
+    """Blocking all-to-all: the MPI_Alltoall baseline of §IV-B."""
+    req = start_ialltoall(ctx, m, algorithm=algorithm, **kw)
+    yield Wait(req)
+    return req
+
+
+def bcast(ctx: MPIContext, nbytes: int, **kw):
+    """Blocking broadcast."""
+    req = start_ibcast(ctx, nbytes, **kw)
+    yield Wait(req)
+    return req
+
+
+def allgather(ctx: MPIContext, m: int, algorithm: str = "ring", **kw):
+    """Blocking all-gather."""
+    req = start_iallgather(ctx, m, algorithm=algorithm, **kw)
+    yield Wait(req)
+    return req
+
+
+def reduce(ctx: MPIContext, nbytes: int, **kw):
+    """Blocking reduction."""
+    req = start_ireduce(ctx, nbytes, **kw)
+    yield Wait(req)
+    return req
+
+
+def barrier(ctx: MPIContext, comm: Optional[SimComm] = None):
+    """Blocking barrier."""
+    req = start_ibarrier(ctx, comm)
+    yield Wait(req)
+    return req

@@ -1,0 +1,98 @@
+"""Non-blocking all-gather schedules.
+
+ADCL supports All-gather as one of its function-sets (§III-A); we
+provide the three classic algorithms so the library is complete:
+
+* **ring** — ``P-1`` rounds, each forwarding one block to the right
+  neighbour; bandwidth-optimal, latency ``(P-1) * alpha``;
+* **recursive doubling** — ``log2 P`` rounds doubling the gathered
+  chunk each time (requires a power-of-two process count);
+* **linear** — everybody sends its block to everybody in one round.
+
+Buffers: ``"send"`` is this rank's contribution (``m`` bytes), ``"recv"``
+is the full ``P x m`` result.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ScheduleError
+from .schedule import Schedule
+
+__all__ = ["ALLGATHER_ALGORITHMS", "build_iallgather"]
+
+ALLGATHER_ALGORITHMS = ("ring", "recursive_doubling", "linear")
+
+
+def _block(idx: int, m: int) -> tuple[str, int, int]:
+    return ("recv", idx * m, m)
+
+
+def build_iallgather(size: int, rank: int, m: int, algorithm: str) -> Schedule:
+    """Build this rank's schedule for an all-gather of ``m`` bytes/rank."""
+    if size <= 0 or not 0 <= rank < size:
+        raise ScheduleError(f"bad allgather geometry size={size} rank={rank}")
+    if m < 0:
+        raise ScheduleError(f"negative block size {m}")
+    if algorithm == "ring":
+        return _ring(size, rank, m)
+    if algorithm == "recursive_doubling":
+        return _recursive_doubling(size, rank, m)
+    if algorithm == "linear":
+        return _linear(size, rank, m)
+    raise ScheduleError(
+        f"unknown allgather algorithm {algorithm!r}; "
+        f"expected one of {ALLGATHER_ALGORITHMS}"
+    )
+
+
+def _ring(size: int, rank: int, m: int) -> Schedule:
+    sched = Schedule(name="iallgather[ring]")
+    sched.round()
+    sched.copy(m, src=("send", 0, m), dst=_block(rank, m))
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    for r in range(size - 1):
+        outgoing = (rank - r) % size
+        incoming = (rank - r - 1) % size
+        sched.round()
+        sched.recv(left, m, tagoff=r, dst=_block(incoming, m))
+        sched.send(right, m, tagoff=r, src=_block(outgoing, m))
+    return sched
+
+
+def _recursive_doubling(size: int, rank: int, m: int) -> Schedule:
+    if size & (size - 1):
+        raise ScheduleError(
+            f"recursive doubling needs a power-of-two size, got {size}"
+        )
+    sched = Schedule(name="iallgather[rdbl]")
+    sched.round()
+    sched.copy(m, src=("send", 0, m), dst=_block(rank, m))
+    nrounds = int(math.log2(size)) if size > 1 else 0
+    for k in range(nrounds):
+        d = 1 << k
+        peer = rank ^ d
+        # after k rounds this rank holds the d-block chunk starting at
+        # (rank rounded down to a multiple of d)
+        my_base = (rank // d) * d
+        peer_base = (peer // d) * d
+        nbytes = d * m
+        sched.round()
+        sched.recv(peer, nbytes, tagoff=k + 1, dst=("recv", peer_base * m, nbytes))
+        sched.send(peer, nbytes, tagoff=k + 1, src=("recv", my_base * m, nbytes))
+    return sched
+
+
+def _linear(size: int, rank: int, m: int) -> Schedule:
+    sched = Schedule(name="iallgather[linear]")
+    sched.round()
+    sched.copy(m, src=("send", 0, m), dst=_block(rank, m))
+    for i in range(1, size):
+        peer = (rank + i) % size
+        sched.recv(peer, m, tagoff=0, dst=_block(peer, m))
+    for i in range(1, size):
+        peer = (rank + i) % size
+        sched.send(peer, m, tagoff=0, src=("send", 0, m))
+    return sched

@@ -1,0 +1,141 @@
+"""Non-blocking broadcast schedules.
+
+The paper's ``Ibcast`` function-set is parameterized by two attributes
+(§III-E):
+
+* **fan-out** of the broadcast tree —
+
+  - ``0``  : linear (the root sends directly to everyone; an "infinite"
+    number of children),
+  - ``1``  : chain (each process forwards to the next),
+  - ``2``–``5`` : k-ary tree with k children per parent,
+  - ``BINOMIAL`` : binomial tree,
+
+* **segment size** — the message is split into pipeline segments of
+  32 KB / 64 KB / 128 KB; segment *s* travels down the tree one round
+  behind segment *s−1*.
+
+``7 fan-out values x 3 segment sizes = 21`` implementations, matching
+the paper.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ScheduleError
+from .schedule import Schedule
+
+__all__ = ["BINOMIAL", "build_ibcast", "bcast_tree", "IBCAST_FANOUTS"]
+
+#: sentinel fan-out value selecting the binomial tree (the paper's "N")
+BINOMIAL = -1
+
+#: all fan-out values of the paper's function-set
+IBCAST_FANOUTS = (0, 1, 2, 3, 4, 5, BINOMIAL)
+
+
+def bcast_tree(size: int, vrank: int, fanout: int) -> tuple[int, list[int]]:
+    """Parent and children of ``vrank`` in a broadcast tree of ``size``.
+
+    Operates on *virtual* ranks (root is virtual rank 0).  Returns
+    ``(parent, children)`` with ``parent == -1`` for the root.
+    """
+    if not 0 <= vrank < size:
+        raise ScheduleError(f"vrank {vrank} out of range for size {size}")
+    if fanout == 0:  # linear: root parents everyone
+        if vrank == 0:
+            return -1, list(range(1, size))
+        return 0, []
+    if fanout == BINOMIAL:
+        # children of v are v + 2^j for the zero bits above v's highest
+        # set bit; standard binomial broadcast ordering
+        if vrank == 0:
+            parent = -1
+            low = size  # loop below emits all powers of two < size
+        else:
+            low = vrank & (-vrank)  # lowest set bit
+            parent = vrank - low
+        children = []
+        mask = 1
+        while mask < (low if vrank else size):
+            child = vrank + mask
+            if child < size:
+                children.append(child)
+            mask <<= 1
+        return parent, children
+    if fanout == 1:  # chain
+        parent = vrank - 1 if vrank > 0 else -1
+        children = [vrank + 1] if vrank + 1 < size else []
+        return parent, children
+    if fanout < 0:
+        raise ScheduleError(f"invalid fan-out {fanout}")
+    parent = (vrank - 1) // fanout if vrank > 0 else -1
+    children = [
+        c for c in range(vrank * fanout + 1, vrank * fanout + fanout + 1)
+        if c < size
+    ]
+    return parent, children
+
+
+def build_ibcast(
+    size: int,
+    rank: int,
+    root: int,
+    nbytes: int,
+    fanout: int,
+    segsize: int,
+) -> Schedule:
+    """Build this rank's schedule for a segmented tree broadcast.
+
+    The broadcast buffer is the schedule buffer named ``"data"`` (on
+    every rank; the root's content is distributed into everyone else's).
+
+    The schedule pipelines segments: round *k* receives segment *k* from
+    the parent and simultaneously forwards segment *k−1* to the
+    children, so a depth-*d* tree with *S* segments completes in
+    ``d + S - 1`` forwarding steps.
+    """
+    if size <= 0 or not 0 <= rank < size or not 0 <= root < size:
+        raise ScheduleError(f"bad bcast geometry size={size} rank={rank} root={root}")
+    if segsize <= 0:
+        raise ScheduleError(f"segment size must be positive, got {segsize}")
+    vrank = (rank - root) % size
+    parent_v, children_v = bcast_tree(size, vrank, fanout)
+    to_real = lambda v: (v + root) % size  # noqa: E731 - tiny translation
+
+    nseg = max(1, math.ceil(nbytes / segsize))
+    seg_bounds = [
+        (s * segsize, min(segsize, nbytes - s * segsize)) for s in range(nseg)
+    ]
+
+    fo_name = {0: "linear", 1: "chain", BINOMIAL: "binomial"}.get(fanout, f"{fanout}-ary")
+    sched = Schedule(name=f"ibcast[{fo_name},seg={segsize}]")
+    if size == 1:
+        return sched
+
+    if parent_v == -1:
+        # root: one round per segment, sending to all children
+        for s, (off, length) in enumerate(seg_bounds):
+            sched.round()
+            for c in children_v:
+                sched.send(to_real(c), length, tagoff=s, src=("data", off, length))
+    elif not children_v:
+        # leaf: one receive per segment
+        for s, (off, length) in enumerate(seg_bounds):
+            sched.round()
+            sched.recv(to_real(parent_v), length, tagoff=s, dst=("data", off, length))
+    else:
+        # interior node: recv segment k while forwarding segment k-1
+        for k in range(nseg + 1):
+            sched.round()
+            if k < nseg:
+                off, length = seg_bounds[k]
+                sched.recv(to_real(parent_v), length, tagoff=k,
+                           dst=("data", off, length))
+            if k > 0:
+                off, length = seg_bounds[k - 1]
+                for c in children_v:
+                    sched.send(to_real(c), length, tagoff=k - 1,
+                               src=("data", off, length))
+    return sched

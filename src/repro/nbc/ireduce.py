@@ -1,0 +1,129 @@
+"""Non-blocking reduce schedules.
+
+The paper converted Open MPI's ``MPI_Reduce`` implementations to LibNBC
+schedules alongside Bcast/Allgather/Alltoall (§III-C); we provide the
+two classic shapes:
+
+* **binomial** — log2(P) combining tree rooted at ``root``;
+* **chain** — a pipeline along the rank line, segmented like the
+  broadcast (good for very large payloads).
+
+Buffers: ``"data"`` is this rank's contribution (also the result buffer
+on the root), ``"acc"`` the local accumulator, and ``"in"`` the staging
+area for incoming contributions.  All three are ``nbytes`` long.
+"""
+
+from __future__ import annotations
+
+import math
+
+from ..errors import ScheduleError
+from .schedule import Schedule
+
+__all__ = ["REDUCE_ALGORITHMS", "build_ireduce"]
+
+REDUCE_ALGORITHMS = ("binomial", "chain")
+
+
+def build_ireduce(
+    size: int,
+    rank: int,
+    root: int,
+    nbytes: int,
+    algorithm: str,
+    dtype: str = "float64",
+    op: str = "sum",
+    segsize: int = 0,
+) -> Schedule:
+    """Build this rank's schedule for a reduction to ``root``.
+
+    ``segsize`` only affects the chain algorithm (0 = no segmentation).
+    """
+    if size <= 0 or not 0 <= rank < size or not 0 <= root < size:
+        raise ScheduleError(f"bad reduce geometry size={size} rank={rank} root={root}")
+    if algorithm == "binomial":
+        return _binomial(size, rank, root, nbytes, dtype, op)
+    if algorithm == "chain":
+        return _chain(size, rank, root, nbytes, dtype, op, segsize)
+    raise ScheduleError(
+        f"unknown reduce algorithm {algorithm!r}; expected one of {REDUCE_ALGORITHMS}"
+    )
+
+
+def _binomial(size: int, rank: int, root: int, nbytes: int,
+              dtype: str, op: str) -> Schedule:
+    sched = Schedule(name="ireduce[binomial]")
+    # tag offsets are per combining step; leaves use fewer than interior
+    # nodes, so pin the reservation to the rank-independent maximum
+    sched.uniform_tag_span = max(1, math.ceil(math.log2(size))) if size > 1 else 1
+    if size == 1:
+        return sched
+    vrank = (rank - root) % size
+    to_real = lambda v: (v + root) % size  # noqa: E731
+
+    # local accumulator starts as own contribution
+    sched.round()
+    sched.copy(nbytes, src=("data", 0, nbytes), dst=("acc", 0, nbytes))
+
+    # combine children bottom-up: at step k the partner differs in bit k
+    mask = 1
+    step = 0
+    while mask < size:
+        if vrank & mask:
+            # send accumulated value to parent, then done
+            sched.round()
+            sched.send(to_real(vrank - mask), nbytes, tagoff=step,
+                       src=("acc", 0, nbytes))
+            break
+        child = vrank + mask
+        if child < size:
+            sched.round()
+            sched.recv(to_real(child), nbytes, tagoff=step, dst=("in", 0, nbytes))
+            sched.round()
+            sched.combine(nbytes, src=("in", 0, nbytes), dst=("acc", 0, nbytes),
+                          dtype=dtype, op=op)
+        mask <<= 1
+        step += 1
+    if vrank == 0:
+        sched.round()
+        sched.copy(nbytes, src=("acc", 0, nbytes), dst=("data", 0, nbytes))
+    return sched
+
+
+def _chain(size: int, rank: int, root: int, nbytes: int,
+           dtype: str, op: str, segsize: int) -> Schedule:
+    sched = Schedule(name="ireduce[chain]")
+    if size == 1:
+        return sched
+    if segsize <= 0:
+        segsize = nbytes
+    # every rank reserves one tag per segment regardless of its position
+    sched.uniform_tag_span = max(1, math.ceil(nbytes / segsize))
+    vrank = (rank - root) % size
+    to_real = lambda v: (v + root) % size  # noqa: E731
+    # the chain runs from the highest virtual rank down to the root:
+    # each process receives the partial result from vrank+1, combines
+    # its own data, and forwards to vrank-1
+    prev_v = vrank + 1  # upstream neighbour (contributes to us)
+    next_v = vrank - 1  # downstream neighbour (we contribute to them)
+    nseg = max(1, math.ceil(nbytes / segsize))
+    seg_bounds = [
+        (s * segsize, min(segsize, nbytes - s * segsize)) for s in range(nseg)
+    ]
+
+    sched.round()
+    sched.copy(nbytes, src=("data", 0, nbytes), dst=("acc", 0, nbytes))
+    for s, (off, length) in enumerate(seg_bounds):
+        if prev_v < size:
+            sched.round()
+            sched.recv(to_real(prev_v), length, tagoff=s, dst=("in", off, length))
+            sched.round()
+            sched.combine(length, src=("in", off, length), dst=("acc", off, length),
+                          dtype=dtype, op=op)
+        if next_v >= 0:
+            sched.round()
+            sched.send(to_real(next_v), length, tagoff=s, src=("acc", off, length))
+    if vrank == 0:
+        sched.round()
+        sched.copy(nbytes, src=("acc", 0, nbytes), dst=("data", 0, nbytes))
+    return sched

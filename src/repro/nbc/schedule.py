@@ -1,0 +1,253 @@
+"""Collective operation schedules (the LibNBC design, §III-B of the paper).
+
+A :class:`Schedule` is the per-rank recipe for one collective operation:
+a list of **rounds**, each holding point-to-point and local operations.
+A round only starts once every operation of the previous round has
+completed locally — the LibNBC *barrier* semantics.  Execution of a
+schedule is non-blocking and driven incrementally by the progress engine
+in :mod:`repro.nbc.request`.
+
+Buffer handling
+---------------
+Schedules may run *size-only* (no payload; used by large performance
+sweeps) or *with data* (used by correctness tests and the FFT kernel).
+Operations reference buffers symbolically through ``(name, offset,
+nbytes)`` byte-range specs resolved against a ``buffers`` dict of 1-D
+``uint8`` arrays at execution time, so the same schedule object serves
+both modes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ScheduleError
+
+__all__ = ["BufSpec", "SendOp", "RecvOp", "CopyOp", "CombineOp", "Schedule", "resolve"]
+
+#: symbolic byte-range into a named buffer: ``(buffer_name, offset, nbytes)``
+BufSpec = tuple[str, int, int]
+
+
+def resolve(buffers: Optional[dict], spec: Optional[BufSpec]) -> Optional[np.ndarray]:
+    """Resolve a :data:`BufSpec` to a ``uint8`` view, or None in size-only mode."""
+    if buffers is None or spec is None:
+        return None
+    name, offset, nbytes = spec
+    try:
+        buf = buffers[name]
+    except KeyError:
+        raise ScheduleError(f"schedule references unknown buffer {name!r}") from None
+    if buf is None:
+        return None
+    view = buf[offset : offset + nbytes]
+    if view.nbytes != nbytes:
+        raise ScheduleError(
+            f"buffer {name!r} too small: need [{offset}:{offset + nbytes}), "
+            f"have {buf.nbytes} bytes"
+        )
+    return view
+
+
+class SendOp:
+    """Send ``nbytes`` to communicator-local ``peer`` (tag offset ``tagoff``)."""
+
+    __slots__ = ("peer", "nbytes", "tagoff", "src")
+    kind = "send"
+
+    def __init__(self, peer: int, nbytes: int, tagoff: int,
+                 src: Optional[BufSpec] = None):
+        self.peer = peer
+        self.nbytes = nbytes
+        self.tagoff = tagoff
+        self.src = src
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Send(->{self.peer}, {self.nbytes}B, tag+{self.tagoff})"
+
+
+class RecvOp:
+    """Receive ``nbytes`` from communicator-local ``peer``."""
+
+    __slots__ = ("peer", "nbytes", "tagoff", "dst")
+    kind = "recv"
+
+    def __init__(self, peer: int, nbytes: int, tagoff: int,
+                 dst: Optional[BufSpec] = None):
+        self.peer = peer
+        self.nbytes = nbytes
+        self.tagoff = tagoff
+        self.dst = dst
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Recv(<-{self.peer}, {self.nbytes}B, tag+{self.tagoff})"
+
+
+class CopyOp:
+    """Local memcpy of ``nbytes`` (pack/unpack); costs CPU time."""
+
+    __slots__ = ("nbytes", "src", "dst")
+    kind = "copy"
+
+    def __init__(self, nbytes: int, src: Optional[BufSpec] = None,
+                 dst: Optional[BufSpec] = None):
+        self.nbytes = nbytes
+        self.src = src
+        self.dst = dst
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Copy({self.nbytes}B)"
+
+
+class CombineOp:
+    """Local reduction: ``dst = dst (op) src`` elementwise.
+
+    ``dtype`` names the element type the byte ranges are reinterpreted
+    as; ``op`` is one of ``"sum"``, ``"prod"``, ``"max"``, ``"min"``.
+    """
+
+    __slots__ = ("nbytes", "src", "dst", "dtype", "op")
+    kind = "combine"
+
+    _OPS = {
+        "sum": np.add,
+        "prod": np.multiply,
+        "max": np.maximum,
+        "min": np.minimum,
+    }
+
+    def __init__(self, nbytes: int, src: Optional[BufSpec], dst: Optional[BufSpec],
+                 dtype: str = "float64", op: str = "sum"):
+        if op not in self._OPS:
+            raise ScheduleError(f"unknown reduction op {op!r}")
+        self.nbytes = nbytes
+        self.src = src
+        self.dst = dst
+        self.dtype = dtype
+        self.op = op
+
+    def apply(self, src_view: np.ndarray, dst_view: np.ndarray) -> None:
+        """Perform the combine on resolved uint8 views."""
+        a = dst_view.view(self.dtype)
+        b = src_view.view(self.dtype)
+        self._OPS[self.op](a, b, out=a)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"Combine({self.op}, {self.nbytes}B, {self.dtype})"
+
+
+class Schedule:
+    """The per-rank plan of one collective operation.
+
+    Build one with :meth:`round` + the add methods, or via the algorithm
+    builders in :mod:`repro.nbc`.  ``tag_span`` is the number of distinct
+    tag offsets the schedule uses; the executing request reserves that
+    many tags on the communicator.
+    """
+
+    __slots__ = ("rounds", "name", "_open", "uniform_tag_span")
+
+    def __init__(self, name: str = "coll"):
+        self.name = name
+        self.rounds: list[list] = []
+        self._open = False
+        #: rank-independent tag span, set by algorithm builders whose
+        #: per-rank schedules use different numbers of tag offsets
+        #: (e.g. reduce trees: leaves only send once).  All ranks must
+        #: reserve the *same* span per collective or their tag counters
+        #: diverge and later collectives mismatch.
+        self.uniform_tag_span: Optional[int] = None
+
+    # -- construction ---------------------------------------------------
+
+    def round(self) -> "Schedule":
+        """Start a new round (implicit local barrier before it)."""
+        self.rounds.append([])
+        self._open = True
+        return self
+
+    def _append(self, op) -> None:
+        if not self._open:
+            self.round()
+        self.rounds[-1].append(op)
+
+    def send(self, peer: int, nbytes: int, tagoff: int = 0,
+             src: Optional[BufSpec] = None) -> "Schedule":
+        self._append(SendOp(peer, nbytes, tagoff, src))
+        return self
+
+    def recv(self, peer: int, nbytes: int, tagoff: int = 0,
+             dst: Optional[BufSpec] = None) -> "Schedule":
+        self._append(RecvOp(peer, nbytes, tagoff, dst))
+        return self
+
+    def copy(self, nbytes: int, src: Optional[BufSpec] = None,
+             dst: Optional[BufSpec] = None) -> "Schedule":
+        self._append(CopyOp(nbytes, src, dst))
+        return self
+
+    def combine(self, nbytes: int, src: Optional[BufSpec] = None,
+                dst: Optional[BufSpec] = None, dtype: str = "float64",
+                op: str = "sum") -> "Schedule":
+        self._append(CombineOp(nbytes, src, dst, dtype, op))
+        return self
+
+    # -- introspection ----------------------------------------------------
+
+    @property
+    def nrounds(self) -> int:
+        return len(self.rounds)
+
+    @property
+    def tag_span(self) -> int:
+        """Tag offsets to reserve on the communicator.
+
+        Uses :attr:`uniform_tag_span` when the builder provided one;
+        otherwise the local maximum tagoff + 1 (correct whenever the
+        algorithm uses the same offsets on every rank).
+        """
+        if self.uniform_tag_span is not None:
+            return self.uniform_tag_span
+        span = 1
+        for rnd in self.rounds:
+            for op in rnd:
+                if op.kind in ("send", "recv") and op.tagoff + 1 > span:
+                    span = op.tagoff + 1
+        return span
+
+    def count_ops(self, kind: Optional[str] = None) -> int:
+        """Total operations (optionally of one kind) across all rounds."""
+        return sum(
+            1
+            for rnd in self.rounds
+            for op in rnd
+            if kind is None or op.kind == kind
+        )
+
+    def total_send_bytes(self) -> int:
+        """Bytes this rank injects into the network over the whole schedule."""
+        return sum(
+            op.nbytes for rnd in self.rounds for op in rnd if op.kind == "send"
+        )
+
+    def validate(self) -> None:
+        """Sanity-check the schedule structure.
+
+        Raises :class:`ScheduleError` on empty rounds or negative sizes.
+        """
+        for i, rnd in enumerate(self.rounds):
+            if not rnd:
+                raise ScheduleError(f"{self.name}: round {i} is empty")
+            for op in rnd:
+                if op.nbytes < 0:
+                    raise ScheduleError(f"{self.name}: negative size in {op!r}")
+                if op.kind in ("send", "recv") and op.peer < 0:
+                    raise ScheduleError(f"{self.name}: negative peer in {op!r}")
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<Schedule {self.name!r}: {self.nrounds} rounds, "
+            f"{self.count_ops()} ops>"
+        )

@@ -1,0 +1,55 @@
+"""Simulated-machine substrate: DES kernel, network model, simulated MPI.
+
+Public entry points:
+
+* :func:`~repro.sim.platforms.get_platform` — machine presets
+  (``crill``, ``whale``, ``whale_tcp``, ``bluegene_p``),
+* :class:`~repro.sim.mpi.SimWorld` — one simulated MPI job,
+* the syscalls :class:`~repro.sim.process.Compute`,
+  :class:`~repro.sim.process.Progress`, :class:`~repro.sim.process.Wait`
+  used by rank programs.
+"""
+
+from .engine import Event, Simulator
+from .mpi import MPIContext, RunResult, SimComm, SimWorld
+from .netmodel import LinkParams, MachineParams
+from .noise import NoiseModel, NullNoise
+from .platforms import Platform, available_platforms, get_platform, register_platform
+from .process import (
+    Barrier,
+    Compute,
+    Progress,
+    RecvRequest,
+    SendRequest,
+    Wait,
+    Waitable,
+)
+from .topology import Topology
+from .trace import MessageRecord, Tracer
+
+__all__ = [
+    "Barrier",
+    "Compute",
+    "Event",
+    "LinkParams",
+    "MachineParams",
+    "MPIContext",
+    "MessageRecord",
+    "NoiseModel",
+    "NullNoise",
+    "Platform",
+    "Progress",
+    "RecvRequest",
+    "RunResult",
+    "SendRequest",
+    "SimComm",
+    "SimWorld",
+    "Simulator",
+    "Topology",
+    "Tracer",
+    "Wait",
+    "Waitable",
+    "available_platforms",
+    "get_platform",
+    "register_platform",
+]

@@ -1,0 +1,699 @@
+"""Simulated single-threaded MPI over the discrete-event kernel.
+
+This module provides the point-to-point substrate every collective in
+:mod:`repro.nbc` is built on.  It models the properties of a production,
+single-threaded MPI library (the paper used Open MPI 1.6) that matter
+for auto-tuning non-blocking collectives:
+
+* **Eager protocol** for small messages: once posted, the message flows
+  to the receiver without either CPU being involved (NIC/DMA driven).
+* **Rendezvous protocol** for large messages: the receiver's CPU must
+  *notice* the RTS and answer with a CTS, and the sender's CPU must
+  notice the CTS before data moves.  Noticing only happens when a rank
+  enters the MPI library — an explicit progress call, a wait, or any
+  post.  This is the mechanism behind the paper's progress-call results
+  (Figs. 6 and 7).
+* **NIC serialization**: messages leaving/entering a node share its NIC
+  rail(s); concurrent transfers queue up (incast/outcast contention).
+* **Per-request CPU overheads** for posting and progressing, which make
+  algorithms with many requests expensive on slow-CPU platforms.
+
+Ranks are generator *programs* (see :mod:`repro.sim.process`) scheduled
+by :class:`SimWorld`.  Each rank owns a ``busy_until`` clock: CPU costs
+push it forward, and every message post takes effect at the rank's
+current ``busy_until`` so bursts of posts serialize realistically.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional, Sequence
+
+import numpy as np
+
+from ..errors import DeadlockError, MatchingError, SimulationError
+from .engine import Simulator
+from .netmodel import MachineParams
+from .noise import NoiseModel, NullNoise
+from .platforms import Platform
+from .process import (
+    Barrier,
+    Compute,
+    Progress,
+    RecvRequest,
+    SendRequest,
+    Wait,
+    Waitable,
+)
+from .topology import Topology
+
+__all__ = ["SimWorld", "SimComm", "MPIContext", "RunResult", "INCAST_DEPTH_CAP"]
+
+#: maximum receive-queue depth that still worsens an incast collapse;
+#: beyond this the degradation saturates (TCP throughput floors out)
+INCAST_DEPTH_CAP = 50.0
+
+
+# --------------------------------------------------------------------------
+# internal message representation
+# --------------------------------------------------------------------------
+
+
+class _Message:
+    """A point-to-point message in flight (internal)."""
+
+    __slots__ = (
+        "src",
+        "dst",
+        "tag",
+        "comm_id",
+        "nbytes",
+        "data",
+        "eager",
+        "send_req",
+        "recv_req",
+    )
+
+    def __init__(self, src: int, dst: int, tag: int, comm_id: int, nbytes: int,
+                 data: Any, eager: bool, send_req: SendRequest):
+        self.src = src
+        self.dst = dst
+        self.tag = tag
+        self.comm_id = comm_id
+        self.nbytes = nbytes
+        self.data = data
+        self.eager = eager
+        self.send_req = send_req
+        self.recv_req: Optional[RecvRequest] = None
+
+
+class _RankState:
+    """Driver-side state of one simulated MPI process."""
+
+    __slots__ = (
+        "id",
+        "gen",
+        "ctx",
+        "busy_until",
+        "waiting",
+        "pending_cts",
+        "pending_data",
+        "posted",
+        "unexpected",
+        "n_active",
+        "finished",
+        "finish_time",
+        "noise",
+    )
+
+    def __init__(self, rank_id: int, noise: NoiseModel):
+        self.id = rank_id
+        self.gen = None
+        self.ctx: Optional["MPIContext"] = None
+        self.busy_until = 0.0
+        #: tuple of waited-on items while blocked, else None
+        self.waiting: Optional[tuple] = None
+        #: rendezvous RTSs matched to a local recv, awaiting our CTS
+        self.pending_cts: list[_Message] = []
+        #: rendezvous CTSs received, awaiting our data injection
+        self.pending_data: list[_Message] = []
+        #: posted receives: (src, tag, comm_id) -> FIFO list
+        self.posted: dict[tuple[int, int, int], list[RecvRequest]] = {}
+        #: unexpected messages: same key -> FIFO list
+        self.unexpected: dict[tuple[int, int, int], list[_Message]] = {}
+        self.n_active = 0
+        self.finished = False
+        self.finish_time = 0.0
+        self.noise = noise
+
+
+class SimComm:
+    """A communicator: an ordered group of world ranks.
+
+    Collective tag allocation uses a per-local-rank counter; because MPI
+    requires all members to issue collectives on a communicator in the
+    same order, the counters stay synchronized across ranks without any
+    simulated communication — the same trick LibNBC uses.
+    """
+
+    _TAG_BASE = 1 << 16
+
+    def __init__(self, world: "SimWorld", ranks: Sequence[int], comm_id: int):
+        self.world = world
+        self.ranks = tuple(ranks)
+        if len(set(self.ranks)) != len(self.ranks):
+            raise SimulationError("communicator ranks must be distinct")
+        self.comm_id = comm_id
+        self._local_of = {w: i for i, w in enumerate(self.ranks)}
+        self._coll_counter = [0] * len(self.ranks)
+
+    @property
+    def size(self) -> int:
+        return len(self.ranks)
+
+    def world_rank(self, local: int) -> int:
+        """Translate a communicator-local rank to a world rank."""
+        return self.ranks[local]
+
+    def local_rank(self, world_rank: int) -> int:
+        """Translate a world rank to this communicator's local rank."""
+        try:
+            return self._local_of[world_rank]
+        except KeyError:
+            raise MatchingError(
+                f"world rank {world_rank} is not in communicator {self.comm_id}"
+            ) from None
+
+    def next_coll_tag(self, local: int, span: int = 1) -> int:
+        """Reserve ``span`` consecutive tags for one collective invocation.
+
+        All members must call this the same number of times in the same
+        order (the MPI collective-ordering rule).
+        """
+        base = self._coll_counter[local]
+        self._coll_counter[local] = base + span
+        return self._TAG_BASE + base
+
+
+class RunResult:
+    """Outcome of one :meth:`SimWorld.run`."""
+
+    __slots__ = ("finish_times", "events")
+
+    def __init__(self, finish_times: list[float], events: int):
+        self.finish_times = finish_times
+        self.events = events
+
+    @property
+    def makespan(self) -> float:
+        """Virtual time when the last rank finished."""
+        return max(self.finish_times)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<RunResult makespan={self.makespan:.6f}s events={self.events}>"
+
+
+# --------------------------------------------------------------------------
+# per-rank API object
+# --------------------------------------------------------------------------
+
+
+class MPIContext:
+    """The API a rank program uses to talk to the simulated MPI library.
+
+    One context exists per rank; it is handed to the program factory by
+    :meth:`SimWorld.launch`.
+    """
+
+    __slots__ = ("world", "rank", "_st")
+
+    def __init__(self, world: "SimWorld", rank: int, st: _RankState):
+        self.world = world
+        self.rank = rank
+        self._st = st
+
+    # -- introspection ------------------------------------------------
+
+    @property
+    def now(self) -> float:
+        """This rank's own clock (virtual seconds, including CPU debt)."""
+        return max(self._st.busy_until, self.world.sim.now)
+
+    @property
+    def params(self) -> MachineParams:
+        return self.world.params
+
+    @property
+    def topology(self) -> Topology:
+        return self.world.topology
+
+    @property
+    def comm_world(self) -> SimComm:
+        return self.world.comm_world
+
+    @property
+    def nprocs(self) -> int:
+        return self.world.topology.nprocs
+
+    # -- cost accounting ----------------------------------------------
+
+    def charge(self, seconds: float) -> None:
+        """Consume ``seconds`` of this rank's CPU time."""
+        st = self._st
+        st.busy_until = max(st.busy_until, self.world.sim.now) + seconds
+
+    def charge_copy(self, nbytes: int) -> None:
+        """Consume the CPU time of a local memcpy of ``nbytes``."""
+        self.charge(self.world.params.copy_time(nbytes))
+
+    # -- point-to-point ------------------------------------------------
+
+    def isend(
+        self,
+        dest: int,
+        nbytes: Optional[int] = None,
+        tag: int = 0,
+        comm: Optional[SimComm] = None,
+        data: Any = None,
+        notify: Optional[Callable[[Waitable, float], None]] = None,
+    ) -> SendRequest:
+        """Post a non-blocking send to communicator-local rank ``dest``.
+
+        ``data`` optionally attaches a real payload (ndarrays are
+        snapshotted at post time, matching MPI buffer semantics for the
+        simulated program, which may reuse its buffer).  ``nbytes``
+        defaults to the payload size.
+        """
+        comm = comm or self.world.comm_world
+        if nbytes is None:
+            if data is None:
+                raise SimulationError("isend needs nbytes or data")
+            nbytes = data.nbytes if isinstance(data, np.ndarray) else len(data)
+        if isinstance(data, np.ndarray):
+            data = data.copy()
+        wdst = comm.world_rank(dest)
+        return self.world._post_isend(self._st, wdst, tag, comm.comm_id,
+                                      int(nbytes), data, notify)
+
+    def irecv(
+        self,
+        source: int,
+        nbytes: int = 0,
+        tag: int = 0,
+        comm: Optional[SimComm] = None,
+        notify: Optional[Callable[[Waitable, float], None]] = None,
+    ) -> RecvRequest:
+        """Post a non-blocking receive from communicator-local ``source``."""
+        comm = comm or self.world.comm_world
+        wsrc = comm.world_rank(source)
+        return self.world._post_irecv(self._st, wsrc, tag, comm.comm_id,
+                                      int(nbytes), notify)
+
+
+# --------------------------------------------------------------------------
+# the world
+# --------------------------------------------------------------------------
+
+
+class SimWorld:
+    """A simulated machine running one MPI job.
+
+    Parameters
+    ----------
+    platform:
+        A :class:`~repro.sim.platforms.Platform` preset.
+    nprocs:
+        Number of MPI ranks to simulate.
+    noise:
+        Optional :class:`~repro.sim.noise.NoiseModel`; default is
+        perfectly deterministic.
+    placement:
+        Rank placement policy (``"block"`` or ``"cyclic"``).
+    """
+
+    def __init__(
+        self,
+        platform: Platform,
+        nprocs: int,
+        noise: Optional[NoiseModel] = None,
+        placement: str = "block",
+    ):
+        self.platform = platform
+        self.params = platform.params
+        self.topology = platform.topology(nprocs, placement=placement)
+        self.sim = Simulator()
+        base_noise = noise if noise is not None else NullNoise()
+        #: network-side noise stream (shared, deterministic draw order);
+        #: jitter only — heavy-tail OS outliers apply to compute, not links
+        self._net_noise = base_noise.jitter_only(0xBEEF)
+        self._ranks = [
+            _RankState(r, base_noise.spawn(r + 1)) for r in range(nprocs)
+        ]
+        for st in self._ranks:
+            st.ctx = MPIContext(self, st.id, st)
+        self._n_unfinished = 0
+        self._comm_counter = 0
+        self.comm_world = self.make_comm(range(nprocs))
+        nodes = self.topology.nnodes
+        rails = self.params.nic_rails
+        #: per-node transmit/receive rail availability times
+        self._tx_free = [[0.0] * rails for _ in range(nodes)]
+        self._rx_free = [[0.0] * rails for _ in range(nodes)]
+        #: per-node shared-memory channel availability times
+        self._mem_free = [
+            [0.0] * self.params.intra_rails for _ in range(nodes)
+        ]
+        #: hard-barrier rendezvous state: arrived ranks and latest arrival
+        self._barrier_waiting: list[int] = []
+        self._barrier_time = 0.0
+        self._launched = False
+
+    # ------------------------------------------------------------------
+
+    def make_comm(self, ranks: Iterable[int]) -> SimComm:
+        """Create a communicator over the given world ranks."""
+        self._comm_counter += 1
+        return SimComm(self, list(ranks), self._comm_counter)
+
+    def context(self, rank: int) -> MPIContext:
+        """The :class:`MPIContext` of a rank (mainly for tests)."""
+        return self._ranks[rank].ctx
+
+    def launch(self, program_factory: Callable[[MPIContext], Any]) -> None:
+        """Instantiate one program per rank and schedule their start.
+
+        ``program_factory(ctx)`` must return a generator (the rank
+        program).  All ranks start at virtual time 0.
+        """
+        if self._launched:
+            raise SimulationError("SimWorld.launch() may only be called once")
+        self._launched = True
+        for st in self._ranks:
+            st.gen = program_factory(st.ctx)
+            self._n_unfinished += 1
+            self.sim.at(0.0, self._resume, st.id, None)
+
+    def run(self) -> RunResult:
+        """Run the job to completion and return per-rank finish times.
+
+        Raises :class:`DeadlockError` if the event queue drains while
+        ranks are still blocked.
+        """
+        if not self._launched:
+            raise SimulationError("call launch() before run()")
+        self.sim.run(stop_when=lambda: self._n_unfinished == 0)
+        if self._n_unfinished:
+            blocked = [st.id for st in self._ranks if not st.finished]
+            raise DeadlockError(
+                f"simulation stalled with {len(blocked)} unfinished rank(s): "
+                f"{blocked[:16]}{'...' if len(blocked) > 16 else ''}"
+            )
+        return RunResult(
+            [st.finish_time for st in self._ranks], self.sim.events_dispatched
+        )
+
+    # ------------------------------------------------------------------
+    # generator driving
+    # ------------------------------------------------------------------
+
+    def _resume(self, rank_id: int, value: Any) -> None:
+        st = self._ranks[rank_id]
+        st.busy_until = max(st.busy_until, self.sim.now)
+        try:
+            syscall = st.gen.send(value)
+        except StopIteration:
+            st.finished = True
+            st.finish_time = st.busy_until
+            self._n_unfinished -= 1
+            return
+        self._handle_syscall(st, syscall)
+
+    def _handle_syscall(self, st: _RankState, sc: Any) -> None:
+        if type(sc) is Compute:
+            dur = st.noise.perturb(sc.seconds)
+            st.busy_until += dur
+            self.sim.at(st.busy_until, self._resume, st.id, None)
+        elif type(sc) is Progress:
+            self._mpi_entry(st)
+            st.ctx.charge(self.params.progress_cost(st.n_active))
+            for h in sc.handles:
+                h.progress(st.ctx)
+            self.sim.at(st.busy_until, self._resume, st.id, None)
+        elif type(sc) is Wait:
+            self._mpi_entry(st)
+            st.waiting = sc.items
+            self._wait_try(st)
+        elif type(sc) is Barrier:
+            self._mpi_entry(st)
+            self._barrier_waiting.append(st.id)
+            self._barrier_time = max(self._barrier_time, st.busy_until)
+            if len(self._barrier_waiting) == len(self._ranks):
+                when = self._barrier_time
+                waiting, self._barrier_waiting = self._barrier_waiting, []
+                self._barrier_time = 0.0
+                for rid in waiting:
+                    self._ranks[rid].busy_until = when
+                    self.sim.at(when, self._resume, rid, None)
+        else:
+            raise SimulationError(f"rank {st.id} yielded unknown syscall {sc!r}")
+
+    def _wait_try(self, st: _RankState) -> None:
+        """Re-evaluate a blocked rank's wait condition (spin semantics)."""
+        items = st.waiting
+        if items is None:
+            return
+        ctx = st.ctx
+        for item in items:
+            if not item.done:
+                item.progress(ctx)
+        for item in items:
+            if not item.done:
+                return  # still blocked; a future event will retry
+        st.waiting = None
+        ctx.charge(self.params.progress_cost(st.n_active))
+        self.sim.at(st.busy_until, self._resume, st.id, None)
+
+    # ------------------------------------------------------------------
+    # MPI entry (single-threaded progress semantics)
+    # ------------------------------------------------------------------
+
+    def _mpi_entry(self, st: _RankState) -> None:
+        """Process protocol actions that need this rank's CPU.
+
+        Called whenever the rank is inside the MPI library: progress
+        calls, waits (incl. every spin retry), and posts.
+        """
+        params = self.params
+        if st.pending_cts:
+            msgs, st.pending_cts = st.pending_cts, []
+            for msg in msgs:
+                # sending a CTS control message costs one post overhead
+                st.ctx.charge(params.o_send)
+                link = params.link(self.topology.same_node(msg.src, msg.dst))
+                self.sim.at(
+                    max(st.busy_until + link.alpha, self.sim.now),
+                    self._on_cts_arrival, msg,
+                )
+        if st.pending_data:
+            msgs, st.pending_data = st.pending_data, []
+            for msg in msgs:
+                self._start_data_transfer(st, msg)
+
+    # ------------------------------------------------------------------
+    # posting
+    # ------------------------------------------------------------------
+
+    def _post_isend(
+        self,
+        st: _RankState,
+        wdst: int,
+        tag: int,
+        comm_id: int,
+        nbytes: int,
+        data: Any,
+        notify: Optional[Callable],
+    ) -> SendRequest:
+        params = self.params
+        self._mpi_entry(st)  # any MPI call drives pending protocol actions
+        st.ctx.charge(params.o_send)
+        req = SendRequest(wdst, tag, nbytes, st.busy_until)
+        req._notify = notify  # type: ignore[attr-defined]
+        same_node = self.topology.same_node(st.id, wdst)
+        link = params.link(same_node)
+        eager = nbytes <= link.eager_threshold
+        msg = _Message(st.id, wdst, tag, comm_id, nbytes, data, eager, req)
+        if eager:
+            # the library copies the payload into an internal buffer,
+            # then the NIC drains it without further CPU help
+            st.ctx.charge(params.copy_time(nbytes))
+            self._inject(msg, st.busy_until, same_node)
+            req.done = True
+            req.complete_time = st.busy_until
+            if notify is not None:
+                notify(req, st.busy_until)
+        else:
+            st.n_active += 1
+            # RTS control message: latency only
+            self.sim.at(
+                max(st.busy_until + link.alpha, self.sim.now),
+                self._on_rts_arrival, msg,
+            )
+        return req
+
+    def _post_irecv(
+        self,
+        st: _RankState,
+        wsrc: int,
+        tag: int,
+        comm_id: int,
+        nbytes: int,
+        notify: Optional[Callable],
+    ) -> RecvRequest:
+        params = self.params
+        self._mpi_entry(st)
+        st.ctx.charge(params.o_recv)
+        req = RecvRequest(wsrc, tag, nbytes, st.busy_until)
+        req._notify = notify  # type: ignore[attr-defined]
+        key = (wsrc, tag, comm_id)
+        queue = st.unexpected.get(key)
+        if queue:
+            msg = queue.pop(0)
+            if not queue:
+                del st.unexpected[key]
+            if msg.eager:
+                # late match: pay the unpack copy out of the eager buffer
+                st.ctx.charge(params.copy_time(msg.nbytes))
+                req.data = msg.data
+                req.done = True
+                req.complete_time = st.busy_until
+                if notify is not None:
+                    notify(req, st.busy_until)
+            else:
+                # unexpected RTS: answer with CTS at this (in-MPI) moment
+                msg.recv_req = req
+                st.n_active += 1
+                st.pending_cts.append(msg)
+                self._mpi_entry(st)
+        else:
+            st.n_active += 1
+            st.posted.setdefault(key, []).append(req)
+        return req
+
+    # ------------------------------------------------------------------
+    # network events
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _pair_hash(src: int, dst: int) -> int:
+        """Deterministic well-mixed hash of a (src, dst) pair.
+
+        Used to spread communication pairs over NIC rails / memory
+        channels while keeping per-pair ordering (a pair always maps to
+        the same rail).  The multiply-xor-shift mixing avoids the
+        stride-pattern degeneracies a simple linear hash has (e.g. all
+        distance-1 pairs landing on one rail).
+        """
+        h = (src * 0x9E3779B1 + dst * 0x85EBCA77) & 0xFFFFFFFF
+        h ^= h >> 13
+        h = (h * 0xC2B2AE35) & 0xFFFFFFFF
+        return h >> 16
+
+    def _rail_of(self, src: int, dst: int) -> int:
+        """Deterministic NIC rail choice preserving per-pair message order."""
+        rails = self.params.nic_rails
+        if rails == 1:
+            return 0
+        return self._pair_hash(src, dst) % rails
+
+    def _inject(self, msg: _Message, t_post: float, same_node: bool) -> None:
+        """Put an (eager or rendezvous-data) message on the wire."""
+        params = self.params
+        link = params.link(same_node)
+        ser = self._net_noise.perturb(link.serialization_time(msg.nbytes))
+        if same_node:
+            # intra-node transfers share the node's memory channels;
+            # flooding them (many concurrent large copies) additionally
+            # degrades each transfer (sm-BTL FIFO / cache contention)
+            mem = self._mem_free[self.topology.node_of(msg.src)]
+            rail = self._pair_hash(msg.src, msg.dst) % len(mem)
+            start = max(t_post, mem[rail])
+            if params.intra_contention > 0.0 and ser > 0.0:
+                depth = (start - t_post) / ser
+                ser *= 1.0 + params.intra_contention * min(depth, INCAST_DEPTH_CAP)
+            mem[rail] = start + ser
+            arrival = start + link.alpha + ser
+            self.sim.at(max(arrival, self.sim.now), self._deliver, msg)
+            if not msg.eager:
+                self.sim.at(max(start + ser, self.sim.now),
+                            self._on_send_complete, msg)
+            return
+        rail = self._rail_of(msg.src, msg.dst)
+        tx = self._tx_free[self.topology.node_of(msg.src)]
+        start = max(t_post, tx[rail])
+        tx[rail] = start + ser
+        if not msg.eager:
+            self.sim.at(max(start + ser, self.sim.now),
+                        self._on_send_complete, msg)
+        arrival = start + link.alpha + ser
+        # receive-side rail contention (incast): the message occupies the
+        # destination rail for its serialization time before delivery;
+        # on lossy fabrics a deep receive backlog additionally degrades
+        # throughput (incast collapse): the drain slows by a factor
+        # proportional to the queue depth, capped so the model stays
+        # bounded (real TCP throughput collapses to a floor, not to 0)
+        rx = self._rx_free[self.topology.node_of(msg.dst)]
+        start_rx = max(arrival - ser, rx[rail])
+        if params.incast_penalty > 0.0 and ser > 0.0:
+            depth = (start_rx - (arrival - ser)) / ser
+            ser *= 1.0 + params.incast_penalty * min(depth, INCAST_DEPTH_CAP)
+        delivery = start_rx + ser
+        rx[rail] = delivery
+        self.sim.at(max(delivery, self.sim.now), self._deliver, msg)
+
+    def _on_send_complete(self, msg: _Message) -> None:
+        """Rendezvous data fully injected: the send buffer is reusable."""
+        st = self._ranks[msg.src]
+        req = msg.send_req
+        req.done = True
+        req.complete_time = self.sim.now
+        st.n_active -= 1
+        notify = getattr(req, "_notify", None)
+        if notify is not None:
+            notify(req, self.sim.now)
+        if st.waiting is not None:
+            self._wait_try(st)
+
+    def _on_rts_arrival(self, msg: _Message) -> None:
+        st = self._ranks[msg.dst]
+        key = (msg.src, msg.tag, msg.comm_id)
+        queue = st.posted.get(key)
+        if queue:
+            req = queue.pop(0)
+            if not queue:
+                del st.posted[key]
+            msg.recv_req = req
+            st.pending_cts.append(msg)
+            if st.waiting is not None:
+                # blocked in wait == spinning inside MPI: react now
+                self._mpi_entry(st)
+        else:
+            st.unexpected.setdefault(key, []).append(msg)
+
+    def _on_cts_arrival(self, msg: _Message) -> None:
+        st = self._ranks[msg.src]
+        st.pending_data.append(msg)
+        if st.waiting is not None:
+            self._mpi_entry(st)
+
+    def _start_data_transfer(self, st: _RankState, msg: _Message) -> None:
+        """Sender CPU noticed the CTS: move the payload."""
+        self._inject(msg, max(st.busy_until, self.sim.now),
+                     self.topology.same_node(msg.src, msg.dst))
+
+    def _deliver(self, msg: _Message) -> None:
+        st = self._ranks[msg.dst]
+        t = self.sim.now
+        if msg.recv_req is not None:
+            self._complete_recv(st, msg.recv_req, msg, t)
+            return
+        # eager message: match against posted receives or park it
+        key = (msg.src, msg.tag, msg.comm_id)
+        queue = st.posted.get(key)
+        if queue:
+            req = queue.pop(0)
+            if not queue:
+                del st.posted[key]
+            self._complete_recv(st, req, msg, t)
+        else:
+            st.unexpected.setdefault(key, []).append(msg)
+
+    def _complete_recv(self, st: _RankState, req: RecvRequest,
+                       msg: _Message, t: float) -> None:
+        req.data = msg.data
+        req.done = True
+        req.complete_time = t
+        st.n_active -= 1
+        notify = getattr(req, "_notify", None)
+        if notify is not None:
+            notify(req, t)
+        if st.waiting is not None:
+            self._wait_try(st)

@@ -1,0 +1,135 @@
+"""Network and host cost model.
+
+The model follows the spirit of LogGP [Culler et al.]:
+
+* ``alpha`` — end-to-end latency of a message (seconds),
+* ``beta`` — sustained bandwidth of a link (bytes/second),
+* ``o_send`` / ``o_recv`` — CPU overhead of posting a send/receive,
+* ``copy_bw`` — memcpy bandwidth used for packing, unpacking and the
+  eager-protocol buffer copy,
+* ``progress_base`` / ``progress_per_req`` — cost of one entry into the
+  (single-threaded) progress engine and of scanning one active request.
+
+Two link classes exist: **inter-node** (the actual interconnect: IB,
+GigE, torus) and **intra-node** (shared memory).  Messages above the
+link's *eager threshold* use the rendezvous protocol, which requires the
+receiver's CPU to notice the RTS and the sender's CPU to notice the CTS
+— the mechanism through which the number of progress calls affects
+overlap (paper §III-C and Fig. 6/7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..errors import SimulationError
+
+__all__ = ["LinkParams", "MachineParams"]
+
+
+@dataclass(frozen=True)
+class LinkParams:
+    """One link class (inter-node interconnect or intra-node shared memory)."""
+
+    #: end-to-end latency in seconds
+    alpha: float
+    #: sustained bandwidth in bytes/second
+    beta: float
+    #: messages strictly larger than this use the rendezvous protocol
+    eager_threshold: int
+    #: per-message NIC/link occupancy floor (seconds): doorbell + header
+    #: processing on IB, per-packet kernel work on TCP.  This is what
+    #: makes many small messages slower than one aggregated message and
+    #: hence what lets the dissemination all-to-all beat the linear one
+    #: for small blocks (paper Figs. 4/5).
+    per_msg: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.alpha < 0 or self.beta <= 0:
+            raise SimulationError("link needs alpha >= 0 and beta > 0")
+        if self.eager_threshold < 0:
+            raise SimulationError("eager_threshold must be >= 0")
+        if self.per_msg < 0:
+            raise SimulationError("per_msg must be >= 0")
+
+    def serialization_time(self, nbytes: int) -> float:
+        """Time the message occupies the link/NIC."""
+        return self.per_msg + nbytes / self.beta
+
+    def transfer_time(self, nbytes: int) -> float:
+        """Unloaded end-to-end transfer time."""
+        return self.alpha + self.serialization_time(nbytes)
+
+
+@dataclass(frozen=True)
+class MachineParams:
+    """All host + network parameters of a simulated platform."""
+
+    name: str
+    inter: LinkParams
+    intra: LinkParams
+    #: independent NIC rails per node (crill has two IB HCAs)
+    nic_rails: int = 1
+    #: CPU overhead of posting one send (seconds)
+    o_send: float = 1.0e-6
+    #: CPU overhead of posting one receive (seconds)
+    o_recv: float = 1.0e-6
+    #: memcpy bandwidth for pack/unpack/eager copies (bytes/second)
+    copy_bw: float = 4.0e9
+    #: fixed cost of one progress-engine entry (seconds)
+    progress_base: float = 0.5e-6
+    #: additional progress cost per active request scanned (seconds)
+    progress_per_req: float = 0.05e-6
+    #: relative CPU speed (1.0 = commodity x86; BlueGene/P cores are slower)
+    cpu_speed: float = 1.0
+    #: incast-collapse factor: fractional slowdown of a delivery per unit
+    #: of receive-queue depth (capped at :data:`INCAST_DEPTH_CAP` inside
+    #: the simulator).  Lossless fabrics (InfiniBand, torus) take 0; TCP
+    #: over Ethernet degrades when many flows target one node (packet
+    #: loss + retransmission timeouts), which is what ruins the linear
+    #: all-to-all on whale-tcp in Fig. 3 of the paper.
+    incast_penalty: float = 0.0
+    #: parallel shared-memory channels per node: intra-node transfers
+    #: serialize through these, so a node's aggregate copy throughput is
+    #: ``intra_rails * intra.beta`` (two sockets' worth of memory
+    #: controllers, not one stream per core pair)
+    intra_rails: int = 4
+    #: contention factor for the shared-memory channels, analogous to
+    #: ``incast_penalty``: flooding a node's sm-BTL FIFOs with dozens of
+    #: concurrent large transfers degrades each of them (lock and cache
+    #: contention).  This is what lets the pairwise exchange beat the
+    #: linear algorithm when only one progress call is available
+    #: (paper Fig. 7): pairwise paces itself one transfer per rank.
+    intra_contention: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.nic_rails < 1:
+            raise SimulationError("nic_rails must be >= 1")
+        if min(self.o_send, self.o_recv, self.progress_base, self.progress_per_req) < 0:
+            raise SimulationError("overheads must be >= 0")
+        if self.copy_bw <= 0 or self.cpu_speed <= 0:
+            raise SimulationError("copy_bw and cpu_speed must be positive")
+        if self.incast_penalty < 0:
+            raise SimulationError("incast_penalty must be >= 0")
+        if self.intra_rails < 1:
+            raise SimulationError("intra_rails must be >= 1")
+        if self.intra_contention < 0:
+            raise SimulationError("intra_contention must be >= 0")
+
+    # ------------------------------------------------------------------
+
+    def link(self, same_node: bool) -> LinkParams:
+        """Link class for a message between two ranks."""
+        return self.intra if same_node else self.inter
+
+    def copy_time(self, nbytes: int) -> float:
+        """CPU time for a memcpy of ``nbytes`` (pack/unpack, eager copy)."""
+        return nbytes / self.copy_bw
+
+    def progress_cost(self, active_requests: int) -> float:
+        """CPU time for one progress-engine entry."""
+        return self.progress_base + self.progress_per_req * active_requests
+
+    def scaled(self, **overrides) -> "MachineParams":
+        """Return a copy with some parameters overridden (for ablations)."""
+        return replace(self, **overrides)

@@ -1,0 +1,106 @@
+"""Stochastic noise model for simulated durations.
+
+The paper's measurements are taken on real clusters where operating-system
+jitter and interference from other jobs perturb every timing; ADCL's
+statistical filtering and the occasional "suboptimal decision" (§IV-A)
+only exist because of that noise.  This module reproduces it with a
+seeded, reproducible model:
+
+* **Gaussian jitter** — every duration is multiplied by
+  ``1 + N(0, sigma)`` (truncated so durations stay positive).
+* **Heavy-tail outliers** — with probability ``outlier_prob`` a duration
+  is additionally multiplied by a factor drawn uniformly from
+  ``[outlier_lo, outlier_hi]``, modelling an OS daemon or page fault
+  stealing the core mid-measurement.
+
+A ``sigma`` of 0 and ``outlier_prob`` of 0 gives a perfectly
+deterministic simulation, which the unit tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["NoiseModel", "NullNoise"]
+
+
+@dataclass
+class NoiseModel:
+    """Seeded multiplicative-noise generator.
+
+    Parameters
+    ----------
+    sigma:
+        Relative standard deviation of the Gaussian jitter.
+    outlier_prob:
+        Per-sample probability of a heavy-tail outlier.
+    outlier_lo, outlier_hi:
+        Uniform range of the outlier multiplier.
+    seed:
+        Seed for the underlying :class:`numpy.random.Generator`.
+    """
+
+    sigma: float = 0.0
+    outlier_prob: float = 0.0
+    outlier_lo: float = 2.0
+    outlier_hi: float = 8.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be >= 0")
+        if not 0.0 <= self.outlier_prob <= 1.0:
+            raise ValueError("outlier_prob must be in [0, 1]")
+        if self.outlier_lo > self.outlier_hi:
+            raise ValueError("outlier_lo must be <= outlier_hi")
+        self._rng = np.random.default_rng(self.seed)
+
+    @property
+    def deterministic(self) -> bool:
+        """True when this model never perturbs a duration."""
+        return self.sigma == 0.0 and self.outlier_prob == 0.0
+
+    def perturb(self, duration: float) -> float:
+        """Return ``duration`` with jitter (and possibly an outlier) applied.
+
+        Negative results are clamped at 10% of the nominal duration so a
+        wild jitter draw can never produce a non-positive time.
+        """
+        if duration <= 0.0 or self.deterministic:
+            return duration
+        factor = 1.0
+        if self.sigma > 0.0:
+            factor += self._rng.normal(0.0, self.sigma)
+        if self.outlier_prob > 0.0 and self._rng.random() < self.outlier_prob:
+            factor *= self._rng.uniform(self.outlier_lo, self.outlier_hi)
+        return duration * max(factor, 0.1)
+
+    def spawn(self, offset: int) -> "NoiseModel":
+        """Derive an independent stream (e.g. one per rank)."""
+        return NoiseModel(
+            sigma=self.sigma,
+            outlier_prob=self.outlier_prob,
+            outlier_lo=self.outlier_lo,
+            outlier_hi=self.outlier_hi,
+            seed=self.seed * 1_000_003 + offset,
+        )
+
+    def jitter_only(self, offset: int) -> "NoiseModel":
+        """Derive a stream with the Gaussian jitter but no outliers.
+
+        Used for network-side perturbation: OS interference (the
+        heavy-tail component) steals *CPU* time; link serialization
+        only sees small physical jitter.
+        """
+        return NoiseModel(
+            sigma=self.sigma,
+            outlier_prob=0.0,
+            seed=self.seed * 1_000_003 + offset,
+        )
+
+
+def NullNoise() -> NoiseModel:
+    """A noise model that leaves every duration untouched."""
+    return NoiseModel(sigma=0.0, outlier_prob=0.0)

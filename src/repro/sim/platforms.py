@@ -1,0 +1,200 @@
+"""Simulated platform presets.
+
+One preset per machine used in the paper's evaluation (§IV):
+
+* ``crill``      — 16 nodes x 48 AMD Magny-Cours cores, two 4x DDR
+  InfiniBand HCAs per node,
+* ``whale``      — 64 nodes x 8 AMD Barcelona cores, one DDR IB HCA,
+* ``whale_tcp``  — the whale cluster over its Gigabit-Ethernet network,
+* ``bluegene_p`` — the KAUST IBM BlueGene/P (slow cores, torus links).
+
+The absolute constants are calibrated from public microbenchmark numbers
+for those interconnect generations (DDR IB ~1.9 GB/s and ~2-4 us latency;
+GigE ~112 MB/s and ~50 us latency with a heavyweight TCP stack; BG/P
+~425 MB/s torus links and 850 MHz cores).  The reproduction targets the
+*shape* of the paper's results, which depends on the ratios between
+latency, bandwidth, CPU overheads and the eager threshold rather than on
+the exact values.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict
+
+from ..errors import SimulationError
+from ..units import KiB
+from .netmodel import LinkParams, MachineParams
+from .topology import Topology
+
+__all__ = ["Platform", "get_platform", "available_platforms", "register_platform"]
+
+
+@dataclass(frozen=True)
+class Platform:
+    """A machine preset: cost model + cluster dimensions."""
+
+    params: MachineParams
+    nnodes: int
+    cores_per_node: int
+    description: str = ""
+
+    @property
+    def name(self) -> str:
+        return self.params.name
+
+    @property
+    def max_procs(self) -> int:
+        return self.nnodes * self.cores_per_node
+
+    def topology(self, nprocs: int, placement: str = "block") -> Topology:
+        """Build a rank placement for ``nprocs`` processes."""
+        return Topology(
+            nprocs=nprocs,
+            cores_per_node=self.cores_per_node,
+            nnodes=self.nnodes,
+            placement=placement,
+        )
+
+
+def _crill() -> Platform:
+    params = MachineParams(
+        name="crill",
+        # per_msg: the 2008-era DDR HCAs are message-rate limited
+        # (~0.5M msg/s) and shared by 48 cores, so small-message floods
+        # are expensive -- the effect behind Fig. 4's dissemination win
+        inter=LinkParams(alpha=3.0e-6, beta=1.9e9, eager_threshold=12 * KiB,
+                         per_msg=2.0e-6),
+        intra=LinkParams(alpha=0.6e-6, beta=3.2e9, eager_threshold=4 * KiB,
+                         per_msg=0.15e-6),
+        nic_rails=2,
+        o_send=0.9e-6,
+        o_recv=0.9e-6,
+        copy_bw=3.5e9,
+        progress_base=0.4e-6,
+        progress_per_req=0.04e-6,
+        cpu_speed=1.0,
+        intra_rails=6,
+        intra_contention=0.04,
+    )
+    return Platform(
+        params=params,
+        nnodes=16,
+        cores_per_node=48,
+        description="16 nodes x 48 AMD Magny-Cours cores, dual 4x DDR InfiniBand",
+    )
+
+
+def _whale() -> Platform:
+    params = MachineParams(
+        name="whale",
+        inter=LinkParams(alpha=4.0e-6, beta=1.4e9, eager_threshold=12 * KiB,
+                         per_msg=0.3e-6),
+        intra=LinkParams(alpha=0.8e-6, beta=2.0e9, eager_threshold=4 * KiB,
+                         per_msg=0.2e-6),
+        nic_rails=1,
+        o_send=0.8e-6,
+        o_recv=0.8e-6,
+        copy_bw=6.0e9,
+        progress_base=0.5e-6,
+        progress_per_req=0.05e-6,
+        cpu_speed=1.0,
+        intra_rails=4,
+        intra_contention=0.02,
+    )
+    return Platform(
+        params=params,
+        nnodes=64,
+        cores_per_node=8,
+        description="64 nodes x 8 AMD Barcelona cores, single DDR InfiniBand",
+    )
+
+
+def _whale_tcp() -> Platform:
+    # Same machine as whale, but over GigE/TCP: two orders of magnitude
+    # less bandwidth, 10x the latency, and a much heavier per-message CPU
+    # cost (kernel TCP stack), which is what makes the linear all-to-all
+    # collapse on this network (Fig. 3).
+    params = MachineParams(
+        name="whale_tcp",
+        inter=LinkParams(alpha=45.0e-6, beta=0.112e9, eager_threshold=64 * KiB,
+                         per_msg=6.0e-6),
+        intra=LinkParams(alpha=0.8e-6, beta=2.0e9, eager_threshold=4 * KiB,
+                         per_msg=0.2e-6),
+        nic_rails=1,
+        o_send=8.0e-6,
+        o_recv=8.0e-6,
+        copy_bw=2.5e9,
+        progress_base=1.5e-6,
+        progress_per_req=0.15e-6,
+        cpu_speed=1.0,
+        incast_penalty=0.08,
+        intra_rails=4,
+        intra_contention=0.02,
+    )
+    return Platform(
+        params=params,
+        nnodes=64,
+        cores_per_node=8,
+        description="whale over Gigabit Ethernet (TCP byte-transfer layer)",
+    )
+
+
+def _bluegene_p() -> Platform:
+    # BlueGene/P: modest per-link bandwidth, low latency, but slow
+    # (850 MHz) cores -> posting/progress overheads dominate more.
+    params = MachineParams(
+        name="bluegene_p",
+        inter=LinkParams(alpha=3.5e-6, beta=0.425e9, eager_threshold=1200,
+                         per_msg=1.5e-6),
+        intra=LinkParams(alpha=1.0e-6, beta=1.0e9, eager_threshold=4 * KiB,
+                         per_msg=0.4e-6),
+        nic_rails=1,
+        o_send=3.0e-6,
+        o_recv=3.0e-6,
+        copy_bw=1.3e9,
+        progress_base=1.2e-6,
+        progress_per_req=0.12e-6,
+        cpu_speed=0.35,
+        intra_rails=2,
+        intra_contention=0.02,
+    )
+    return Platform(
+        params=params,
+        nnodes=1024,
+        cores_per_node=4,
+        description="IBM BlueGene/P (KAUST): slow cores, 3-D torus links",
+    )
+
+
+_REGISTRY: Dict[str, Callable[[], Platform]] = {
+    "crill": _crill,
+    "whale": _whale,
+    "whale_tcp": _whale_tcp,
+    "bluegene_p": _bluegene_p,
+}
+
+
+def available_platforms() -> list[str]:
+    """Names of all registered platform presets."""
+    return sorted(_REGISTRY)
+
+
+def register_platform(name: str, factory: Callable[[], Platform]) -> None:
+    """Register a custom platform preset (used by tests and ablations)."""
+    _REGISTRY[name] = factory
+
+
+def get_platform(name: str) -> Platform:
+    """Look up a platform preset by name.
+
+    Raises :class:`SimulationError` for unknown names, listing the
+    available presets.
+    """
+    try:
+        factory = _REGISTRY[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown platform {name!r}; available: {', '.join(available_platforms())}"
+        ) from None
+    return factory()

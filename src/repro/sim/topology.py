@@ -1,0 +1,83 @@
+"""Cluster topology: nodes, cores, and rank placement.
+
+A :class:`Topology` answers one question for the network model: *which
+node does rank r live on?* — which decides whether a message crosses the
+network or stays in shared memory, and which NIC resource it occupies.
+
+Two placement policies are provided, matching the common MPI launcher
+options used on the paper's clusters:
+
+* ``block`` (a.k.a. ``--map-by core``): ranks fill a node before
+  spilling to the next one.
+* ``cyclic`` (a.k.a. ``--map-by node``): ranks round-robin across nodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import SimulationError
+
+__all__ = ["Topology"]
+
+
+@dataclass(frozen=True)
+class Topology:
+    """Placement of ``nprocs`` MPI ranks on a cluster.
+
+    Parameters
+    ----------
+    nprocs:
+        Number of MPI processes.
+    cores_per_node:
+        Hardware cores per node; at most this many ranks share a node.
+    nnodes:
+        Number of nodes available; ``nprocs`` may not exceed
+        ``nnodes * cores_per_node``.
+    placement:
+        ``"block"`` or ``"cyclic"``.
+    """
+
+    nprocs: int
+    cores_per_node: int
+    nnodes: int
+    placement: str = "block"
+    _node_of: tuple[int, ...] = field(init=False, repr=False, compare=False, default=())
+
+    def __post_init__(self) -> None:
+        if self.nprocs <= 0:
+            raise SimulationError(f"nprocs must be positive, got {self.nprocs}")
+        if self.cores_per_node <= 0 or self.nnodes <= 0:
+            raise SimulationError("cores_per_node and nnodes must be positive")
+        if self.nprocs > self.cores_per_node * self.nnodes:
+            raise SimulationError(
+                f"{self.nprocs} ranks do not fit on {self.nnodes} nodes "
+                f"x {self.cores_per_node} cores"
+            )
+        if self.placement not in ("block", "cyclic"):
+            raise SimulationError(f"unknown placement {self.placement!r}")
+        if self.placement == "block":
+            node_of = tuple(r // self.cores_per_node for r in range(self.nprocs))
+        else:
+            # Round-robin over the nodes actually needed, mirroring
+            # "--map-by node" with a capped node pool.
+            nodes_used = min(self.nnodes, self.nprocs)
+            node_of = tuple(r % nodes_used for r in range(self.nprocs))
+        object.__setattr__(self, "_node_of", node_of)
+
+    def node_of(self, rank: int) -> int:
+        """Node index hosting ``rank``."""
+        return self._node_of[rank]
+
+    def same_node(self, a: int, b: int) -> bool:
+        """True when ranks ``a`` and ``b`` share a node (shared memory)."""
+        return self._node_of[a] == self._node_of[b]
+
+    @property
+    def nodes_used(self) -> int:
+        """Number of distinct nodes occupied by the job."""
+        return len(set(self._node_of))
+
+    def ranks_on_node(self, node: int) -> list[int]:
+        """All ranks placed on ``node`` (ascending)."""
+        return [r for r, n in enumerate(self._node_of) if n == node]

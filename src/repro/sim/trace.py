@@ -1,0 +1,120 @@
+"""Communication tracing and statistics.
+
+A :class:`Tracer` attaches to a :class:`~repro.sim.mpi.SimWorld` and
+records every point-to-point message the simulated job moves: sizes,
+protocol (eager/rendezvous), intra- vs inter-node, and per-rank byte
+counters.  It is the observability layer used to sanity-check algorithm
+implementations (e.g. "the Bruck all-to-all really moves
+``~log2(P)/2`` times the linear volume") and to debug schedules.
+
+Attachment is non-invasive — the tracer wraps ``SimWorld._post_isend``
+— so production runs pay nothing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .mpi import SimWorld
+
+__all__ = ["MessageRecord", "Tracer"]
+
+
+@dataclass(frozen=True)
+class MessageRecord:
+    """One posted message."""
+
+    time: float
+    src: int
+    dst: int
+    tag: int
+    comm_id: int
+    nbytes: int
+    eager: bool
+    intra_node: bool
+
+
+@dataclass
+class Tracer:
+    """Message statistics collector for one world."""
+
+    world: SimWorld
+    keep_records: bool = False
+    records: list[MessageRecord] = field(default_factory=list)
+    messages: int = 0
+    bytes_total: int = 0
+    eager_messages: int = 0
+    rendezvous_messages: int = 0
+    intra_messages: int = 0
+    inter_messages: int = 0
+    bytes_by_rank: dict[int, int] = field(default_factory=dict)
+    _original: Optional[object] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        self.attach()
+
+    # ------------------------------------------------------------------
+
+    def attach(self) -> None:
+        """Start intercepting message posts (idempotent)."""
+        if self._original is not None:
+            return
+        world = self.world
+        original = world._post_isend
+        tracer = self
+
+        def wrapped(st, wdst, tag, comm_id, nbytes, data, notify):
+            req = original(st, wdst, tag, comm_id, nbytes, data, notify)
+            tracer._record(world, st.id, wdst, tag, comm_id, nbytes, req.done)
+            return req
+
+        self._original = original
+        world._post_isend = wrapped  # type: ignore[method-assign]
+
+    def detach(self) -> None:
+        """Stop tracing and restore the world's original post path."""
+        if self._original is not None:
+            self.world._post_isend = self._original  # type: ignore[method-assign]
+            self._original = None
+
+    # ------------------------------------------------------------------
+
+    def _record(self, world: SimWorld, src: int, dst: int, tag: int,
+                comm_id: int, nbytes: int, completed_eagerly: bool) -> None:
+        intra = world.topology.same_node(src, dst)
+        link = world.params.link(intra)
+        eager = nbytes <= link.eager_threshold
+        self.messages += 1
+        self.bytes_total += nbytes
+        if eager:
+            self.eager_messages += 1
+        else:
+            self.rendezvous_messages += 1
+        if intra:
+            self.intra_messages += 1
+        else:
+            self.inter_messages += 1
+        self.bytes_by_rank[src] = self.bytes_by_rank.get(src, 0) + nbytes
+        if self.keep_records:
+            self.records.append(MessageRecord(
+                time=world.sim.now, src=src, dst=dst, tag=tag,
+                comm_id=comm_id, nbytes=nbytes, eager=eager,
+                intra_node=intra,
+            ))
+
+    # ------------------------------------------------------------------
+
+    @property
+    def mean_message_size(self) -> float:
+        """Average posted message size in bytes (0 when nothing sent)."""
+        return self.bytes_total / self.messages if self.messages else 0.0
+
+    def summary(self) -> str:
+        """One-paragraph human-readable digest."""
+        return (
+            f"{self.messages} messages, {self.bytes_total} bytes "
+            f"(mean {self.mean_message_size:.0f} B); "
+            f"{self.eager_messages} eager / {self.rendezvous_messages} rendezvous; "
+            f"{self.intra_messages} intra-node / {self.inter_messages} inter-node"
+        )

@@ -1,0 +1,77 @@
+"""Unit helpers for sizes and times.
+
+The simulator's native time unit is the **second** (floating point) and
+its native size unit is the **byte** (integer).  These helpers make the
+parameter tables in :mod:`repro.sim.platforms` and the benchmark configs
+readable.
+"""
+
+from __future__ import annotations
+
+# --- sizes -----------------------------------------------------------------
+
+KiB: int = 1024
+MiB: int = 1024 * KiB
+GiB: int = 1024 * MiB
+
+# --- times -----------------------------------------------------------------
+
+USEC: float = 1e-6
+MSEC: float = 1e-3
+
+#: one gigabyte per second expressed in bytes/second
+GB_PER_S: float = 1e9
+
+
+def fmt_bytes(n: int) -> str:
+    """Format a byte count the way the paper labels message sizes.
+
+    >>> fmt_bytes(1024)
+    '1KB'
+    >>> fmt_bytes(2 * 1024 * 1024)
+    '2MB'
+    >>> fmt_bytes(1536)
+    '1536B'
+    """
+    if n >= MiB and n % MiB == 0:
+        return f"{n // MiB}MB"
+    if n >= KiB and n % KiB == 0:
+        return f"{n // KiB}KB"
+    return f"{n}B"
+
+
+def fmt_time(t: float) -> str:
+    """Format a simulated duration with a sensible unit.
+
+    >>> fmt_time(0.25)
+    '250.000ms'
+    >>> fmt_time(12.5)
+    '12.500s'
+    """
+    if t >= 1.0:
+        return f"{t:.3f}s"
+    if t >= 1e-3:
+        return f"{t * 1e3:.3f}ms"
+    return f"{t * 1e6:.3f}us"
+
+
+def parse_size(text: str) -> int:
+    """Parse ``"128KB"`` / ``"2MB"`` / ``"512"`` into a byte count.
+
+    Accepts the suffixes ``B``, ``KB``/``KiB``, ``MB``/``MiB``,
+    ``GB``/``GiB`` (case-insensitive, IEC semantics as in the paper's
+    usage where 1 KB = 1024 bytes).
+    """
+    s = text.strip().upper().replace(" ", "")
+    for suffix, mult in (
+        ("KIB", KiB),
+        ("MIB", MiB),
+        ("GIB", GiB),
+        ("KB", KiB),
+        ("MB", MiB),
+        ("GB", GiB),
+        ("B", 1),
+    ):
+        if s.endswith(suffix):
+            return int(float(s[: -len(suffix)]) * mult)
+    return int(s)

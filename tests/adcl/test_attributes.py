@@ -1,0 +1,53 @@
+"""Unit tests for attributes and attribute sets."""
+
+import pytest
+
+from repro.adcl import Attribute, AttributeSet
+from repro.errors import AdclError
+
+
+def test_attribute_domain():
+    a = Attribute("fanout", (0, 1, 2))
+    assert a.index_of(1) == 1
+    with pytest.raises(AdclError):
+        a.index_of(7)
+
+
+def test_attribute_rejects_empty_domain():
+    with pytest.raises(AdclError):
+        Attribute("x", ())
+
+
+def test_attribute_rejects_duplicates():
+    with pytest.raises(AdclError):
+        Attribute("x", (1, 1))
+
+
+def test_attribute_set_lookup_and_names():
+    s = AttributeSet([Attribute("a", (1, 2)), Attribute("b", ("x",))])
+    assert s.names == ("a", "b")
+    assert s.get("b").values == ("x",)
+    with pytest.raises(AdclError):
+        s.get("c")
+
+
+def test_attribute_set_rejects_duplicate_names():
+    with pytest.raises(AdclError):
+        AttributeSet([Attribute("a", (1,)), Attribute("a", (2,))])
+
+
+def test_validate_values():
+    s = AttributeSet([Attribute("a", (1, 2)), Attribute("b", ("x", "y"))])
+    s.validate_values({"a": 1, "b": "y"})
+    with pytest.raises(AdclError):
+        s.validate_values({"a": 1})  # missing b
+    with pytest.raises(AdclError):
+        s.validate_values({"a": 1, "b": "y", "c": 0})  # unknown
+    with pytest.raises(AdclError):
+        s.validate_values({"a": 3, "b": "y"})  # out of domain
+
+
+def test_cardinality():
+    s = AttributeSet([Attribute("a", (1, 2, 3)), Attribute("b", ("x", "y"))])
+    assert s.cardinality() == 6
+    assert len(s) == 2

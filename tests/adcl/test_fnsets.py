@@ -1,0 +1,110 @@
+"""Structural tests for the predefined function-sets (§III-E)."""
+
+import numpy as np
+import pytest
+
+from repro.adcl import (
+    CollSpec,
+    iallgather_function_set,
+    ialltoall_extended_function_set,
+    ialltoall_function_set,
+    ibcast_function_set,
+    ireduce_function_set,
+)
+from repro.adcl.fnsets import IBCAST_SEGSIZES
+from repro.errors import AdclError
+from repro.nbc.ibcast import BINOMIAL, IBCAST_FANOUTS
+from repro.sim import SimWorld, Wait, get_platform
+from repro.units import KiB
+
+
+def test_ibcast_set_has_paper_shape():
+    fnset = ibcast_function_set()
+    assert len(fnset) == 21  # 7 fan-outs x 3 segment sizes
+    aset = fnset.attribute_set
+    assert aset.names == ("fanout", "segsize")
+    assert aset.get("fanout").values == IBCAST_FANOUTS
+    assert aset.get("segsize").values == IBCAST_SEGSIZES
+    assert aset.cardinality() == 21
+    # every combination appears exactly once
+    for fanout in IBCAST_FANOUTS:
+        for segsize in IBCAST_SEGSIZES:
+            assert len(fnset.subset_where(fanout=fanout, segsize=segsize)) == 1
+
+
+def test_ibcast_function_names_follow_convention():
+    fnset = ibcast_function_set()
+    names = {f.name for f in fnset}
+    assert "linear_seg32KB" in names
+    assert "chain_seg64KB" in names
+    assert "binomial_seg128KB" in names
+    assert "3ary_seg32KB" in names
+
+
+def test_ialltoall_set_matches_paper():
+    fnset = ialltoall_function_set()
+    assert [f.name for f in fnset] == ["linear", "dissemination", "pairwise"]
+    assert not any(f.blocking for f in fnset)
+
+
+def test_extended_set_adds_blocking_variants():
+    fnset = ialltoall_extended_function_set()
+    assert len(fnset) == 6
+    blocking = {f.name for f in fnset if f.blocking}
+    assert blocking == {
+        "blocking_linear", "blocking_dissemination", "blocking_pairwise"
+    }
+    aset = fnset.attribute_set
+    assert set(aset.names) == {"algorithm", "blocking"}
+
+
+def test_iallgather_set_respects_power_of_two():
+    assert len(iallgather_function_set(size=8)) == 3
+    assert len(iallgather_function_set(size=6)) == 2
+    names6 = {f.name for f in iallgather_function_set(size=6)}
+    assert "recursive_doubling" not in names6
+
+
+def test_ireduce_set_cross_product():
+    fnset = ireduce_function_set()
+    assert len(fnset) == 4  # 2 algorithms x 2 segment settings
+    assert fnset.attribute_set.cardinality() == 4
+
+
+def test_index_of_and_errors():
+    fnset = ialltoall_function_set()
+    assert fnset.index_of("pairwise") == 2
+    with pytest.raises(AdclError):
+        fnset.index_of("alltoallw")
+
+
+@pytest.mark.parametrize("factory,kind,nbytes", [
+    (ialltoall_function_set, "alltoall", 1 * KiB),
+    (ialltoall_extended_function_set, "alltoall", 1 * KiB),
+    (ibcast_function_set, "bcast", 8 * KiB),
+    (lambda: iallgather_function_set(size=4), "allgather", 1 * KiB),
+    (ireduce_function_set, "reduce", 1 * KiB),
+])
+def test_every_function_runs_to_completion(factory, kind, nbytes):
+    """Smoke: every maker in every set produces a runnable schedule."""
+    fnset = factory()
+    world = SimWorld(get_platform("whale"), 4)
+    spec = CollSpec(kind, world.comm_world, nbytes)
+
+    def program(ctx):
+        for fn in fnset:
+            handle = fn.make(ctx, spec)
+            yield Wait(handle)
+
+    world.launch(program)
+    world.run()  # raises on deadlock / structural problems
+
+
+def test_spec_validation():
+    world = SimWorld(get_platform("whale"), 4)
+    with pytest.raises(AdclError):
+        CollSpec("alltoall", world.comm_world, -1)
+    with pytest.raises(AdclError):
+        CollSpec("bcast", world.comm_world, 16, root=9)
+    spec = CollSpec("alltoall", world.comm_world, 64)
+    assert "P4" in spec.signature() and "B64" in spec.signature()

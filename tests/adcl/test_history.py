@@ -1,0 +1,48 @@
+"""Unit tests for the historic-learning store."""
+
+import json
+
+import pytest
+
+from repro.adcl import HistoryStore
+from repro.errors import HistoryError
+
+
+def test_memory_store_roundtrip():
+    store = HistoryStore()
+    assert store.lookup("k") is None
+    store.record("k", "pairwise", decided_at=15)
+    assert store.lookup("k") == "pairwise"
+    assert "k" in store
+    assert len(store) == 1
+
+
+def test_file_store_persists(tmp_path):
+    path = tmp_path / "history.json"
+    store = HistoryStore(str(path))
+    store.record("ialltoall@whale:P32:B1024:R0", "dissemination", 9)
+    again = HistoryStore(str(path))
+    assert again.lookup("ialltoall@whale:P32:B1024:R0") == "dissemination"
+
+
+def test_forget(tmp_path):
+    path = tmp_path / "history.json"
+    store = HistoryStore(str(path))
+    store.record("a", "x", 0)
+    store.forget("a")
+    store.forget("a")  # idempotent
+    assert HistoryStore(str(path)).lookup("a") is None
+
+
+def test_corrupt_file_raises(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text("{not json")
+    with pytest.raises(HistoryError):
+        HistoryStore(str(path))
+
+
+def test_non_object_file_raises(tmp_path):
+    path = tmp_path / "list.json"
+    path.write_text(json.dumps([1, 2, 3]))
+    with pytest.raises(HistoryError):
+        HistoryStore(str(path))

@@ -1,0 +1,71 @@
+"""Unit + property tests for measurement filtering."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.adcl import filter_outliers, robust_mean
+from repro.errors import AdclError
+
+
+def test_mean_method_keeps_everything():
+    assert robust_mean([1.0, 2.0, 3.0], method="mean") == pytest.approx(2.0)
+
+
+def test_cluster_drops_heavy_outlier():
+    samples = [1.0, 1.05, 1.1, 9.0]
+    assert robust_mean(samples, method="cluster") == pytest.approx(
+        np.mean([1.0, 1.05, 1.1])
+    )
+
+
+def test_cluster_rtol_controls_window():
+    samples = [1.0, 1.2, 1.4]
+    kept = filter_outliers(samples, method="cluster", rtol=0.25)
+    np.testing.assert_allclose(kept, [1.0, 1.2])
+    kept = filter_outliers(samples, method="cluster", rtol=0.5)
+    np.testing.assert_allclose(kept, [1.0, 1.2, 1.4])
+
+
+def test_iqr_drops_extreme_point():
+    samples = [1.0, 1.0, 1.1, 1.05, 0.95, 1.02, 50.0]
+    kept = filter_outliers(samples, method="iqr")
+    assert 50.0 not in kept
+    assert kept.size == 6
+
+
+def test_iqr_small_samples_pass_through():
+    kept = filter_outliers([1.0, 100.0], method="iqr")
+    assert kept.size == 2
+
+
+def test_empty_samples_raise():
+    with pytest.raises(AdclError):
+        robust_mean([], method="mean")
+
+
+def test_unknown_method_raises():
+    with pytest.raises(AdclError):
+        robust_mean([1.0], method="median-of-means")
+
+
+@given(st.lists(st.floats(min_value=1e-6, max_value=1e3), min_size=1, max_size=50),
+       st.sampled_from(["mean", "iqr", "cluster"]))
+def test_robust_mean_bounded_by_sample_range(samples, method):
+    m = robust_mean(samples, method=method)
+    assert min(samples) - 1e-9 <= m <= max(samples) + 1e-9
+
+
+@given(st.floats(min_value=1e-3, max_value=1e3), st.integers(2, 20),
+       st.sampled_from(["mean", "iqr", "cluster"]))
+def test_constant_samples_mean_is_constant(value, n, method):
+    assert robust_mean([value] * n, method=method) == pytest.approx(value)
+
+
+@given(st.lists(st.floats(min_value=0.9, max_value=1.1), min_size=4, max_size=30))
+def test_cluster_estimate_robust_to_injected_outliers(clean):
+    """Adding huge outliers must not move the cluster estimate much."""
+    clean_mean = robust_mean(clean, method="cluster")
+    poisoned = list(clean) + [1000.0, 2000.0]
+    assert robust_mean(poisoned, method="cluster") == pytest.approx(clean_mean)

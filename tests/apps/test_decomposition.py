@@ -1,0 +1,68 @@
+"""Unit tests for the FFT slab decomposition."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.apps.fft import SlabDecomposition
+from repro.errors import ReproError
+
+
+def test_basic_geometry():
+    d = SlabDecomposition(64, 8)
+    assert d.planes_per_rank == 8
+    assert d.local_points == 8 * 64 * 64
+    assert d.local_bytes == d.local_points * 16
+
+
+def test_indivisible_rejected():
+    with pytest.raises(ReproError):
+        SlabDecomposition(65, 8)
+
+
+@pytest.mark.parametrize("n,p", [(0, 4), (16, 0), (-16, 4)])
+def test_nonpositive_rejected(n, p):
+    with pytest.raises(ReproError):
+        SlabDecomposition(n, p)
+
+
+def test_tiles_cover_planes_exactly():
+    d = SlabDecomposition(64, 4)  # 16 planes/rank
+    tiles = d.tiles(5)
+    assert tiles == [(0, 5), (5, 5), (10, 5), (15, 1)]
+    assert sum(cnt for _, cnt in tiles) == d.planes_per_rank
+
+
+def test_tile_larger_than_planes_is_single_tile():
+    d = SlabDecomposition(32, 8)  # 4 planes/rank
+    assert d.tiles(10) == [(0, 4)]
+
+
+def test_bad_tile_rejected():
+    with pytest.raises(ReproError):
+        SlabDecomposition(32, 8).tiles(0)
+
+
+def test_block_bytes():
+    d = SlabDecomposition(64, 8)
+    # tile of 2 planes x 8 y-rows x 64 x-points x 16 bytes
+    assert d.block_bytes(2) == 2 * 8 * 64 * 16
+
+
+def test_total_transpose_bytes():
+    d = SlabDecomposition(64, 8)
+    assert d.total_transpose_bytes() == 7 * d.block_bytes(8)
+
+
+@given(st.integers(1, 16), st.integers(1, 8), st.integers(1, 12))
+def test_tiles_partition_property(ppr_mult, p, tile):
+    n = p * ppr_mult
+    d = SlabDecomposition(n, p)
+    tiles = d.tiles(tile)
+    # tiles are contiguous, ordered, non-overlapping and cover everything
+    expect_start = 0
+    for z0, cnt in tiles:
+        assert z0 == expect_start
+        assert 1 <= cnt <= tile
+        expect_start += cnt
+    assert expect_start == d.planes_per_rank

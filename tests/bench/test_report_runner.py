@@ -1,0 +1,82 @@
+"""Tests for the reporting helpers and scaling knobs."""
+
+import pytest
+
+from repro.bench import (
+    SweepResult,
+    bench_seed,
+    format_bars,
+    format_series,
+    format_table,
+    paper_scale,
+    scaled,
+)
+
+
+def test_format_table_alignment():
+    out = format_table(["name", "t"], [["a", 1], ["longer", 22]], title="T")
+    lines = out.splitlines()
+    assert lines[0] == "T"
+    assert "name" in lines[1] and "t" in lines[1]
+    assert len({len(l) for l in lines[2:]}) >= 1
+    assert "longer" in out
+
+
+def test_format_bars_marks_best():
+    out = format_bars({"linear": 2.0, "pairwise": 1.0}, title="fig")
+    assert "<-- best" in out
+    best_line = [l for l in out.splitlines() if "best" in l][0]
+    assert "pairwise" in best_line
+    # bars scale with value: linear bar longer than pairwise bar
+    lin = [l for l in out.splitlines() if l.strip().startswith("linear")][0]
+    pair = [l for l in out.splitlines() if "pairwise" in l][0]
+    assert lin.count("#") > pair.count("#")
+
+
+def test_format_bars_empty():
+    assert format_bars({}, title="x") == "x"
+
+
+def test_format_series():
+    out = format_series("np", [32, 128], {"linear": [1.0, 2.0], "bruck": [0.5, 3.0]})
+    assert "32" in out and "128" in out
+    assert "linear" in out and "bruck" in out
+
+
+def test_scaled_respects_env(monkeypatch):
+    monkeypatch.delenv("REPRO_PAPER_SCALE", raising=False)
+    assert scaled(8, 256) == 8
+    assert not paper_scale()
+    monkeypatch.setenv("REPRO_PAPER_SCALE", "1")
+    assert paper_scale()
+    assert scaled(8, 256) == 256
+    monkeypatch.setenv("REPRO_PAPER_SCALE", "0")
+    assert not paper_scale()
+
+
+def test_bench_seed_env(monkeypatch):
+    monkeypatch.delenv("REPRO_BENCH_SEED", raising=False)
+    assert bench_seed(7) == 7
+    monkeypatch.setenv("REPRO_BENCH_SEED", "99")
+    assert bench_seed(7) == 99
+    monkeypatch.setenv("REPRO_BENCH_SEED", "nope")
+    assert bench_seed(7) == 7
+
+
+def test_sweep_result_counters():
+    sw = SweepResult("demo")
+    sw.add("a", 1.0, hit=True)
+    sw.add("b", 2.0, hit=False)
+    sw.add("c", 3.0, hit=True)
+    sw.add("d", 4.0)  # informational only
+    assert sw.total == 3
+    assert sw.hits == 2
+    assert sw.hit_rate == pytest.approx(2 / 3)
+    assert "2/3" in sw.summary()
+
+
+def test_sweep_result_without_predicate():
+    sw = SweepResult("demo")
+    sw.add("a", 1.0)
+    assert sw.hit_rate == 0.0
+    assert "1 scenarios" in sw.summary()

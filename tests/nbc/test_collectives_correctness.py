@@ -1,0 +1,215 @@
+"""End-to-end correctness of every collective algorithm with real payloads."""
+
+import numpy as np
+import pytest
+
+from repro import nbc
+from repro.sim import Compute, Progress, Wait
+
+from .conftest import alltoall_expected, alltoall_sendbuf
+
+
+@pytest.mark.parametrize("algorithm", nbc.ALLTOALL_ALGORITHMS)
+@pytest.mark.parametrize("nprocs", [2, 3, 5, 8])
+def test_alltoall_delivers_transposed_blocks(run_collective, algorithm, nprocs):
+    m = 64
+
+    def body(ctx, out):
+        sendbuf = alltoall_sendbuf(ctx.rank, nprocs, m)
+        recvbuf = np.zeros(nprocs * m, dtype=np.uint8)
+        req = nbc.start_ialltoall(ctx, m, algorithm=algorithm,
+                                  sendbuf=sendbuf, recvbuf=recvbuf)
+        yield Wait(req)
+        out["recv"] = recvbuf
+
+    results = run_collective(nprocs, body)
+    for rank in range(nprocs):
+        np.testing.assert_array_equal(
+            results[rank]["recv"], alltoall_expected(rank, nprocs, m),
+            err_msg=f"{algorithm} wrong at rank {rank}",
+        )
+
+
+@pytest.mark.parametrize("fanout", nbc.IBCAST_FANOUTS)
+@pytest.mark.parametrize("nprocs", [2, 5, 8])
+def test_ibcast_delivers_root_data(run_collective, fanout, nprocs):
+    nbytes = 1000
+
+    def body(ctx, out):
+        buf = np.zeros(nbytes, dtype=np.uint8)
+        if ctx.rank == 0:
+            buf[:] = np.arange(nbytes) % 251
+        req = nbc.start_ibcast(ctx, nbytes, root=0, fanout=fanout,
+                               segsize=256, buf=buf)
+        yield Wait(req)
+        out["buf"] = buf
+
+    results = run_collective(nprocs, body)
+    expected = (np.arange(nbytes) % 251).astype(np.uint8)
+    for rank in range(nprocs):
+        np.testing.assert_array_equal(results[rank]["buf"], expected)
+
+
+@pytest.mark.parametrize("root", [0, 2, 4])
+def test_ibcast_nonzero_root(run_collective, root):
+    nprocs, nbytes = 6, 128
+
+    def body(ctx, out):
+        buf = np.full(nbytes, ctx.rank, dtype=np.uint8)
+        req = nbc.start_ibcast(ctx, nbytes, root=root, fanout=2,
+                               segsize=64, buf=buf)
+        yield Wait(req)
+        out["buf"] = buf
+
+    results = run_collective(nprocs, body)
+    for rank in range(nprocs):
+        np.testing.assert_array_equal(
+            results[rank]["buf"], np.full(nbytes, root, dtype=np.uint8)
+        )
+
+
+@pytest.mark.parametrize("algorithm,nprocs", [
+    ("ring", 3), ("ring", 8), ("linear", 5),
+    ("recursive_doubling", 4), ("recursive_doubling", 8),
+])
+def test_iallgather_collects_all_blocks(run_collective, algorithm, nprocs):
+    m = 32
+
+    def body(ctx, out):
+        sendbuf = np.full(m, ctx.rank + 1, dtype=np.uint8)
+        recvbuf = np.zeros(nprocs * m, dtype=np.uint8)
+        req = nbc.start_iallgather(ctx, m, algorithm=algorithm,
+                                   sendbuf=sendbuf, recvbuf=recvbuf)
+        yield Wait(req)
+        out["recv"] = recvbuf
+
+    results = run_collective(nprocs, body)
+    expected = np.concatenate(
+        [np.full(m, r + 1, dtype=np.uint8) for r in range(nprocs)]
+    )
+    for rank in range(nprocs):
+        np.testing.assert_array_equal(results[rank]["recv"], expected)
+
+
+@pytest.mark.parametrize("algorithm", nbc.REDUCE_ALGORITHMS)
+@pytest.mark.parametrize("nprocs", [2, 5, 8])
+def test_ireduce_sums_at_root(run_collective, algorithm, nprocs):
+    n = 16
+
+    def body(ctx, out):
+        buf = np.full(n, float(ctx.rank + 1))
+        req = nbc.start_ireduce(ctx, buf.nbytes, root=0, algorithm=algorithm,
+                                buf=buf, dtype="float64", op="sum")
+        yield Wait(req)
+        out["buf"] = buf
+
+    results = run_collective(nprocs, body)
+    expected = np.full(n, float(nprocs * (nprocs + 1) // 2))
+    np.testing.assert_array_equal(results[0]["buf"], expected)
+
+
+def test_ireduce_max(run_collective):
+    nprocs, n = 5, 8
+
+    def body(ctx, out):
+        buf = np.full(n, float((ctx.rank * 7) % 5))
+        req = nbc.start_ireduce(ctx, buf.nbytes, root=0, algorithm="binomial",
+                                buf=buf, op="max")
+        yield Wait(req)
+        out["buf"] = buf
+
+    results = run_collective(nprocs, body)
+    expected = max(float((r * 7) % 5) for r in range(nprocs))
+    np.testing.assert_array_equal(results[0]["buf"], np.full(n, expected))
+
+
+def test_barrier_synchronizes_ranks(run_collective):
+    nprocs = 6
+    times = {}
+
+    def body(ctx, out):
+        yield Compute(0.1 * ctx.rank)  # skewed arrival
+        yield from nbc.barrier(ctx)
+        out["t"] = ctx.now
+
+    results = run_collective(nprocs, body)
+    exits = [results[r]["t"] for r in range(nprocs)]
+    # nobody leaves the barrier before the slowest rank arrived
+    assert min(exits) >= 0.1 * (nprocs - 1)
+
+
+def test_blocking_alltoall_wrapper(run_collective):
+    nprocs, m = 4, 16
+
+    def body(ctx, out):
+        sendbuf = alltoall_sendbuf(ctx.rank, nprocs, m)
+        recvbuf = np.zeros(nprocs * m, dtype=np.uint8)
+        yield from nbc.alltoall(ctx, m, algorithm="pairwise",
+                                sendbuf=sendbuf, recvbuf=recvbuf)
+        out["recv"] = recvbuf
+
+    results = run_collective(nprocs, body)
+    for rank in range(nprocs):
+        np.testing.assert_array_equal(
+            results[rank]["recv"], alltoall_expected(rank, nprocs, m)
+        )
+
+
+def test_two_overlapping_alltoalls_use_distinct_tags(run_collective):
+    """Two collectives in flight on one communicator must not cross-match."""
+    nprocs, m = 4, 32
+
+    def body(ctx, out):
+        s1 = alltoall_sendbuf(ctx.rank, nprocs, m)
+        s2 = s1[::-1].copy()
+        r1 = np.zeros(nprocs * m, dtype=np.uint8)
+        r2 = np.zeros(nprocs * m, dtype=np.uint8)
+        q1 = nbc.start_ialltoall(ctx, m, algorithm="linear", sendbuf=s1, recvbuf=r1)
+        q2 = nbc.start_ialltoall(ctx, m, algorithm="linear", sendbuf=s2, recvbuf=r2)
+        yield Wait([q1, q2])
+        out["r1"], out["r2"] = r1, r2
+
+    results = run_collective(nprocs, body)
+    for rank in range(nprocs):
+        np.testing.assert_array_equal(
+            results[rank]["r1"], alltoall_expected(rank, nprocs, m)
+        )
+
+
+def test_nbc_request_stalls_without_progress():
+    """A multi-round schedule must not advance while the rank computes."""
+    from repro.sim import SimWorld, get_platform
+
+    world = SimWorld(get_platform("whale"), 4)
+    observed = {}
+
+    def body(ctx):
+        req = nbc.start_ialltoall(ctx, 256, algorithm="pairwise")
+        yield Compute(0.05)
+        observed.setdefault("round_mid", {})[ctx.rank] = req.current_round
+        yield Wait(req)
+
+    world.launch(body)
+    world.run()
+    # pairwise with P=4 has 4 rounds; without progress calls every rank
+    # is still stuck in an early round after the compute phase
+    assert all(r <= 1 for r in observed["round_mid"].values())
+
+
+def test_progress_calls_advance_rounds():
+    from repro.sim import SimWorld, get_platform
+
+    world = SimWorld(get_platform("whale"), 4)
+    observed = {}
+
+    def body(ctx):
+        req = nbc.start_ialltoall(ctx, 256, algorithm="pairwise")
+        for _ in range(10):
+            yield Compute(0.005)
+            yield Progress([req])
+        observed.setdefault("round_mid", {})[ctx.rank] = req.current_round
+        yield Wait(req)
+
+    world.launch(body)
+    world.run()
+    assert all(r >= 3 for r in observed["round_mid"].values())

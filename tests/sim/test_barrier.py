@@ -1,0 +1,77 @@
+"""Tests for the idealized hard-barrier syscall."""
+
+import pytest
+
+from repro.errors import DeadlockError
+from repro.sim import Barrier, Compute, SimWorld, get_platform
+
+
+def test_barrier_aligns_all_ranks():
+    world = SimWorld(get_platform("whale"), 6)
+    exits = {}
+
+    def prog(ctx):
+        yield Compute(0.01 * (ctx.rank + 1))  # skewed arrivals
+        yield Barrier()
+        exits[ctx.rank] = ctx.now
+        yield Compute(0.001)
+
+    world.launch(prog)
+    world.run()
+    assert len(set(exits.values())) == 1
+    assert next(iter(exits.values())) == pytest.approx(0.06, rel=0.01)
+
+
+def test_barrier_reusable_many_times():
+    world = SimWorld(get_platform("whale"), 4)
+    marks = []
+
+    def prog(ctx):
+        for i in range(3):
+            yield Compute(0.001 * (ctx.rank + 1))
+            yield Barrier()
+            if ctx.rank == 0:
+                marks.append(ctx.now)
+
+    world.launch(prog)
+    world.run()
+    assert len(marks) == 3
+    assert marks == sorted(marks)
+    assert marks[0] == pytest.approx(0.004, rel=0.01)
+
+
+def test_barrier_missing_participant_deadlocks():
+    world = SimWorld(get_platform("whale"), 3)
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            yield Compute(0.001)  # rank 0 never reaches the barrier
+        else:
+            yield Barrier()
+
+    world.launch(prog)
+    with pytest.raises(DeadlockError):
+        world.run()
+
+
+def test_barrier_preserves_pending_messages():
+    """In-flight communication survives across a barrier."""
+    world = SimWorld(get_platform("whale"), 2)
+    got = {}
+
+    def prog(ctx):
+        from repro.sim import Wait
+
+        if ctx.rank == 0:
+            req = ctx.isend(1, nbytes=64, tag=9)
+            yield Barrier()
+            yield Wait(req)
+        else:
+            req = ctx.irecv(0, nbytes=64, tag=9)
+            yield Barrier()
+            yield Wait(req)
+            got["done"] = req.done
+
+    world.launch(prog)
+    world.run()
+    assert got["done"]

@@ -1,0 +1,134 @@
+"""Tests for communicators and context-level error handling."""
+
+import numpy as np
+import pytest
+
+from repro.errors import MatchingError, SimulationError
+from repro.sim import Compute, SimWorld, Wait, get_platform
+
+
+def make_world(n=8):
+    return SimWorld(get_platform("whale"), n)
+
+
+def test_comm_world_covers_all_ranks():
+    world = make_world(6)
+    cw = world.comm_world
+    assert cw.size == 6
+    assert [cw.world_rank(i) for i in range(6)] == list(range(6))
+    assert [cw.local_rank(i) for i in range(6)] == list(range(6))
+
+
+def test_subcommunicator_rank_translation():
+    world = make_world(8)
+    sub = world.make_comm([2, 5, 7])
+    assert sub.size == 3
+    assert sub.world_rank(1) == 5
+    assert sub.local_rank(7) == 2
+    with pytest.raises(MatchingError):
+        sub.local_rank(0)
+
+
+def test_duplicate_ranks_rejected():
+    world = make_world(4)
+    with pytest.raises(SimulationError):
+        world.make_comm([0, 1, 1])
+
+
+def test_coll_tag_counters_are_per_rank_and_monotonic():
+    world = make_world(4)
+    comm = world.comm_world
+    t0 = comm.next_coll_tag(0, span=3)
+    t1 = comm.next_coll_tag(0, span=1)
+    assert t1 == t0 + 3
+    # another rank's counter is independent (but follows the same order)
+    assert comm.next_coll_tag(1, span=3) == t0
+
+
+def test_messaging_within_subcommunicator():
+    world = make_world(8)
+    sub = world.make_comm([1, 4, 6])
+    got = {}
+
+    def prog(ctx):
+        if ctx.rank == 1:
+            req = ctx.isend(2, data=np.array([42]), tag=3, comm=sub)
+            yield Wait(req)
+        elif ctx.rank == 6:
+            req = ctx.irecv(0, nbytes=8, tag=3, comm=sub)
+            yield Wait(req)
+            got["v"] = int(req.data[0])
+        else:
+            yield Compute(0.0001)
+
+    world.launch(prog)
+    world.run()
+    assert got["v"] == 42
+
+
+def test_same_tags_on_different_comms_do_not_cross_match():
+    world = make_world(4)
+    comm_a = world.make_comm([0, 1])
+    comm_b = world.make_comm([0, 1])
+    got = {}
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            ra = ctx.isend(1, data=np.array([1.0]), tag=9, comm=comm_a)
+            rb = ctx.isend(1, data=np.array([2.0]), tag=9, comm=comm_b)
+            yield Wait([ra, rb])
+        elif ctx.rank == 1:
+            rb = ctx.irecv(0, nbytes=8, tag=9, comm=comm_b)
+            ra = ctx.irecv(0, nbytes=8, tag=9, comm=comm_a)
+            yield Wait([ra, rb])
+            got["a"], got["b"] = float(ra.data[0]), float(rb.data[0])
+        else:
+            yield Compute(0.0001)
+
+    world.launch(prog)
+    world.run()
+    assert got == {"a": 1.0, "b": 2.0}
+
+
+def test_isend_requires_size_or_data():
+    world = make_world(2)
+    errors = []
+
+    def prog(ctx):
+        if ctx.rank == 0:
+            try:
+                ctx.isend(1, tag=0)
+            except SimulationError:
+                errors.append("caught")
+        yield Compute(0.0001)
+
+    world.launch(prog)
+    world.run()
+    assert errors == ["caught"]
+
+
+def test_launch_twice_rejected():
+    world = make_world(2)
+
+    def prog(ctx):
+        yield Compute(0.001)
+
+    world.launch(prog)
+    with pytest.raises(SimulationError):
+        world.launch(prog)
+
+
+def test_run_before_launch_rejected():
+    with pytest.raises(SimulationError):
+        make_world(2).run()
+
+
+def test_unknown_syscall_rejected():
+    world = make_world(1)
+
+    def prog(ctx):
+        yield "not-a-syscall"
+
+    world.launch(prog)
+    with pytest.raises(SimulationError):
+        world.run()

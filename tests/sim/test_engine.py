@@ -1,0 +1,125 @@
+"""Unit tests for the DES kernel."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.at(2.0, order.append, "b")
+    sim.at(1.0, order.append, "a")
+    sim.at(3.0, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_ties_break_by_insertion_order():
+    sim = Simulator()
+    order = []
+    for name in "abc":
+        sim.at(1.0, order.append, name)
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_after_is_relative_to_now():
+    sim = Simulator()
+    seen = []
+
+    def first():
+        sim.after(0.5, lambda: seen.append(sim.now))
+
+    sim.at(1.0, first)
+    sim.run()
+    assert seen == [1.5]
+
+
+def test_scheduling_in_past_raises():
+    sim = Simulator()
+    sim.at(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.at(0.5, lambda: None)
+
+
+def test_negative_delay_raises():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.after(-1.0, lambda: None)
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    ev = sim.at(1.0, fired.append, "x")
+    sim.at(2.0, fired.append, "y")
+    ev.cancel()
+    sim.run()
+    assert fired == ["y"]
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.at(1.0, fired.append, 1)
+    sim.at(5.0, fired.append, 5)
+    sim.run(until=2.0)
+    assert fired == [1]
+    assert sim.now == 2.0
+    sim.run()
+    assert fired == [1, 5]
+
+
+def test_stop_when_predicate():
+    sim = Simulator()
+    fired = []
+    for t in (1.0, 2.0, 3.0):
+        sim.at(t, fired.append, t)
+    sim.run(stop_when=lambda: len(fired) >= 2)
+    assert fired == [1.0, 2.0]
+
+
+def test_pending_counts_live_events():
+    sim = Simulator()
+    ev = sim.at(1.0, lambda: None)
+    sim.at(2.0, lambda: None)
+    assert sim.pending() == 2
+    ev.cancel()
+    assert sim.pending() == 1
+
+
+def test_events_dispatched_counter():
+    sim = Simulator()
+    for t in range(5):
+        sim.at(float(t), lambda: None)
+    sim.run()
+    assert sim.events_dispatched == 5
+
+
+def test_step_dispatches_one_event():
+    sim = Simulator()
+    fired = []
+    sim.at(1.0, fired.append, 1)
+    sim.at(2.0, fired.append, 2)
+    assert sim.step() is True
+    assert fired == [1]
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_chained_scheduling_inside_events():
+    sim = Simulator()
+    hits = []
+
+    def tick(n):
+        hits.append(sim.now)
+        if n > 0:
+            sim.after(1.0, tick, n - 1)
+
+    sim.at(0.0, tick, 3)
+    sim.run()
+    assert hits == [0.0, 1.0, 2.0, 3.0]

@@ -1,0 +1,76 @@
+"""Property-based tests for the DES kernel."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import Simulator
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), max_size=60))
+def test_dispatch_order_is_nondecreasing(times):
+    sim = Simulator()
+    seen = []
+    for t in times:
+        sim.at(t, lambda t=t: seen.append(sim.now))
+    sim.run()
+    assert seen == sorted(seen)
+    assert len(seen) == len(times)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.tuples(st.floats(min_value=0.0, max_value=100.0),
+                          st.booleans()), max_size=40))
+def test_cancelled_events_never_fire(entries):
+    sim = Simulator()
+    fired = []
+    for i, (t, cancel) in enumerate(entries):
+        ev = sim.at(t, fired.append, i)
+        if cancel:
+            ev.cancel()
+    sim.run()
+    expected = {i for i, (_, cancel) in enumerate(entries) if not cancel}
+    assert set(fired) == expected
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(st.floats(min_value=1e-9, max_value=10.0),
+                min_size=1, max_size=20))
+def test_chained_after_accumulates_delays(delays):
+    sim = Simulator()
+    hits = []
+    it = iter(delays[1:])
+
+    def step():
+        hits.append(sim.now)
+        nxt = next(it, None)
+        if nxt is not None:
+            sim.after(nxt, step)
+
+    sim.after(delays[0], step)
+    sim.run()
+    # one hit per delay, at the running sum of delays
+    expected = []
+    acc = 0.0
+    for d in delays:
+        acc += d
+        expected.append(acc)
+    assert len(hits) == len(expected)
+    for h, e in zip(hits, expected):
+        assert abs(h - e) < 1e-9 * max(1.0, e)
+
+
+@settings(max_examples=30, deadline=None)
+@given(st.lists(st.floats(min_value=0.0, max_value=50.0), min_size=1,
+                max_size=30),
+       st.floats(min_value=0.0, max_value=50.0))
+def test_run_until_is_a_clean_split(times, horizon):
+    sim = Simulator()
+    fired = []
+    for t in times:
+        sim.at(t, fired.append, t)
+    sim.run(until=horizon)
+    early = [t for t in times if t <= horizon]
+    assert sorted(fired) == sorted(early)
+    sim.run()
+    assert sorted(fired) == sorted(times)

@@ -1,0 +1,82 @@
+"""Unit + property tests for the noise model."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.noise import NoiseModel, NullNoise
+
+
+def test_null_noise_is_identity():
+    n = NullNoise()
+    assert n.deterministic
+    for d in (0.0, 1e-6, 1.0, 100.0):
+        assert n.perturb(d) == d
+
+
+def test_zero_duration_untouched():
+    n = NoiseModel(sigma=0.5, outlier_prob=1.0, seed=1)
+    assert n.perturb(0.0) == 0.0
+
+
+def test_jitter_reproducible_per_seed():
+    a = NoiseModel(sigma=0.1, seed=42)
+    b = NoiseModel(sigma=0.1, seed=42)
+    xs = [a.perturb(1.0) for _ in range(10)]
+    ys = [b.perturb(1.0) for _ in range(10)]
+    assert xs == ys
+    c = NoiseModel(sigma=0.1, seed=43)
+    assert xs != [c.perturb(1.0) for _ in range(10)]
+
+
+def test_outliers_inflate_some_samples():
+    n = NoiseModel(sigma=0.0, outlier_prob=0.5, outlier_lo=4.0,
+                   outlier_hi=4.0, seed=7)
+    samples = [n.perturb(1.0) for _ in range(200)]
+    hits = [s for s in samples if s == pytest.approx(4.0)]
+    clean = [s for s in samples if s == pytest.approx(1.0)]
+    assert len(hits) + len(clean) == 200
+    assert 60 < len(hits) < 140  # ~50%
+
+
+def test_spawn_streams_independent():
+    base = NoiseModel(sigma=0.1, seed=5)
+    a, b = base.spawn(1), base.spawn(2)
+    assert [a.perturb(1.0) for _ in range(5)] != [b.perturb(1.0) for _ in range(5)]
+
+
+def test_jitter_only_strips_outliers():
+    base = NoiseModel(sigma=0.05, outlier_prob=0.9, seed=5)
+    j = base.jitter_only(3)
+    assert j.outlier_prob == 0.0
+    assert j.sigma == 0.05
+    samples = [j.perturb(1.0) for _ in range(100)]
+    assert max(samples) < 1.5  # no heavy tails
+
+
+@pytest.mark.parametrize("kwargs", [
+    dict(sigma=-0.1),
+    dict(outlier_prob=-0.5),
+    dict(outlier_prob=1.5),
+    dict(outlier_lo=5.0, outlier_hi=2.0),
+])
+def test_invalid_parameters_rejected(kwargs):
+    with pytest.raises(ValueError):
+        NoiseModel(**kwargs)
+
+
+@given(st.floats(min_value=1e-9, max_value=1e3),
+       st.floats(min_value=0.0, max_value=0.3),
+       st.integers(0, 1000))
+def test_perturbed_duration_always_positive(duration, sigma, seed):
+    n = NoiseModel(sigma=sigma, outlier_prob=0.1, seed=seed)
+    for _ in range(5):
+        assert n.perturb(duration) > 0.0
+
+
+@given(st.floats(min_value=1e-6, max_value=10.0), st.integers(0, 100))
+def test_mean_roughly_unbiased_without_outliers(duration, seed):
+    n = NoiseModel(sigma=0.05, seed=seed)
+    samples = np.array([n.perturb(duration) for _ in range(300)])
+    assert samples.mean() == pytest.approx(duration, rel=0.05)

@@ -1,0 +1,69 @@
+"""Unit tests for rank placement."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.topology import Topology
+
+
+def test_block_placement_fills_nodes():
+    topo = Topology(nprocs=8, cores_per_node=4, nnodes=4, placement="block")
+    assert [topo.node_of(r) for r in range(8)] == [0, 0, 0, 0, 1, 1, 1, 1]
+    assert topo.nodes_used == 2
+
+
+def test_cyclic_placement_round_robins():
+    topo = Topology(nprocs=8, cores_per_node=4, nnodes=4, placement="cyclic")
+    assert [topo.node_of(r) for r in range(8)] == [0, 1, 2, 3, 0, 1, 2, 3]
+    assert topo.nodes_used == 4
+
+
+def test_same_node_predicate():
+    topo = Topology(nprocs=8, cores_per_node=4, nnodes=2)
+    assert topo.same_node(0, 3)
+    assert not topo.same_node(3, 4)
+
+
+def test_ranks_on_node():
+    topo = Topology(nprocs=6, cores_per_node=4, nnodes=2)
+    assert topo.ranks_on_node(0) == [0, 1, 2, 3]
+    assert topo.ranks_on_node(1) == [4, 5]
+
+
+def test_oversubscription_rejected():
+    with pytest.raises(SimulationError):
+        Topology(nprocs=9, cores_per_node=4, nnodes=2)
+
+
+def test_bad_placement_rejected():
+    with pytest.raises(SimulationError):
+        Topology(nprocs=4, cores_per_node=4, nnodes=2, placement="scatter")
+
+
+@pytest.mark.parametrize("nprocs", [0, -3])
+def test_nonpositive_nprocs_rejected(nprocs):
+    with pytest.raises(SimulationError):
+        Topology(nprocs=nprocs, cores_per_node=4, nnodes=2)
+
+
+@given(
+    nprocs=st.integers(1, 128),
+    cores=st.integers(1, 16),
+    placement=st.sampled_from(["block", "cyclic"]),
+)
+def test_every_rank_has_a_valid_node(nprocs, cores, placement):
+    nnodes = -(-nprocs // cores)  # minimum node count that fits
+    topo = Topology(nprocs=nprocs, cores_per_node=cores,
+                    nnodes=nnodes, placement=placement)
+    for r in range(nprocs):
+        assert 0 <= topo.node_of(r) < nnodes
+
+
+@given(nprocs=st.integers(1, 64), cores=st.integers(1, 8))
+def test_block_placement_never_exceeds_core_count(nprocs, cores):
+    nnodes = -(-nprocs // cores)
+    topo = Topology(nprocs=nprocs, cores_per_node=cores, nnodes=nnodes)
+    for node in range(nnodes):
+        assert len(topo.ranks_on_node(node)) <= cores

@@ -1,0 +1,106 @@
+"""Tests for the communication tracer."""
+
+import math
+
+import pytest
+
+from repro import nbc
+from repro.sim import SimWorld, Wait, get_platform
+from repro.sim.trace import Tracer
+from repro.units import KiB
+
+
+def run_alltoall(nprocs, m, algorithm, keep_records=False):
+    world = SimWorld(get_platform("whale"), nprocs)
+    tracer = Tracer(world, keep_records=keep_records)
+
+    def prog(ctx):
+        req = nbc.start_ialltoall(ctx, m, algorithm=algorithm)
+        yield Wait(req)
+
+    world.launch(prog)
+    world.run()
+    return tracer
+
+
+def test_linear_alltoall_message_count_and_bytes():
+    P, m = 8, 1024
+    tr = run_alltoall(P, m, "linear")
+    assert tr.messages == P * (P - 1)
+    assert tr.bytes_total == P * (P - 1) * m
+
+
+def test_bruck_moves_more_bytes_in_fewer_messages():
+    P, m = 16, 1024
+    lin = run_alltoall(P, m, "linear")
+    bruck = run_alltoall(P, m, "bruck")
+    assert bruck.messages < lin.messages
+    assert bruck.messages == P * math.ceil(math.log2(P))
+    # Bruck moves ~log2(P)/2 times the data of the linear exchange
+    ratio = bruck.bytes_total / lin.bytes_total
+    expected = math.log2(P) / 2 * P / (P - 1)
+    assert ratio == pytest.approx(expected, rel=0.05)
+
+
+def test_pairwise_message_count():
+    P, m = 8, 512
+    tr = run_alltoall(P, m, "pairwise")
+    assert tr.messages == P * (P - 1)
+    assert tr.bytes_total == P * (P - 1) * m
+
+
+def test_eager_vs_rendezvous_classification():
+    small = run_alltoall(8, 1 * KiB, "pairwise")     # eager everywhere
+    assert small.rendezvous_messages == 0
+    big = run_alltoall(16, 64 * KiB, "pairwise")     # > both thresholds
+    assert big.eager_messages == 0
+    assert big.rendezvous_messages == big.messages
+
+
+def test_intra_inter_split_matches_topology():
+    # whale: 8 cores/node; with 16 ranks, peers 1..7 are intra for rank 0
+    tr = run_alltoall(16, 256, "linear")
+    # per rank: 7 intra peers, 8 inter peers
+    assert tr.intra_messages == 16 * 7
+    assert tr.inter_messages == 16 * 8
+
+
+def test_bytes_by_rank_balanced_for_alltoall():
+    tr = run_alltoall(8, 2048, "pairwise")
+    per_rank = set(tr.bytes_by_rank.values())
+    assert len(per_rank) == 1  # perfectly symmetric operation
+
+
+def test_records_kept_on_demand():
+    tr = run_alltoall(4, 128, "linear", keep_records=True)
+    assert len(tr.records) == tr.messages
+    rec = tr.records[0]
+    assert rec.nbytes == 128
+    assert 0 <= rec.src < 4 and 0 <= rec.dst < 4
+
+
+def test_detach_stops_recording():
+    world = SimWorld(get_platform("whale"), 4)
+    tracer = Tracer(world)
+    tracer.detach()
+
+    def prog(ctx):
+        req = nbc.start_ialltoall(ctx, 128, algorithm="linear")
+        yield Wait(req)
+
+    world.launch(prog)
+    world.run()
+    assert tracer.messages == 0
+
+
+def test_summary_mentions_counts():
+    tr = run_alltoall(4, 128, "linear")
+    s = tr.summary()
+    assert "12 messages" in s
+    assert "eager" in s and "rendezvous" in s
+
+
+def test_mean_size_empty_world():
+    world = SimWorld(get_platform("whale"), 2)
+    tracer = Tracer(world)
+    assert tracer.mean_message_size == 0.0

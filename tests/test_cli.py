@@ -1,0 +1,62 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def test_platforms_command(capsys):
+    assert main(["platforms"]) == 0
+    out = capsys.readouterr().out
+    for name in ("crill", "whale", "whale_tcp", "bluegene_p"):
+        assert name in out
+
+
+def test_sweep_command(capsys):
+    rc = main([
+        "sweep", "--platform", "whale", "--nprocs", "8",
+        "--nbytes", "1KB", "--iterations", "4",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "linear" in out and "pairwise" in out and "best" in out
+
+
+def test_tune_command(capsys):
+    rc = main([
+        "tune", "--platform", "whale", "--nprocs", "8",
+        "--nbytes", "1KB", "--iterations", "12", "--evals", "2",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "decision at iteration" in out
+
+
+def test_tune_without_enough_iterations_reports_failure(capsys):
+    rc = main([
+        "tune", "--nprocs", "4", "--nbytes", "1KB",
+        "--iterations", "3", "--evals", "5",
+    ])
+    assert rc == 1
+    assert "no decision yet" in capsys.readouterr().out
+
+
+def test_fft_command(capsys):
+    rc = main([
+        "fft", "--platform", "whale", "--nprocs", "4", "--n", "16",
+        "--pattern", "pipelined", "--iterations", "4",
+        "--methods", "libnbc", "mpi",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "libnbc" in out and "mpi" in out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_nbytes_accepts_size_suffixes():
+    args = build_parser().parse_args(["sweep", "--nbytes", "2MB"])
+    assert args.nbytes == 2 * 1024 * 1024

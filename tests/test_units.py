@@ -1,0 +1,60 @@
+"""Unit tests for size/time helpers."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.units import (
+    GiB,
+    KiB,
+    MiB,
+    fmt_bytes,
+    fmt_time,
+    parse_size,
+)
+
+
+def test_constants():
+    assert KiB == 1024
+    assert MiB == 1024 * KiB
+    assert GiB == 1024 * MiB
+
+
+@pytest.mark.parametrize("n,expected", [
+    (1024, "1KB"),
+    (128 * 1024, "128KB"),
+    (2 * MiB, "2MB"),
+    (1536, "1536B"),
+    (0, "0B"),
+])
+def test_fmt_bytes(n, expected):
+    assert fmt_bytes(n) == expected
+
+
+@pytest.mark.parametrize("t,expected", [
+    (12.5, "12.500s"),
+    (0.25, "250.000ms"),
+    (0.000005, "5.000us"),
+    (1.0, "1.000s"),
+])
+def test_fmt_time(t, expected):
+    assert fmt_time(t) == expected
+
+
+@pytest.mark.parametrize("text,expected", [
+    ("128KB", 128 * KiB),
+    ("128kb", 128 * KiB),
+    ("2MB", 2 * MiB),
+    ("1GiB", GiB),
+    ("512", 512),
+    ("512B", 512),
+    ("1.5KB", 1536),
+    (" 64 KB ", 64 * KiB),
+])
+def test_parse_size(text, expected):
+    assert parse_size(text) == expected
+
+
+@given(st.integers(0, 10**7))
+def test_parse_roundtrips_fmt(n):
+    assert parse_size(fmt_bytes(n)) == n

@@ -30,6 +30,7 @@ from .fnsets import (
 from .function import CollFunction, CollSpec, FunctionSet
 from .history import HistoryStore
 from .request import ADCLRequest, SELECTOR_NAMES, make_selector
+from .resilience import Resilience
 from .selection import (
     BruteForceSelector,
     FactorialSelector,
@@ -37,7 +38,7 @@ from .selection import (
     HeuristicSelector,
     Selector,
 )
-from .statistics import FILTER_METHODS, filter_outliers, robust_mean
+from .statistics import DriftDetector, FILTER_METHODS, filter_outliers, robust_mean
 from .timer import ADCLTimer, TimerRecord
 
 __all__ = [
@@ -49,6 +50,7 @@ __all__ = [
     "CoTuner",
     "CollFunction",
     "CollSpec",
+    "DriftDetector",
     "FILTER_METHODS",
     "FactorialSelector",
     "FixedSelector",
@@ -56,6 +58,7 @@ __all__ = [
     "HeuristicSelector",
     "HistoryStore",
     "IBCAST_SEGSIZES",
+    "Resilience",
     "SELECTOR_NAMES",
     "Selector",
     "TimerRecord",

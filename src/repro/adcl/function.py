@@ -112,6 +112,22 @@ class FunctionSet:
                 return i
         raise AdclError(f"no function named {name!r} in set {self.name!r}")
 
+    def safe_fallback_index(self) -> int:
+        """The most conservative implementation in the set.
+
+        Used by the resilience layer as the never-quarantined fallback:
+        prefer a *blocking* function (the linear/blocking path cannot
+        stall on missing progress calls), else a linear algorithm, else
+        the set's first function.
+        """
+        for i, f in enumerate(self.functions):
+            if f.blocking:
+                return i
+        for i, f in enumerate(self.functions):
+            if "linear" in f.name:
+                return i
+        return 0
+
     def subset_where(self, **attr_values) -> list[int]:
         """Indices of functions whose attributes match all given values."""
         return [

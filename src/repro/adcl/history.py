@@ -32,10 +32,21 @@ class HistoryStore:
     path:
         File to persist to.  ``None`` keeps the store in memory only
         (useful in tests and single-process experiments).
+    strict:
+        With ``strict=True`` (default) an unreadable or malformed store
+        raises :class:`~repro.errors.HistoryError`.  With
+        ``strict=False`` the corrupt file is moved aside to
+        ``<path>.corrupt`` and the store starts empty — a tuning run
+        should degrade to re-learning, not die, when a crash or a
+        concurrent writer mangled its cache.  :attr:`recovered_from`
+        holds the backup path when that happened.
     """
 
-    def __init__(self, path: Optional[str] = None):
+    def __init__(self, path: Optional[str] = None, strict: bool = True):
         self.path = path
+        self.strict = strict
+        #: backup location of a corrupt store recovered in non-strict mode
+        self.recovered_from: Optional[str] = None
         self._records: dict[str, dict] = {}
         if path is not None and os.path.exists(path):
             self._load()
@@ -44,10 +55,25 @@ class HistoryStore:
         try:
             with open(self.path, "r", encoding="utf-8") as fh:
                 data = json.load(fh)
-        except (OSError, json.JSONDecodeError) as exc:
-            raise HistoryError(f"cannot read history store {self.path!r}: {exc}")
-        if not isinstance(data, dict):
-            raise HistoryError(f"history store {self.path!r} is not a JSON object")
+            if not isinstance(data, dict):
+                raise HistoryError(
+                    f"history store {self.path!r} is not a JSON object"
+                )
+        except (OSError, json.JSONDecodeError, HistoryError) as exc:
+            if self.strict:
+                if isinstance(exc, HistoryError):
+                    raise
+                raise HistoryError(
+                    f"cannot read history store {self.path!r}: {exc}"
+                )
+            backup = f"{self.path}.corrupt"
+            try:
+                os.replace(self.path, backup)
+                self.recovered_from = backup
+            except OSError:
+                pass  # unreadable *and* unmovable: just start empty
+            self._records = {}
+            return
         self._records = data
 
     def _save(self) -> None:

@@ -37,7 +37,9 @@ from ..sim.mpi import MPIContext
 from ..sim.process import Wait, Waitable
 from .function import CollSpec, FunctionSet
 from .history import HistoryStore
+from .resilience import Resilience
 from .selection.base import FixedSelector, Selector
+from .statistics import DriftDetector
 from .selection.brute_force import BruteForceSelector
 from .selection.factorial import FactorialSelector
 from .selection.heuristic import HeuristicSelector
@@ -80,11 +82,14 @@ class ADCLRequest:
         evals_per_function: int = 5,
         filter_method: str = "cluster",
         history: Optional[HistoryStore] = None,
+        resilience: Optional[Resilience] = None,
     ):
         self.fnset = fnset
         self.spec = spec
         self.history = history
+        self.resilience = resilience
         self.from_history = False
+        self._filter_method = filter_method
         if isinstance(selector, str):
             selector = make_selector(
                 selector, fnset,
@@ -92,6 +97,9 @@ class ADCLRequest:
                 filter_method=filter_method,
             )
         self.selector = selector
+        #: the learning selector to re-activate when a history-pinned
+        #: decision drifts (usually ``selector`` itself)
+        self._tuning_selector = selector
         self._history_key = None
         if history is not None:
             platform = spec.comm.world.platform.name
@@ -100,6 +108,7 @@ class ADCLRequest:
             if winner is not None:
                 self.selector = FixedSelector(fnset, fnset.index_of(winner))
                 self.from_history = True
+        self._configure_selector(self.selector)
         self._timer = None
         self._history_saved = self.from_history
         #: per-rank live state: rank -> {"it", "handles": FIFO of in-flight}
@@ -108,6 +117,23 @@ class ADCLRequest:
         self._iter_fn: dict[int, int] = {}
         #: self-timing accumulation: iteration -> {rank: seconds}
         self._self_times: dict[int, dict[int, float]] = {}
+        #: absolute-iteration offset added after a harness restart so
+        #: iteration indices never collide across simulation runs
+        self._iter_base = 0
+        self._max_it = -1
+        #: first absolute iteration of the current tuning epoch; the
+        #: selector only ever sees epoch-relative indices, so a drift
+        #: re-tune restarts its schedule cleanly at relative 0
+        self._epoch_start = 0
+        self._drift: Optional[DriftDetector] = None
+        #: number of drift-triggered re-tunes so far
+        self.retunes = 0
+
+    def _configure_selector(self, selector: Selector) -> None:
+        if self.resilience is None:
+            return
+        selector.safe_index = self.fnset.safe_fallback_index()
+        selector.quarantine_factor = self.resilience.quarantine_factor
 
     # ------------------------------------------------------------------
     # program-facing API (per rank)
@@ -123,10 +149,10 @@ class ADCLRequest:
         each start/wait cycle is its own iteration.
         """
         if self._timer is not None:
-            return self._timer.window_index(ctx.rank)
+            return self._iter_base + self._timer.window_index(ctx.rank)
         it = rs.setdefault("started", 0)
         rs["started"] = it + 1
-        return it
+        return self._iter_base + it
 
     def start(self, ctx: MPIContext,
               buffers: Optional[Mapping[str, np.ndarray]] = None):
@@ -142,9 +168,14 @@ class ADCLRequest:
         """
         rs = self._rstate.setdefault(ctx.rank, {"it": 0, "handles": []})
         it = self._current_iteration(ctx, rs)
+        if it > self._max_it:
+            self._max_it = it
         fn_idx = self._iter_fn.get(it)
         if fn_idx is None:
-            fn_idx = self.selector.function_for_iteration(it)
+            rel = max(it - self._epoch_start, 0)
+            fn_idx = self.selector.function_for_iteration(rel)
+            if self.resilience is not None:
+                fn_idx = self.selector.substitute(fn_idx)
             self._iter_fn[it] = fn_idx
         fn = self.fnset[fn_idx]
         handle = fn.make(ctx, self.spec, buffers)
@@ -208,23 +239,97 @@ class ADCLRequest:
 
     def _feed(self, it: int, fn_idx: int, seconds: float) -> None:
         """One aggregated (max-over-ranks) measurement for iteration ``it``."""
-        self.selector.feed(it, fn_idx, seconds)
-        if (
-            not self._history_saved
-            and self.history is not None
-            and self.selector.decided
-        ):
+        rel = it - self._epoch_start
+        if rel < 0:
+            return  # measured before the last re-tune: stale, discard
+        was_decided = self.selector.decided
+        self.selector.feed(rel, fn_idx, seconds)
+        if not self.selector.decided:
+            return
+        if not self._history_saved and self.history is not None:
             self.history.record(
                 self._history_key,
                 self.selector.winner_name,
                 self.selector.decided_at,
             )
             self._history_saved = True
+        if self.resilience is None or self.resilience.drift_window < 1:
+            return
+        if self._drift is None:
+            w = self.selector.winner
+            baseline = (
+                self.selector.log.estimate(w)
+                if self.selector.log.count(w) > 0
+                else None  # history-pinned winner: no decision-time samples
+            )
+            self._drift = DriftDetector(
+                baseline,
+                window=self.resilience.drift_window,
+                threshold=self.resilience.drift_threshold,
+                method=self._filter_method,
+            )
+        if was_decided and fn_idx == self.selector.winner:
+            if self._drift.update(seconds):
+                self._reopen(it)
+
+    def _reopen(self, it: int) -> None:
+        """Drift detected: invalidate the decision and re-enter learning."""
+        self.retunes += 1
+        if self.history is not None and self._history_key is not None:
+            self.history.forget(self._history_key)
+        self._history_saved = False
+        if self.selector is not self._tuning_selector:
+            # history-pinned FixedSelector: resume with the real selector
+            self.selector = self._tuning_selector
+            self.from_history = False
+            self._configure_selector(self.selector)
+        self.selector.reset_learning()
+        self._drift = None
+        self._epoch_start = it + 1
 
     def _attach_timer(self, timer) -> None:
         if self._timer is not None:
             raise AdclError("a timer is already associated with this request")
         self._timer = timer
+
+    # ------------------------------------------------------------------
+    # harness-facing resilience API
+    # ------------------------------------------------------------------
+
+    def reset_runtime(self) -> None:
+        """Forget per-simulation state so the request survives a restart.
+
+        Tuning state (selector, measurements, quarantines, drift) is
+        preserved; only the live handles, self-timing accumulators and
+        the timer binding of the aborted simulation are discarded.
+        Iteration numbering continues after the highest index seen, so
+        the selector never observes a duplicate iteration.
+        """
+        self._iter_base = self._max_it + 1
+        self._rstate = {}
+        self._self_times = {}
+        self._timer = None
+
+    def inflight_functions(self) -> set[int]:
+        """Implementations that were live when the simulation aborted.
+
+        The restart loop quarantines these (sticky) before re-running.
+        Falls back to the most recently started iteration's function
+        when no handle was in flight (e.g. the watchdog fired during a
+        barrier).
+        """
+        out = {
+            fn_idx
+            for rs in self._rstate.values()
+            for _, _, fn_idx, _ in rs["handles"]
+        }
+        if not out and self._iter_fn:
+            out.add(self._iter_fn[max(self._iter_fn)])
+        return out
+
+    def quarantine(self, fn_index: int, reason: str, sticky: bool = True) -> bool:
+        """Quarantine a candidate (harness abort path). True if newly done."""
+        return self.selector.quarantine(fn_index, reason, sticky=sticky)
 
     # ------------------------------------------------------------------
     # introspection
@@ -241,6 +346,11 @@ class ADCLRequest:
     @property
     def decided_at(self) -> Optional[int]:
         return self.selector.decided_at
+
+    @property
+    def quarantine_log(self) -> list[tuple[int, str]]:
+        """Audit trail of every quarantine issued (survives re-tuning)."""
+        return self.selector.quarantine_log
 
     def function_used(self, it: int) -> Optional[int]:
         """Function index iteration ``it`` ran with (None if never started)."""

@@ -1,0 +1,72 @@
+"""Resilient-tuning policy knobs.
+
+One small frozen object bundles everything the graceful-degradation
+machinery needs so it can be threaded through :class:`~repro.adcl.
+request.ADCLRequest` and the benchmark runners without argument
+explosion.  ``None`` anywhere (or no :class:`Resilience` at all) means
+the corresponding mechanism is off and the tuner behaves exactly like
+the original, fault-oblivious ADCL reproduction.
+
+The three mechanisms:
+
+* **Candidate quarantine** — during the learning phase, a candidate
+  whose measurement blows past ``quarantine_factor`` times the running
+  best estimate is excluded from both further evaluation and the final
+  decision; its remaining learning slots run the function-set's safe
+  fallback (see :meth:`~repro.adcl.function.FunctionSet.
+  safe_fallback_index`), which is never quarantined.  Candidates whose
+  measurement *aborts* (deadlock, watchdog timeout, lost message) are
+  quarantined sticky by the harness restart loop in
+  :func:`~repro.bench.overlap.run_overlap_resilient`.
+* **Drift-triggered re-tuning** — post-decision timings are monitored by
+  a :class:`~repro.adcl.statistics.DriftDetector`; when they drift from
+  the decision-time baseline the request re-opens the tuning phase and
+  invalidates the matching historic-learning record.
+* **Watchdog / restarts** — the harness runs each simulation under a
+  virtual-time ``deadline`` and restarts (up to ``max_restarts`` times)
+  after quarantining the candidates that were in flight when the run
+  aborted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import AdclError
+
+__all__ = ["Resilience"]
+
+
+@dataclass(frozen=True)
+class Resilience:
+    """Policy for resilient tuning (all mechanisms individually optional)."""
+
+    #: quarantine a learning-phase measurement above this multiple of the
+    #: running best estimate (``None`` disables blowout quarantine)
+    quarantine_factor: Optional[float] = 8.0
+    #: sliding-window length of the post-decision drift detector
+    #: (0 disables drift-triggered re-tuning)
+    drift_window: int = 8
+    #: relative level shift (either direction) that counts as drift
+    drift_threshold: float = 1.75
+    #: harness-level simulation restarts after aborted measurements
+    max_restarts: int = 4
+    #: virtual-time watchdog deadline per simulation (``None`` = no watchdog)
+    deadline: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.quarantine_factor is not None and self.quarantine_factor <= 1.0:
+            raise AdclError(
+                f"quarantine_factor must be > 1, got {self.quarantine_factor!r}"
+            )
+        if self.drift_window < 0:
+            raise AdclError(f"drift_window must be >= 0, got {self.drift_window!r}")
+        if self.drift_threshold <= 1.0:
+            raise AdclError(
+                f"drift_threshold must be > 1, got {self.drift_threshold!r}"
+            )
+        if self.max_restarts < 0:
+            raise AdclError(f"max_restarts must be >= 0, got {self.max_restarts!r}")
+        if self.deadline is not None and self.deadline <= 0:
+            raise AdclError(f"deadline must be positive, got {self.deadline!r}")

@@ -50,7 +50,21 @@ class MeasurementLog:
 
 
 class Selector:
-    """Base class: subclasses implement the learning schedule."""
+    """Base class: subclasses implement the learning schedule.
+
+    Resilience (all off by default, see :class:`~repro.adcl.resilience.
+    Resilience`): a selector can *quarantine* candidates — exclude them
+    from further evaluation and from the decision — either because a
+    learning-phase measurement blew past ``quarantine_factor`` times the
+    running best (:meth:`feed`) or because the measurement harness saw
+    the candidate deadlock or time out (:meth:`quarantine` with
+    ``sticky=True``).  The designated ``safe_index`` (the linear or
+    blocking fallback) is never quarantined, so selection always has a
+    survivor.  :meth:`reset_learning` re-opens a decided selector for
+    drift-triggered re-tuning, dropping stale measurements and lifting
+    non-sticky quarantines (conditions have changed; blown-out
+    candidates deserve a second chance, deadlock-prone ones do not).
+    """
 
     def __init__(self, fnset: FunctionSet, evals_per_function: int = 5,
                  filter_method: str = "cluster"):
@@ -62,6 +76,14 @@ class Selector:
         self.winner: Optional[int] = None
         #: iteration index at which the decision was made (None = still learning)
         self.decided_at: Optional[int] = None
+        #: never-quarantined fallback implementation (None = no resilience)
+        self.safe_index: Optional[int] = None
+        #: blowout threshold as a multiple of the running best (None = off)
+        self.quarantine_factor: Optional[float] = None
+        #: live quarantine: fn index -> (reason, sticky)
+        self.quarantined: dict[int, tuple[str, bool]] = {}
+        #: audit trail of every quarantine ever issued (survives re-tuning)
+        self.quarantine_log: list[tuple[int, str]] = []
 
     # -- interface ------------------------------------------------------
 
@@ -79,13 +101,78 @@ class Selector:
 
     def feed(self, it: int, fn_index: int, seconds: float) -> None:
         """Record the aggregated measurement of iteration ``it``."""
-        if not self.decided:
-            self.log.add(fn_index, seconds)
+        if self.decided or fn_index in self.quarantined:
+            return
+        if self.quarantine_factor is not None and fn_index != self.safe_index:
+            best = self._running_best()
+            if best is not None and seconds > self.quarantine_factor * best:
+                self.quarantine(
+                    fn_index,
+                    f"measured {seconds:.6g}s > {self.quarantine_factor:g}x "
+                    f"running best {best:.6g}s",
+                )
+                return  # the pathological sample is not recorded
+        self.log.add(fn_index, seconds)
+
+    # -- quarantine ------------------------------------------------------
+
+    def quarantine(self, fn_index: int, reason: str, sticky: bool = False) -> bool:
+        """Exclude a candidate from evaluation and decision.
+
+        Returns True when the candidate was *newly* quarantined; False
+        when it already was, or when it is the protected safe fallback.
+        """
+        if not 0 <= fn_index < len(self.fnset):
+            raise SelectionError(f"function index {fn_index} out of range")
+        if fn_index == self.safe_index or fn_index in self.quarantined:
+            return False
+        self.quarantined[fn_index] = (reason, sticky)
+        self.quarantine_log.append((fn_index, reason))
+        return True
+
+    def substitute(self, fn_index: int) -> int:
+        """Replacement for a quarantined candidate's remaining iterations."""
+        if fn_index not in self.quarantined:
+            return fn_index
+        if self.safe_index is not None:
+            return self.safe_index
+        for i in range(len(self.fnset)):
+            if i not in self.quarantined:
+                return i
+        return fn_index  # everything quarantined: nothing left to swap in
+
+    def reset_learning(self) -> None:
+        """Re-open tuning (drift re-tune): fresh measurements, no winner."""
+        self.winner = None
+        self.decided_at = None
+        self.log = MeasurementLog(len(self.fnset), self.log.filter_method)
+        self.quarantined = {
+            i: rs for i, rs in self.quarantined.items() if rs[1]
+        }
 
     # -- helpers ---------------------------------------------------------
 
+    def _running_best(self) -> Optional[float]:
+        """Best current estimate over measured, non-quarantined candidates."""
+        estimates = [
+            self.log.estimate(i)
+            for i in range(len(self.fnset))
+            if i not in self.quarantined and self.log.count(i) > 0
+        ]
+        return min(estimates) if estimates else None
+
     def _decide(self, it: int, candidates: Sequence[int]) -> int:
-        self.winner = self.log.best(candidates)
+        live = [
+            c for c in candidates
+            if c not in self.quarantined and self.log.count(c) > 0
+        ]
+        if live:
+            self.winner = self.log.best(live)
+        elif self.safe_index is not None:
+            # every candidate was quarantined or unmeasured: fall back
+            self.winner = self.safe_index
+        else:
+            self.winner = self.log.best(list(candidates))
         self.decided_at = it
         return self.winner
 
@@ -105,3 +192,6 @@ class FixedSelector(Selector):
 
     def function_for_iteration(self, it: int) -> int:
         return self.winner
+
+    def reset_learning(self) -> None:
+        """Fixed selectors have nothing to re-learn; keep the pin."""

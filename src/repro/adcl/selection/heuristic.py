@@ -111,6 +111,15 @@ class HeuristicSelector(Selector):
             return self._plan[it]
         return self._finish_round(it)
 
+    def reset_learning(self) -> None:
+        """Re-open tuning: restart the attribute rounds from scratch."""
+        super().reset_learning()
+        self._decided_values = {}
+        self._plan = []
+        self._round_slices = []
+        self._next_attr = 0
+        self._extend_plan()
+
     @property
     def learning_iterations(self) -> int:
         """Iterations spent learning so far (final once decided)."""

@@ -19,13 +19,14 @@ Three estimators are provided:
 
 from __future__ import annotations
 
-from typing import Sequence
+from collections import deque
+from typing import Optional, Sequence
 
 import numpy as np
 
 from ..errors import AdclError
 
-__all__ = ["robust_mean", "filter_outliers", "FILTER_METHODS"]
+__all__ = ["robust_mean", "filter_outliers", "DriftDetector", "FILTER_METHODS"]
 
 FILTER_METHODS = ("mean", "iqr", "cluster")
 
@@ -56,3 +57,62 @@ def robust_mean(samples: Sequence[float], method: str = "cluster",
                 rtol: float = 0.25) -> float:
     """Outlier-filtered mean of a measurement series."""
     return float(filter_outliers(samples, method=method, rtol=rtol).mean())
+
+
+class DriftDetector:
+    """Sliding-window detector for post-decision performance drift.
+
+    A tuning decision is only valid under the conditions it was measured
+    in (Hunold's performance-guideline argument).  The detector compares
+    the robust mean of the last ``window`` post-decision measurements
+    against the decision-time ``baseline``; when the level moves by more
+    than ``threshold`` in *either* direction — the platform got slower
+    (congestion, degraded link) or much faster (a transient that
+    poisoned the learning phase ended) — the decision is stale and
+    :meth:`update` reports drift so the owner can re-open tuning.
+
+    ``baseline=None`` (a winner loaded from historic learning, which has
+    no decision-time samples) uses the first full window as baseline and
+    monitors from there.
+    """
+
+    def __init__(self, baseline: Optional[float] = None, window: int = 8,
+                 threshold: float = 1.75, method: str = "cluster"):
+        if window < 1:
+            raise AdclError(f"drift window must be >= 1, got {window}")
+        if threshold <= 1.0:
+            raise AdclError(f"drift threshold must be > 1, got {threshold}")
+        if baseline is not None and baseline <= 0.0:
+            raise AdclError(f"drift baseline must be positive, got {baseline}")
+        self.baseline = baseline
+        self.window = window
+        self.threshold = threshold
+        self.method = method
+        self._samples: deque[float] = deque(maxlen=window)
+        #: latched once drift has been reported
+        self.drifted = False
+
+    @property
+    def level(self) -> Optional[float]:
+        """Robust mean of the current window (None until it is full)."""
+        if len(self._samples) < self.window:
+            return None
+        return robust_mean(list(self._samples), method=self.method)
+
+    def update(self, seconds: float) -> bool:
+        """Feed one post-decision measurement; True when drift detected."""
+        if self.drifted:
+            return True
+        self._samples.append(seconds)
+        level = self.level
+        if level is None:
+            return False
+        if self.baseline is None:
+            self.baseline = level
+            return False
+        if level > self.threshold * self.baseline or (
+            level * self.threshold < self.baseline
+        ):
+            self.drifted = True
+            return True
+        return False

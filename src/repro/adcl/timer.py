@@ -75,15 +75,18 @@ class ADCLTimer:
         if len(per_rank) == self.request.spec.comm.size:
             del self._pending[it]
             seconds = max(per_rank.values())
-            fn_idx = self.request.function_used(it)
+            # the request numbers iterations absolutely (restart-safe);
+            # translate this timer's local window index
+            abs_it = self.request._iter_base + it
+            fn_idx = self.request.function_used(abs_it)
             if fn_idx is None:
                 raise AdclError(
-                    f"timer iteration {it} completed but the request never "
-                    f"started that iteration"
+                    f"timer iteration {abs_it} completed but the request "
+                    f"never started that iteration"
                 )
             learning = not self.request.decided
-            self.request._feed(it, fn_idx, seconds)
-            self.records.append(TimerRecord(it, fn_idx, seconds, learning))
+            self.request._feed(abs_it, fn_idx, seconds)
+            self.records.append(TimerRecord(abs_it, fn_idx, seconds, learning))
 
     # ------------------------------------------------------------------
     # reporting helpers used by the benchmark harness

@@ -10,7 +10,14 @@
 * :mod:`repro.bench.runner` — fast-vs-paper-scale knobs.
 """
 
-from .overlap import OverlapConfig, OverlapResult, function_set_for, run_overlap
+from .overlap import (
+    OverlapConfig,
+    OverlapResult,
+    ResilientOverlapResult,
+    function_set_for,
+    run_overlap,
+    run_overlap_resilient,
+)
 from .report import format_bars, format_series, format_table
 from .runner import SweepResult, bench_seed, paper_scale, scaled
 from .verification import (
@@ -23,6 +30,7 @@ __all__ = [
     "CORRECTNESS_TOLERANCE",
     "OverlapConfig",
     "OverlapResult",
+    "ResilientOverlapResult",
     "SweepResult",
     "VerificationResult",
     "bench_seed",
@@ -32,6 +40,7 @@ __all__ = [
     "function_set_for",
     "paper_scale",
     "run_overlap",
+    "run_overlap_resilient",
     "run_verification",
     "scaled",
 ]

@@ -22,12 +22,28 @@ from ..adcl.fnsets import ibcast_function_set, ialltoall_extended_function_set, 
     ialltoall_function_set
 from ..adcl.function import CollSpec, FunctionSet
 from ..adcl.request import ADCLRequest
+from ..adcl.resilience import Resilience
 from ..adcl.selection.base import FixedSelector, Selector
 from ..adcl.timer import ADCLTimer, TimerRecord
-from ..errors import ReproError
-from ..sim import Barrier, Compute, NoiseModel, Progress, SimWorld, get_platform
+from ..errors import DeadlockError, MessageLostError, ReproError, WatchdogTimeout
+from ..sim import (
+    Barrier,
+    Compute,
+    FaultPlan,
+    NoiseModel,
+    Progress,
+    SimWorld,
+    get_platform,
+)
 
-__all__ = ["OverlapConfig", "OverlapResult", "function_set_for", "run_overlap"]
+__all__ = [
+    "OverlapConfig",
+    "OverlapResult",
+    "ResilientOverlapResult",
+    "function_set_for",
+    "run_overlap",
+    "run_overlap_resilient",
+]
 
 
 def function_set_for(operation: str) -> FunctionSet:
@@ -67,6 +83,12 @@ class OverlapConfig:
     noise_sigma: float = 0.0
     noise_outlier_prob: float = 0.0
     seed: int = 0
+    #: fault-injection plan (None or an empty plan: pristine network)
+    faults: Optional[FaultPlan] = None
+    #: reliable transport (ack/timeout/retransmit); False models a naive
+    #: transport where a dropped message is simply gone
+    reliable: bool = True
+    max_retries: int = 8
 
     @property
     def compute_per_iteration(self) -> float:
@@ -157,6 +179,9 @@ def run_overlap(
         config.nprocs,
         noise=config.noise(),
         placement=config.placement,
+        faults=config.faults,
+        reliable=config.reliable,
+        max_retries=config.max_retries,
     )
     fnset = function_set_for(config.operation)
     kind = "bcast" if config.operation == "bcast" else "alltoall"
@@ -198,4 +223,143 @@ def run_overlap(
         decided_at=areq.decided_at,
         makespan=res.makespan,
         events=res.events,
+    )
+
+
+@dataclass
+class ResilientOverlapResult(OverlapResult):
+    """Outcome of a resilient run (restart loop + degradation handling)."""
+
+    #: simulation restarts after aborted measurements
+    restarts: int
+    #: (exception name, quarantined function indices) per aborted run
+    aborts: list[tuple[str, list[int]]]
+    #: audit trail of every quarantine (index, reason)
+    quarantine_log: list[tuple[int, str]]
+    #: drift-triggered re-tunes
+    retunes: int
+    #: fault/transport counters summed over all simulation runs
+    messages_dropped: int
+    retransmits: int
+
+
+def run_overlap_resilient(
+    config: OverlapConfig,
+    selector: Union[str, Selector, int] = "brute_force",
+    evals_per_function: int = 5,
+    filter_method: str = "cluster",
+    history=None,
+    resilience: Optional[Resilience] = None,
+) -> ResilientOverlapResult:
+    """Execute the micro-benchmark under the resilient-tuning policy.
+
+    Like :func:`run_overlap`, but the simulation runs under the
+    resilience policy's virtual-time watchdog, and an aborted
+    measurement (deadlock, watchdog timeout, lost message) does not kill
+    the benchmark: the implementations in flight are quarantined
+    (sticky) and the simulation restarts — up to
+    ``resilience.max_restarts`` times — with the surviving candidates.
+    The :class:`~repro.adcl.request.ADCLRequest` carries its tuning
+    state (measurements, quarantines, drift detector) across restarts,
+    and its drift detector may re-open tuning mid-run.
+    """
+    if resilience is None:
+        resilience = Resilience()
+    fnset = function_set_for(config.operation)
+    kind = "bcast" if config.operation == "bcast" else "alltoall"
+    if isinstance(selector, int):
+        selector = FixedSelector(fnset, selector)
+    chunk = config.compute_per_iteration / max(config.nprogress, 1)
+
+    areq: Optional[ADCLRequest] = None
+    records: list[TimerRecord] = []
+    fn_names: list[str] = []
+    restarts = 0
+    aborts: list[tuple[str, list[int]]] = []
+    makespan = 0.0
+    events = 0
+    dropped = 0
+    retransmits = 0
+
+    while len(records) < config.iterations:
+        remaining = config.iterations - len(records)
+        world = SimWorld(
+            get_platform(config.platform),
+            config.nprocs,
+            noise=config.noise(),
+            placement=config.placement,
+            faults=config.faults,
+            reliable=config.reliable,
+            max_retries=config.max_retries,
+        )
+        spec = CollSpec(kind, world.comm_world, config.nbytes)
+        if areq is None:
+            areq = ADCLRequest(
+                fnset,
+                spec,
+                selector=selector,
+                evals_per_function=evals_per_function,
+                filter_method=filter_method,
+                history=history,
+                resilience=resilience,
+            )
+        else:
+            areq.spec = spec  # rebind to the fresh world's communicator
+            areq.reset_runtime()
+        timer = ADCLTimer(areq)
+
+        def factory(ctx):
+            for _ in range(remaining):
+                timer.start(ctx)
+                yield from areq.start(ctx)
+                for _ in range(config.nprogress):
+                    yield Compute(chunk)
+                    yield Progress([areq.handle(ctx)])
+                yield from areq.wait(ctx)
+                timer.stop(ctx)
+                yield Barrier()
+
+        world.launch(factory)
+        try:
+            res = world.run(deadline=resilience.deadline)
+        except (WatchdogTimeout, DeadlockError, MessageLostError) as exc:
+            restarts += 1
+            culprits = sorted(areq.inflight_functions())
+            for idx in culprits:
+                areq.quarantine(
+                    idx, f"measurement aborted: {type(exc).__name__}: {exc}"
+                )
+            aborts.append((type(exc).__name__, culprits))
+            # completed iterations of the aborted run are still valid
+            records.extend(timer.records)
+            fn_names.extend(fnset[r.fn_index].name for r in timer.records)
+            makespan += world.sim.now
+            if world.faults is not None:
+                dropped += world.faults.messages_dropped
+            retransmits += world.retransmits
+            if restarts > resilience.max_restarts:
+                raise
+            continue
+        records.extend(timer.records)
+        fn_names.extend(fnset[r.fn_index].name for r in timer.records)
+        makespan += res.makespan
+        events += res.events
+        if world.faults is not None:
+            dropped += world.faults.messages_dropped
+        retransmits += world.retransmits
+
+    return ResilientOverlapResult(
+        config=config,
+        records=records,
+        fn_names=fn_names,
+        winner=areq.winner_name,
+        decided_at=areq.decided_at,
+        makespan=makespan,
+        events=events,
+        restarts=restarts,
+        aborts=aborts,
+        quarantine_log=list(areq.quarantine_log),
+        retunes=areq.retunes,
+        messages_dropped=dropped,
+        retransmits=retransmits,
     )

@@ -27,12 +27,27 @@ from __future__ import annotations
 import argparse
 from typing import Optional, Sequence
 
+from .adcl.resilience import Resilience
 from .apps.fft import FFTConfig, run_fft
-from .bench import OverlapConfig, format_bars, format_table, function_set_for, run_overlap
-from .sim import available_platforms, get_platform
+from .bench import (
+    OverlapConfig,
+    format_bars,
+    format_table,
+    function_set_for,
+    run_overlap,
+    run_overlap_resilient,
+)
+from .sim import FaultPlan, available_platforms, get_platform
 from .units import fmt_time, parse_size
 
 __all__ = ["main", "build_parser"]
+
+
+def _parse_fault_plan(spec: str) -> FaultPlan:
+    try:
+        return FaultPlan.parse(spec)
+    except Exception as exc:
+        raise argparse.ArgumentTypeError(str(exc)) from exc
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -59,6 +74,11 @@ def build_parser() -> argparse.ArgumentParser:
         p.add_argument("--nprogress", type=int, default=5)
         p.add_argument("--operation", default="alltoall",
                        choices=["alltoall", "alltoall_ext", "bcast"])
+        p.add_argument("--faults", type=_parse_fault_plan, default=None,
+                       metavar="SPEC",
+                       help="fault-injection plan, e.g. "
+                            "'drop=0.01@0.1:0.5,degrade=0:1:4:4,"
+                            "straggler=3:2.5,rail=0:1@0.2,seed=7'")
 
     p_sweep = sub.add_parser(
         "sweep", help="time every implementation of an operation")
@@ -70,6 +90,15 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["brute_force", "heuristic", "factorial"])
     p_tune.add_argument("--evals", type=int, default=3,
                         help="measurements per candidate implementation")
+    p_tune.add_argument("--resilient", action="store_true",
+                        help="tune under the resilience policy: watchdog + "
+                             "restarts, candidate quarantine, drift re-tuning")
+    p_tune.add_argument("--unreliable", action="store_true",
+                        help="naive transport: a dropped message is gone "
+                             "(no ack/timeout/retransmit)")
+    p_tune.add_argument("--deadline", type=float, default=None,
+                        help="virtual-time watchdog deadline per simulation "
+                             "(seconds; only with --resilient)")
 
     p_fft = sub.add_parser("fft", help="run the 3-D FFT application kernel")
     p_fft.add_argument("--platform", default="whale")
@@ -94,6 +123,8 @@ def _overlap_config(args) -> OverlapConfig:
         paper_iterations=args.loop_iterations,
         iterations=args.iterations,
         nprogress=args.nprogress,
+        faults=args.faults,
+        reliable=not getattr(args, "unreliable", False),
     )
 
 
@@ -131,13 +162,33 @@ def cmd_sweep(args) -> int:
 def cmd_tune(args) -> int:
     cfg = _overlap_config(args)
     fnset = function_set_for(args.operation)
-    res = run_overlap(cfg, selector=args.selector,
-                      evals_per_function=args.evals)
-    print(f"tuning {cfg.describe()} with the {args.selector} selector\n")
+    if args.resilient:
+        res = run_overlap_resilient(
+            cfg, selector=args.selector, evals_per_function=args.evals,
+            resilience=Resilience(deadline=args.deadline),
+        )
+    else:
+        res = run_overlap(cfg, selector=args.selector,
+                          evals_per_function=args.evals)
+    mode = "resilient " if args.resilient else ""
+    print(f"tuning {cfg.describe()} with the {mode}{args.selector} selector")
+    if cfg.faults is not None and not cfg.faults.empty:
+        print(f"faults: {cfg.faults.describe()}")
+    print()
     for rec, name in zip(res.records, res.fn_names):
         phase = "learn " if rec.learning else "steady"
         print(f"  iter {rec.iteration:>3} [{phase}] {name:<22} "
               f"{fmt_time(rec.seconds)}")
+    if args.resilient:
+        for idx, reason in res.quarantine_log:
+            print(f"\nquarantined {fnset[idx].name!r}: {reason.splitlines()[0]}")
+        if res.restarts:
+            print(f"restarts after aborted measurements: {res.restarts}")
+        if res.retunes:
+            print(f"drift-triggered re-tunes: {res.retunes}")
+        if res.messages_dropped:
+            print(f"messages dropped: {res.messages_dropped}, "
+                  f"retransmitted: {res.retransmits}")
     if res.winner is None:
         print("\nno decision yet — increase --iterations")
         return 1

@@ -32,6 +32,31 @@ class MatchingError(SimulationError):
     """A message could not be matched (communicator/tag/peer misuse)."""
 
 
+class FaultError(SimulationError):
+    """Misuse or misconfiguration of the fault-injection layer."""
+
+
+class MessageLostError(FaultError):
+    """A message was dropped more times than the transport will retransmit.
+
+    Raised by the reliable transport in :mod:`repro.sim.mpi` once a
+    message exhausts ``max_retries`` retransmission attempts (e.g. a
+    permanent 100%%-loss window or a node whose NIC rails all failed).
+    """
+
+
+class WatchdogTimeout(SimulationError):
+    """The virtual-time watchdog expired with ranks still blocked.
+
+    Raised by :meth:`repro.sim.mpi.SimWorld.run` when a ``deadline`` was
+    given and the job did not finish by that virtual time.  Unlike
+    :class:`DeadlockError` the simulation may still have had live events
+    pending — the job was *stalled*, not provably deadlocked — but for a
+    tuner measuring candidates the distinction does not matter: the
+    candidate blew its budget and can be quarantined.
+    """
+
+
 class ScheduleError(ReproError):
     """An NBC schedule was malformed or used after completion."""
 

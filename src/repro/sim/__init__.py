@@ -11,6 +11,13 @@ Public entry points:
 """
 
 from .engine import Event, Simulator
+from .faults import (
+    DropRule,
+    FaultInjector,
+    FaultPlan,
+    LinkDegradation,
+    RailFailure,
+)
 from .mpi import MPIContext, RunResult, SimComm, SimWorld
 from .netmodel import LinkParams, MachineParams
 from .noise import NoiseModel, NullNoise
@@ -30,8 +37,13 @@ from .trace import MessageRecord, Tracer
 __all__ = [
     "Barrier",
     "Compute",
+    "DropRule",
     "Event",
+    "FaultInjector",
+    "FaultPlan",
+    "LinkDegradation",
     "LinkParams",
+    "RailFailure",
     "MachineParams",
     "MPIContext",
     "MessageRecord",

@@ -26,12 +26,19 @@ current ``busy_until`` so bursts of posts serialize realistically.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Iterable, Optional, Sequence
+from typing import Any, Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
-from ..errors import DeadlockError, MatchingError, SimulationError
+from ..errors import (
+    DeadlockError,
+    MatchingError,
+    MessageLostError,
+    SimulationError,
+    WatchdogTimeout,
+)
 from .engine import Simulator
+from .faults import FaultInjector, FaultPlan
 from .netmodel import MachineParams
 from .noise import NoiseModel, NullNoise
 from .platforms import Platform
@@ -71,6 +78,7 @@ class _Message:
         "eager",
         "send_req",
         "recv_req",
+        "attempts",
     )
 
     def __init__(self, src: int, dst: int, tag: int, comm_id: int, nbytes: int,
@@ -84,6 +92,8 @@ class _Message:
         self.eager = eager
         self.send_req = send_req
         self.recv_req: Optional[RecvRequest] = None
+        #: transmission attempts so far (drops trigger retransmission)
+        self.attempts = 0
 
 
 class _RankState:
@@ -308,6 +318,21 @@ class SimWorld:
         perfectly deterministic.
     placement:
         Rank placement policy (``"block"`` or ``"cyclic"``).
+    faults:
+        Optional :class:`~repro.sim.faults.FaultPlan` (or a prepared
+        :class:`~repro.sim.faults.FaultInjector`).  An empty plan is
+        equivalent to ``None``: the fault hot paths are skipped entirely
+        and the simulation is bit-identical to a fault-free one.
+    reliable:
+        With faults active, ``True`` (default) enables the
+        ack/timeout/retransmit transport: dropped messages are
+        retransmitted with exponential backoff up to ``max_retries``
+        attempts, after which :class:`~repro.errors.MessageLostError`
+        is raised.  ``False`` models a transport that trusts the fabric:
+        a dropped message simply vanishes and its receiver blocks
+        forever (useful to demonstrate why the naive path deadlocks).
+    max_retries:
+        Retransmission budget per message (reliable transport only).
     """
 
     def __init__(
@@ -316,6 +341,9 @@ class SimWorld:
         nprocs: int,
         noise: Optional[NoiseModel] = None,
         placement: str = "block",
+        faults: Optional[Union[FaultPlan, FaultInjector]] = None,
+        reliable: bool = True,
+        max_retries: int = 8,
     ):
         self.platform = platform
         self.params = platform.params
@@ -346,6 +374,20 @@ class SimWorld:
         self._barrier_waiting: list[int] = []
         self._barrier_time = 0.0
         self._launched = False
+        if isinstance(faults, FaultPlan):
+            faults = None if faults.empty else FaultInjector(faults)
+        self._faults = faults
+        self._reliable = bool(reliable)
+        self._max_retries = int(max_retries)
+        #: retransmissions performed by the reliable transport (observability)
+        self.retransmits = 0
+        if self._faults is not None:
+            self._faults.install(self.sim)
+
+    @property
+    def faults(self) -> Optional[FaultInjector]:
+        """The active fault injector, if any."""
+        return self._faults
 
     # ------------------------------------------------------------------
 
@@ -372,24 +414,78 @@ class SimWorld:
             self._n_unfinished += 1
             self.sim.at(0.0, self._resume, st.id, None)
 
-    def run(self) -> RunResult:
+    def run(self, deadline: Optional[float] = None) -> RunResult:
         """Run the job to completion and return per-rank finish times.
 
         Raises :class:`DeadlockError` if the event queue drains while
-        ranks are still blocked.
+        ranks are still blocked.  With a ``deadline`` (virtual seconds),
+        a job still unfinished at that time raises
+        :class:`~repro.errors.WatchdogTimeout` instead of waiting — the
+        watchdog that lets a tuner turn a stalled candidate measurement
+        into a catchable, quarantinable event.
         """
         if not self._launched:
             raise SimulationError("call launch() before run()")
-        self.sim.run(stop_when=lambda: self._n_unfinished == 0)
+        self.sim.run(until=deadline, stop_when=lambda: self._n_unfinished == 0)
         if self._n_unfinished:
             blocked = [st.id for st in self._ranks if not st.finished]
-            raise DeadlockError(
-                f"simulation stalled with {len(blocked)} unfinished rank(s): "
+            head = (
+                f"{len(blocked)} unfinished rank(s): "
                 f"{blocked[:16]}{'...' if len(blocked) > 16 else ''}"
+            )
+            if deadline is not None and self.sim.pending():
+                raise WatchdogTimeout(
+                    f"watchdog expired at t={deadline!r}s with {head}\n"
+                    + self.blocked_report()
+                )
+            raise DeadlockError(
+                f"simulation stalled with {head}\n" + self.blocked_report()
             )
         return RunResult(
             [st.finish_time for st in self._ranks], self.sim.events_dispatched
         )
+
+    # ------------------------------------------------------------------
+    # diagnostics
+    # ------------------------------------------------------------------
+
+    def blocked_report(self, max_ranks: int = 16) -> str:
+        """Per-rank dump of what every unfinished rank is waiting on.
+
+        Included in :class:`DeadlockError` / :class:`WatchdogTimeout`
+        messages so a deadlock under fault injection is debuggable from
+        the exception alone.
+        """
+        in_barrier = set(self._barrier_waiting)
+        lines = []
+        blocked = [st for st in self._ranks if not st.finished]
+        for st in blocked[:max_ranks]:
+            if st.id in in_barrier:
+                lines.append(
+                    f"  rank {st.id}: in barrier "
+                    f"({len(in_barrier)}/{len(self._ranks)} arrived)"
+                )
+            elif st.waiting is not None:
+                pending = [it for it in st.waiting if not it.done]
+                what = "; ".join(self._describe_waitable(it) for it in pending)
+                lines.append(
+                    f"  rank {st.id}: waiting on {len(pending)} item(s): {what}"
+                )
+            else:
+                lines.append(f"  rank {st.id}: runnable (between syscalls)")
+        if len(blocked) > max_ranks:
+            lines.append(f"  ... and {len(blocked) - max_ranks} more rank(s)")
+        return "\n".join(lines)
+
+    @staticmethod
+    def _describe_waitable(item: Waitable) -> str:
+        if isinstance(item, SendRequest):
+            return (f"send(to={item.peer}, tag={item.tag}, "
+                    f"comm={item.comm_id}, {item.nbytes}B)")
+        if isinstance(item, RecvRequest):
+            return (f"recv(from={item.peer}, tag={item.tag}, "
+                    f"comm={item.comm_id}, {item.nbytes}B)")
+        return repr(item)
 
     # ------------------------------------------------------------------
     # generator driving
@@ -410,6 +506,8 @@ class SimWorld:
     def _handle_syscall(self, st: _RankState, sc: Any) -> None:
         if type(sc) is Compute:
             dur = st.noise.perturb(sc.seconds)
+            if self._faults is not None:
+                dur *= self._faults.compute_factor(st.id)
             st.busy_until += dur
             self.sim.at(st.busy_until, self._resume, st.id, None)
         elif type(sc) is Progress:
@@ -495,7 +593,7 @@ class SimWorld:
         params = self.params
         self._mpi_entry(st)  # any MPI call drives pending protocol actions
         st.ctx.charge(params.o_send)
-        req = SendRequest(wdst, tag, nbytes, st.busy_until)
+        req = SendRequest(wdst, tag, nbytes, st.busy_until, comm_id)
         req._notify = notify  # type: ignore[attr-defined]
         same_node = self.topology.same_node(st.id, wdst)
         link = params.link(same_node)
@@ -531,7 +629,7 @@ class SimWorld:
         params = self.params
         self._mpi_entry(st)
         st.ctx.charge(params.o_recv)
-        req = RecvRequest(wsrc, tag, nbytes, st.busy_until)
+        req = RecvRequest(wsrc, tag, nbytes, st.busy_until, comm_id)
         req._notify = notify  # type: ignore[attr-defined]
         key = (wsrc, tag, comm_id)
         queue = st.unexpected.get(key)
@@ -585,7 +683,12 @@ class SimWorld:
         return self._pair_hash(src, dst) % rails
 
     def _inject(self, msg: _Message, t_post: float, same_node: bool) -> None:
-        """Put an (eager or rendezvous-data) message on the wire."""
+        """Put an (eager or rendezvous-data) message on the wire.
+
+        With a fault injector active, inter-node messages are subject to
+        link degradation, rail failure and message drops; intra-node
+        (shared-memory) transfers are never dropped or degraded.
+        """
         params = self.params
         link = params.link(same_node)
         ser = self._net_noise.perturb(link.serialization_time(msg.nbytes))
@@ -607,27 +710,80 @@ class SimWorld:
                             self._on_send_complete, msg)
             return
         rail = self._rail_of(msg.src, msg.dst)
-        tx = self._tx_free[self.topology.node_of(msg.src)]
-        start = max(t_post, tx[rail])
-        tx[rail] = start + ser
+        alpha = link.alpha
+        src_node = self.topology.node_of(msg.src)
+        dst_node = self.topology.node_of(msg.dst)
+        tx_rail = rx_rail = rail
+        faults = self._faults
+        if faults is not None:
+            lat_mult, bw_mult = faults.link_factors()
+            ser *= bw_mult
+            alpha *= lat_mult
+            nrails = self.params.nic_rails
+            tx_rail = faults.healthy_rail(src_node, rail, nrails)
+            rx_rail = faults.healthy_rail(dst_node, rail, nrails)
+            if (
+                tx_rail is None
+                or rx_rail is None
+                or faults.should_drop(msg.src, msg.dst)
+            ):
+                self._drop(msg, t_post, same_node)
+                return
+        tx = self._tx_free[src_node]
+        start = max(t_post, tx[tx_rail])
+        tx[tx_rail] = start + ser
         if not msg.eager:
             self.sim.at(max(start + ser, self.sim.now),
                         self._on_send_complete, msg)
-        arrival = start + link.alpha + ser
+        arrival = start + alpha + ser
         # receive-side rail contention (incast): the message occupies the
         # destination rail for its serialization time before delivery;
         # on lossy fabrics a deep receive backlog additionally degrades
         # throughput (incast collapse): the drain slows by a factor
         # proportional to the queue depth, capped so the model stays
         # bounded (real TCP throughput collapses to a floor, not to 0)
-        rx = self._rx_free[self.topology.node_of(msg.dst)]
-        start_rx = max(arrival - ser, rx[rail])
+        rx = self._rx_free[dst_node]
+        start_rx = max(arrival - ser, rx[rx_rail])
         if params.incast_penalty > 0.0 and ser > 0.0:
             depth = (start_rx - (arrival - ser)) / ser
             ser *= 1.0 + params.incast_penalty * min(depth, INCAST_DEPTH_CAP)
         delivery = start_rx + ser
-        rx[rail] = delivery
+        rx[rx_rail] = delivery
         self.sim.at(max(delivery, self.sim.now), self._deliver, msg)
+
+    # ------------------------------------------------------------------
+    # reliable transport (retransmission on injected message loss)
+    # ------------------------------------------------------------------
+
+    def _rto(self, msg: _Message, same_node: bool) -> float:
+        """Retransmission timeout with exponential backoff.
+
+        The base is a couple of unloaded round-trips (the time an ack
+        would take to not arrive), doubled for every failed attempt.
+        """
+        link = self.params.link(same_node)
+        base = 2.0 * link.transfer_time(msg.nbytes)
+        return base * (2.0 ** (msg.attempts - 1))
+
+    def _drop(self, msg: _Message, t_post: float, same_node: bool) -> None:
+        """An injected fault ate one transmission attempt of ``msg``."""
+        self._faults.messages_dropped += 1
+        msg.attempts += 1
+        if not self._reliable:
+            return  # the message silently vanishes: the receiver blocks
+        if msg.attempts > self._max_retries:
+            raise MessageLostError(
+                f"message src={msg.src} dst={msg.dst} tag={msg.tag} "
+                f"comm={msg.comm_id} {msg.nbytes}B lost after "
+                f"{self._max_retries} retransmission attempts "
+                f"(t={self.sim.now:.6f}s)"
+            )
+        self.retransmits += 1
+        retry_at = max(t_post + self._rto(msg, same_node), self.sim.now)
+        self.sim.at(retry_at, self._retransmit, msg, same_node)
+
+    def _retransmit(self, msg: _Message, same_node: bool) -> None:
+        self._inject(msg, self.sim.now, same_node)
 
     def _on_send_complete(self, msg: _Message) -> None:
         """Rendezvous data fully injected: the send buffer is reusable."""

@@ -25,6 +25,13 @@ import numpy as np
 
 __all__ = ["NoiseModel", "NullNoise"]
 
+#: stream constants separating the derived-seed families: without them a
+#: rank's compute-noise stream (``spawn``) and the network-jitter stream
+#: (``jitter_only``) derived from the same offset would be the *same*
+#: RNG sequence, silently correlating compute noise with link jitter
+_COMPUTE_STREAM = 0
+_JITTER_STREAM = 1
+
 
 @dataclass
 class NoiseModel:
@@ -77,14 +84,18 @@ class NoiseModel:
             factor *= self._rng.uniform(self.outlier_lo, self.outlier_hi)
         return duration * max(factor, 0.1)
 
+    def _derive_seed(self, offset: int, stream: int) -> int:
+        """Distinct seed per (offset, stream family) pair."""
+        return (self.seed * 1_000_003 + offset) * 2 + stream
+
     def spawn(self, offset: int) -> "NoiseModel":
-        """Derive an independent stream (e.g. one per rank)."""
+        """Derive an independent compute-noise stream (e.g. one per rank)."""
         return NoiseModel(
             sigma=self.sigma,
             outlier_prob=self.outlier_prob,
             outlier_lo=self.outlier_lo,
             outlier_hi=self.outlier_hi,
-            seed=self.seed * 1_000_003 + offset,
+            seed=self._derive_seed(offset, _COMPUTE_STREAM),
         )
 
     def jitter_only(self, offset: int) -> "NoiseModel":
@@ -92,12 +103,14 @@ class NoiseModel:
 
         Used for network-side perturbation: OS interference (the
         heavy-tail component) steals *CPU* time; link serialization
-        only sees small physical jitter.
+        only sees small physical jitter.  The derived seed lives in a
+        different stream family from :meth:`spawn`, so ``spawn(k)`` and
+        ``jitter_only(k)`` never alias the same RNG sequence.
         """
         return NoiseModel(
             sigma=self.sigma,
             outlier_prob=0.0,
-            seed=self.seed * 1_000_003 + offset,
+            seed=self._derive_seed(offset, _JITTER_STREAM),
         )
 
 

@@ -67,15 +67,17 @@ class Waitable:
 class SendRequest(Waitable):
     """Handle for a posted non-blocking send."""
 
-    __slots__ = ("peer", "tag", "nbytes", "post_time", "complete_time")
+    __slots__ = ("peer", "tag", "nbytes", "post_time", "complete_time", "comm_id")
 
-    def __init__(self, peer: int, tag: int, nbytes: int, post_time: float):
+    def __init__(self, peer: int, tag: int, nbytes: int, post_time: float,
+                 comm_id: int = 0):
         super().__init__()
         self.peer = peer
         self.tag = tag
         self.nbytes = nbytes
         self.post_time = post_time
         self.complete_time: Optional[float] = None
+        self.comm_id = comm_id
 
     def __repr__(self) -> str:  # pragma: no cover
         state = "done" if self.done else "pending"
@@ -89,9 +91,11 @@ class RecvRequest(Waitable):
     one) once the request is complete.
     """
 
-    __slots__ = ("peer", "tag", "nbytes", "post_time", "complete_time", "data")
+    __slots__ = ("peer", "tag", "nbytes", "post_time", "complete_time", "data",
+                 "comm_id")
 
-    def __init__(self, peer: int, tag: int, nbytes: int, post_time: float):
+    def __init__(self, peer: int, tag: int, nbytes: int, post_time: float,
+                 comm_id: int = 0):
         super().__init__()
         self.peer = peer
         self.tag = tag
@@ -99,6 +103,7 @@ class RecvRequest(Waitable):
         self.post_time = post_time
         self.complete_time: Optional[float] = None
         self.data: Any = None
+        self.comm_id = comm_id
 
     def __repr__(self) -> str:  # pragma: no cover
         state = "done" if self.done else "pending"

@@ -46,3 +46,37 @@ def test_non_object_file_raises(tmp_path):
     path.write_text(json.dumps([1, 2, 3]))
     with pytest.raises(HistoryError):
         HistoryStore(str(path))
+
+
+# ---------------------------------------------------------------------------
+# non-strict mode: corrupt-store recovery
+# ---------------------------------------------------------------------------
+
+
+def test_nonstrict_recovers_from_truncated_json(tmp_path):
+    path = tmp_path / "trunc.json"
+    path.write_text('{"a": {"winner": "pair')  # crashed mid-write
+    store = HistoryStore(str(path), strict=False)
+    assert len(store) == 0
+    assert store.recovered_from == str(path) + ".corrupt"
+    # the corrupt payload was preserved for post-mortem ...
+    assert (tmp_path / "trunc.json.corrupt").read_text().startswith('{"a"')
+    # ... and the store is fully usable again
+    store.record("a", "pairwise", 3)
+    assert HistoryStore(str(path)).lookup("a") == "pairwise"
+
+
+def test_nonstrict_recovers_from_non_object_payload(tmp_path):
+    path = tmp_path / "list.json"
+    path.write_text(json.dumps([1, 2, 3]))
+    store = HistoryStore(str(path), strict=False)
+    assert len(store) == 0
+    assert store.recovered_from == str(path) + ".corrupt"
+
+
+def test_nonstrict_leaves_healthy_store_alone(tmp_path):
+    path = tmp_path / "ok.json"
+    HistoryStore(str(path)).record("k", "linear", 0)
+    store = HistoryStore(str(path), strict=False)
+    assert store.recovered_from is None
+    assert store.lookup("k") == "linear"

@@ -69,3 +69,61 @@ def test_cluster_estimate_robust_to_injected_outliers(clean):
     clean_mean = robust_mean(clean, method="cluster")
     poisoned = list(clean) + [1000.0, 2000.0]
     assert robust_mean(poisoned, method="cluster") == pytest.approx(clean_mean)
+
+
+# ---------------------------------------------------------------------------
+# drift detection
+# ---------------------------------------------------------------------------
+
+
+def test_drift_detector_validation():
+    from repro.adcl.statistics import DriftDetector
+    from repro.errors import AdclError
+
+    with pytest.raises(AdclError):
+        DriftDetector(window=0)
+    with pytest.raises(AdclError):
+        DriftDetector(threshold=1.0)
+    with pytest.raises(AdclError):
+        DriftDetector(baseline=0.0)
+
+
+def test_drift_fires_on_slowdown_and_latches():
+    from repro.adcl.statistics import DriftDetector
+
+    d = DriftDetector(baseline=1.0, window=4, threshold=1.75)
+    for _ in range(3):
+        assert not d.update(3.0)  # window not yet full
+    assert d.update(3.0)          # level 3.0 > 1.75 x baseline
+    assert d.drifted
+    assert d.update(1.0)          # latched even on healthy samples
+
+
+def test_drift_fires_on_speedup_too():
+    from repro.adcl.statistics import DriftDetector
+
+    d = DriftDetector(baseline=1.0, window=4, threshold=1.75)
+    for _ in range(3):
+        assert not d.update(0.4)
+    assert d.update(0.4)          # 0.4 * 1.75 < 1.0: decision was stale
+
+
+def test_no_drift_within_threshold():
+    from repro.adcl.statistics import DriftDetector
+
+    d = DriftDetector(baseline=1.0, window=3, threshold=2.0)
+    for x in (1.4, 0.7, 1.2, 1.5, 0.8, 1.0):
+        assert not d.update(x)
+    assert not d.drifted
+
+
+def test_unknown_baseline_uses_first_full_window():
+    from repro.adcl.statistics import DriftDetector
+
+    d = DriftDetector(baseline=None, window=3, threshold=1.75)
+    for x in (1.0, 1.0, 1.0):
+        assert not d.update(x)
+    assert d.baseline == pytest.approx(1.0)
+    for _ in range(2):
+        d.update(5.0)
+    assert d.update(5.0)

@@ -46,6 +46,24 @@ def test_spawn_streams_independent():
     assert [a.perturb(1.0) for _ in range(5)] != [b.perturb(1.0) for _ in range(5)]
 
 
+def test_spawn_and_jitter_only_streams_never_alias():
+    """Regression: ``spawn(k)`` and ``jitter_only(k)`` once derived the
+    *same* seed (``seed * 1_000_003 + offset``), silently correlating a
+    rank's compute noise with the network jitter stream."""
+    base = NoiseModel(sigma=0.1, seed=5)
+    for offset in range(8):
+        compute = base.spawn(offset)
+        jitter = base.jitter_only(offset)
+        assert compute.seed != jitter.seed
+        xs = [compute.perturb(1.0) for _ in range(10)]
+        ys = [jitter.perturb(1.0) for _ in range(10)]
+        assert xs != ys
+    # distinct offsets stay distinct within each family too
+    seeds = [base.spawn(k).seed for k in range(32)]
+    seeds += [base.jitter_only(k).seed for k in range(32)]
+    assert len(set(seeds)) == len(seeds)
+
+
 def test_jitter_only_strips_outliers():
     base = NoiseModel(sigma=0.05, outlier_prob=0.9, seed=5)
     j = base.jitter_only(3)

@@ -18,6 +18,7 @@ collective operations.  Main concepts:
 """
 
 from .attributes import Attribute, AttributeSet
+from .checkpoint import CheckpointStore, restore, snapshot
 from .cotuning import CoTuner
 from .fnsets import (
     IBCAST_SEGSIZES,
@@ -47,6 +48,7 @@ __all__ = [
     "Attribute",
     "AttributeSet",
     "BruteForceSelector",
+    "CheckpointStore",
     "CoTuner",
     "CollFunction",
     "CollSpec",
@@ -69,5 +71,7 @@ __all__ = [
     "ibcast_function_set",
     "ireduce_function_set",
     "make_selector",
+    "restore",
     "robust_mean",
+    "snapshot",
 ]

@@ -21,7 +21,44 @@ from typing import Optional
 
 from ..errors import HistoryError
 
-__all__ = ["HistoryStore"]
+__all__ = ["HistoryStore", "atomic_write_json"]
+
+
+def atomic_write_json(path: str, obj) -> None:
+    """Crash-safe JSON write: unique temp file, fsync, atomic rename.
+
+    A reader (or a restarted process) either sees the previous complete
+    file or the new complete file — never a torn write.  The temp name
+    embeds the writer's PID so two processes updating the same store
+    cannot trample each other's in-progress temp file, and the data is
+    fsync'd before the rename so a machine crash cannot leave a renamed
+    but empty file.  The directory fsync (best-effort) persists the
+    rename itself.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    tmp = f"{path}.{os.getpid()}.tmp"
+    try:
+        with open(tmp, "w", encoding="utf-8") as fh:
+            json.dump(obj, fh, indent=1, sort_keys=True)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+    try:
+        dfd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # platform without directory fds: rename is still atomic
+    try:
+        os.fsync(dfd)
+    except OSError:
+        pass
+    finally:
+        os.close(dfd)
 
 
 class HistoryStore:
@@ -79,10 +116,7 @@ class HistoryStore:
     def _save(self) -> None:
         if self.path is None:
             return
-        tmp = f"{self.path}.tmp"
-        with open(tmp, "w", encoding="utf-8") as fh:
-            json.dump(self._records, fh, indent=1, sort_keys=True)
-        os.replace(tmp, self.path)
+        atomic_write_json(self.path, self._records)
 
     # ------------------------------------------------------------------
 

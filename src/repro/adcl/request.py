@@ -128,6 +128,12 @@ class ADCLRequest:
         self._drift: Optional[DriftDetector] = None
         #: number of drift-triggered re-tunes so far
         self.retunes = 0
+        #: event journal of the tuning run: every selection, measurement
+        #: and quarantine, in order.  Replaying it through the live code
+        #: path reconstructs the selection state bit-identically — the
+        #: basis of checkpoint/restore (:mod:`repro.adcl.checkpoint`)
+        self._journal: list[list] = []
+        self._replaying = False
 
     def _configure_selector(self, selector: Selector) -> None:
         if self.resilience is None:
@@ -177,6 +183,7 @@ class ADCLRequest:
             if self.resilience is not None:
                 fn_idx = self.selector.substitute(fn_idx)
             self._iter_fn[it] = fn_idx
+            self._journal.append(["iter", it, fn_idx])
         fn = self.fnset[fn_idx]
         handle = fn.make(ctx, self.spec, buffers)
         rs["handles"].append((handle, it, fn_idx, ctx.now))
@@ -242,16 +249,19 @@ class ADCLRequest:
         rel = it - self._epoch_start
         if rel < 0:
             return  # measured before the last re-tune: stale, discard
+        if not self._replaying:
+            self._journal.append(["feed", it, fn_idx, seconds])
         was_decided = self.selector.decided
         self.selector.feed(rel, fn_idx, seconds)
         if not self.selector.decided:
             return
         if not self._history_saved and self.history is not None:
-            self.history.record(
-                self._history_key,
-                self.selector.winner_name,
-                self.selector.decided_at,
-            )
+            if not self._replaying:
+                self.history.record(
+                    self._history_key,
+                    self.selector.winner_name,
+                    self.selector.decided_at,
+                )
             self._history_saved = True
         if self.resilience is None or self.resilience.drift_window < 1:
             return
@@ -275,7 +285,8 @@ class ADCLRequest:
     def _reopen(self, it: int) -> None:
         """Drift detected: invalidate the decision and re-enter learning."""
         self.retunes += 1
-        if self.history is not None and self._history_key is not None:
+        if (self.history is not None and self._history_key is not None
+                and not self._replaying):
             self.history.forget(self._history_key)
         self._history_saved = False
         if self.selector is not self._tuning_selector:
@@ -329,7 +340,96 @@ class ADCLRequest:
 
     def quarantine(self, fn_index: int, reason: str, sticky: bool = True) -> bool:
         """Quarantine a candidate (harness abort path). True if newly done."""
-        return self.selector.quarantine(fn_index, reason, sticky=sticky)
+        done = self.selector.quarantine(fn_index, reason, sticky=sticky)
+        if done and not self._replaying:
+            self._journal.append(["quar", fn_index, reason, sticky])
+        return done
+
+    # ------------------------------------------------------------------
+    # checkpoint / process-failure recovery
+    # ------------------------------------------------------------------
+
+    @property
+    def epoch(self) -> int:
+        """Monotone decision epoch: number of journaled tuning events.
+
+        Two replicas of the same request are in the same selection state
+        iff their epochs match — this is the value survivors ``agree()``
+        on after a crash to pick the most advanced usable checkpoint.
+        """
+        return len(self._journal)
+
+    def journal_events(self) -> list[list]:
+        """A deep-enough copy of the event journal (for snapshots)."""
+        return [list(ev) for ev in self._journal]
+
+    def replay(self, events) -> None:
+        """Reconstruct tuning state by replaying a journal (restore path).
+
+        Must be called on a *fresh* request (epoch 0) built with the same
+        function-set and selector configuration that produced the
+        journal.  Events run through the live code paths — the selector
+        sees the exact sequence of selections, measurements and
+        quarantines of the original run, so the reconstructed state is
+        bit-identical — with persistence side effects (history writes)
+        suppressed.
+        """
+        if self._journal:
+            raise AdclError("replay() requires a fresh request (epoch 0)")
+        self._replaying = True
+        try:
+            for ev in events:
+                tag = ev[0]
+                if tag == "iter":
+                    _, it, fn_idx = ev
+                    if it > self._max_it:
+                        self._max_it = it
+                    rel = max(it - self._epoch_start, 0)
+                    got = self.selector.function_for_iteration(rel)
+                    if self.resilience is not None:
+                        got = self.selector.substitute(got)
+                    if got != fn_idx:
+                        raise AdclError(
+                            f"journal replay diverged at iteration {it}: "
+                            f"journal says function {fn_idx}, selector "
+                            f"chose {got} — checkpoint does not match this "
+                            f"request's configuration"
+                        )
+                    self._iter_fn[it] = fn_idx
+                elif tag == "feed":
+                    _, it, fn_idx, seconds = ev
+                    self._feed(it, fn_idx, seconds)
+                elif tag == "quar":
+                    _, fn_idx, reason, sticky = ev
+                    self.selector.quarantine(fn_idx, reason, sticky=sticky)
+                else:
+                    raise AdclError(f"unknown journal event {ev!r}")
+        finally:
+            self._replaying = False
+        self._journal = [list(ev) for ev in events]
+        self.reset_runtime()
+
+    def repair(self, new_comm) -> None:
+        """Rebind the request to a shrunken communicator (ULFM repair).
+
+        Called collectively by the fault-tolerant driver after
+        ``revoke``/``agree``/``shrink``: the problem spec is rebuilt
+        against the survivor communicator (a rooted operation's root is
+        clamped into the new size), live per-simulation state of the
+        aborted attempt is discarded, and tuning resumes with the
+        selection state intact.  The history key follows the new
+        signature — the decision will be recorded for the problem size
+        it was actually completed on.
+        """
+        spec = self.spec
+        root = min(spec.root, new_comm.size - 1)
+        self.spec = CollSpec(spec.kind, new_comm, spec.nbytes, root)
+        if self.history is not None:
+            platform = new_comm.world.platform.name
+            self._history_key = (
+                f"{self.fnset.name}@{platform}:{self.spec.signature()}"
+            )
+        self.reset_runtime()
 
     # ------------------------------------------------------------------
     # introspection

@@ -10,6 +10,7 @@
 * :mod:`repro.bench.runner` — fast-vs-paper-scale knobs.
 """
 
+from .ft import FTOverlapResult, run_overlap_ft
 from .overlap import (
     OverlapConfig,
     OverlapResult,
@@ -28,6 +29,7 @@ from .verification import (
 
 __all__ = [
     "CORRECTNESS_TOLERANCE",
+    "FTOverlapResult",
     "OverlapConfig",
     "OverlapResult",
     "ResilientOverlapResult",
@@ -40,6 +42,7 @@ __all__ = [
     "function_set_for",
     "paper_scale",
     "run_overlap",
+    "run_overlap_ft",
     "run_overlap_resilient",
     "run_verification",
     "scaled",

@@ -25,8 +25,10 @@ Examples
 from __future__ import annotations
 
 import argparse
+import dataclasses
 from typing import Optional, Sequence
 
+from .adcl.checkpoint import CheckpointStore
 from .adcl.resilience import Resilience
 from .apps.fft import FFTConfig, run_fft
 from .bench import (
@@ -35,9 +37,10 @@ from .bench import (
     format_table,
     function_set_for,
     run_overlap,
+    run_overlap_ft,
     run_overlap_resilient,
 )
-from .sim import FaultPlan, available_platforms, get_platform
+from .sim import FaultPlan, RankCrash, available_platforms, get_platform
 from .units import fmt_time, parse_size
 
 __all__ = ["main", "build_parser"]
@@ -48,6 +51,31 @@ def _parse_fault_plan(spec: str) -> FaultPlan:
         return FaultPlan.parse(spec)
     except Exception as exc:
         raise argparse.ArgumentTypeError(str(exc)) from exc
+
+
+def _parse_crashes(spec: str) -> tuple:
+    """Parse the ``--crash`` mini-language: ``RANK@T[:RESPAWN][,...]``."""
+    crashes = []
+    for clause in spec.split(","):
+        clause = clause.strip()
+        if not clause:
+            continue
+        rank, _, when = clause.partition("@")
+        if not when:
+            raise argparse.ArgumentTypeError(
+                f"crash clause {clause!r} must look like RANK@T[:RESPAWN]"
+            )
+        parts = when.split(":")
+        try:
+            respawn = float(parts[1]) if len(parts) > 1 else None
+            crashes.append(RankCrash(int(rank), float(parts[0]), respawn))
+        except Exception as exc:
+            raise argparse.ArgumentTypeError(
+                f"bad crash clause {clause!r}: {exc}"
+            ) from exc
+    if not crashes:
+        raise argparse.ArgumentTypeError("empty --crash specification")
+    return tuple(crashes)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -90,9 +118,25 @@ def build_parser() -> argparse.ArgumentParser:
                         choices=["brute_force", "heuristic", "factorial"])
     p_tune.add_argument("--evals", type=int, default=3,
                         help="measurements per candidate implementation")
-    p_tune.add_argument("--resilient", action="store_true",
-                        help="tune under the resilience policy: watchdog + "
-                             "restarts, candidate quarantine, drift re-tuning")
+    mode = p_tune.add_mutually_exclusive_group()
+    mode.add_argument("--resilient", action="store_true",
+                      help="tune under the resilience policy: watchdog + "
+                           "restarts, candidate quarantine, drift re-tuning")
+    mode.add_argument("--ft", action="store_true",
+                      help="fault-tolerant tuning: survive rank crashes "
+                           "in-simulation (revoke/agree/shrink recovery)")
+    p_tune.add_argument("--crash", type=_parse_crashes, default=None,
+                        metavar="SPEC",
+                        help="rank crashes, e.g. '5@0.015' or "
+                             "'5@0.015:1.0,2@0.02' (RANK@T[:RESPAWN], "
+                             "comma-separated); combine with --ft to recover")
+    p_tune.add_argument("--checkpoint", default=None, metavar="PATH",
+                        help="checkpoint store file for tuning state "
+                             "(with --ft); restores from it when present")
+    p_tune.add_argument("--checkpoint-every", type=int, default=0,
+                        metavar="N",
+                        help="snapshot tuning state every N completed "
+                             "iterations (with --ft and --checkpoint)")
     p_tune.add_argument("--unreliable", action="store_true",
                         help="naive transport: a dropped message is gone "
                              "(no ack/timeout/retransmit)")
@@ -114,6 +158,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _overlap_config(args) -> OverlapConfig:
+    faults = args.faults
+    crashes = getattr(args, "crash", None)
+    if crashes:
+        base = faults if faults is not None else FaultPlan()
+        faults = dataclasses.replace(base, crashes=base.crashes + crashes)
     return OverlapConfig(
         platform=args.platform,
         nprocs=args.nprocs,
@@ -123,7 +172,7 @@ def _overlap_config(args) -> OverlapConfig:
         paper_iterations=args.loop_iterations,
         iterations=args.iterations,
         nprogress=args.nprogress,
-        faults=args.faults,
+        faults=faults,
         reliable=not getattr(args, "unreliable", False),
     )
 
@@ -167,10 +216,23 @@ def cmd_tune(args) -> int:
             cfg, selector=args.selector, evals_per_function=args.evals,
             resilience=Resilience(deadline=args.deadline),
         )
+    elif args.ft:
+        store = None
+        restore_from = None
+        if args.checkpoint is not None:
+            store = CheckpointStore(args.checkpoint)
+            key = f"{cfg.operation}@{cfg.platform}:B{cfg.nbytes}"
+            restore_from = store.load(key)
+        res = run_overlap_ft(
+            cfg, selector=args.selector, evals_per_function=args.evals,
+            checkpoint=store, checkpoint_every=args.checkpoint_every,
+            restore_from=restore_from,
+        )
     else:
         res = run_overlap(cfg, selector=args.selector,
                           evals_per_function=args.evals)
-    mode = "resilient " if args.resilient else ""
+    mode = ("resilient " if args.resilient
+            else "fault-tolerant " if args.ft else "")
     print(f"tuning {cfg.describe()} with the {mode}{args.selector} selector")
     if cfg.faults is not None and not cfg.faults.empty:
         print(f"faults: {cfg.faults.describe()}")
@@ -189,6 +251,19 @@ def cmd_tune(args) -> int:
         if res.messages_dropped:
             print(f"messages dropped: {res.messages_dropped}, "
                   f"retransmitted: {res.retransmits}")
+    if args.ft:
+        if res.restored_epoch:
+            print(f"\nwarm start: restored tuning state at epoch "
+                  f"{res.restored_epoch} from {args.checkpoint}")
+        if res.dead:
+            print(f"\nrank crashes: {res.dead}  "
+                  f"repairs: {res.repairs}  survivors: {res.survivors}")
+            agreed = sorted({w or "-" for w in res.agreed_winner.values()})
+            print(f"agreed winner on all {len(res.agreed_winner)} "
+                  f"survivors: {', '.join(agreed)}")
+        if res.checkpoints_written:
+            print(f"checkpoints written: {res.checkpoints_written} "
+                  f"-> {args.checkpoint}")
     if res.winner is None:
         print("\nno decision yet — increase --iterations")
         return 1

@@ -45,6 +45,36 @@ class MessageLostError(FaultError):
     """
 
 
+class RankFailedError(SimulationError):
+    """An operation involves a crashed rank (ULFM ``MPI_ERR_PROC_FAILED``).
+
+    Raised inside a rank program when it posts to a dead peer, waits on a
+    request that can only be completed by a dead peer, or progresses a
+    collective whose schedule depends on one.  A program that does not
+    catch it propagates the error out of :meth:`repro.sim.mpi.SimWorld.
+    run` — the simulated equivalent of the default ``MPI_ERRORS_ARE_
+    FATAL``; a fault-tolerant program catches it and repairs the
+    communicator (revoke / shrink / agree).  :attr:`dead` carries the
+    world ranks known dead when the error was raised.
+    """
+
+    def __init__(self, message: str, dead: frozenset = frozenset()):
+        super().__init__(message)
+        #: world ranks known dead when the error was raised
+        self.dead = frozenset(dead)
+
+
+class CommRevokedError(SimulationError):
+    """An operation was posted on (or interrupted by) a revoked communicator.
+
+    The ULFM recovery pattern: the first rank observing a failure calls
+    :meth:`repro.sim.mpi.SimComm.revoke`, which interrupts every other
+    member's pending operations on that communicator so the whole group
+    converges into the repair path instead of hanging on a half-dead
+    collective.
+    """
+
+
 class WatchdogTimeout(SimulationError):
     """The virtual-time watchdog expired with ranks still blocked.
 
@@ -71,3 +101,12 @@ class SelectionError(AdclError):
 
 class HistoryError(AdclError):
     """The historic-learning store is unreadable or corrupt."""
+
+
+class CheckpointError(AdclError):
+    """A tuning-state checkpoint is missing, corrupt or incompatible.
+
+    Raised by :mod:`repro.adcl.checkpoint` when a snapshot cannot be
+    restored into the request it is offered to (different function-set,
+    different candidate list, malformed journal).
+    """

@@ -25,6 +25,7 @@ from .coll import (
     start_ibcast,
     start_ireduce,
 )
+from .ft import ft_collective
 from .iallgather import ALLGATHER_ALGORITHMS, build_iallgather
 from .ialltoall import ALLTOALL_ALGORITHMS, alltoall_scratch_bytes, build_ialltoall
 from .ibcast import BINOMIAL, IBCAST_FANOUTS, bcast_tree, build_ibcast
@@ -55,6 +56,7 @@ __all__ = [
     "build_ialltoall",
     "build_ibcast",
     "build_ireduce",
+    "ft_collective",
     "make_buffers",
     "reduce",
     "resolve",

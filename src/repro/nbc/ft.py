@@ -1,0 +1,89 @@
+"""Fault-tolerant execution of NBC collectives (ULFM recovery pattern).
+
+A non-blocking collective schedule is built against a fixed communicator
+size, so a rank crash mid-collective leaves the survivors holding rounds
+that can never complete.  :func:`ft_collective` wraps any ``start_*``
+builder from :mod:`repro.nbc.coll` in the standard User-Level Failure
+Mitigation recovery loop:
+
+1. run the collective, catching :class:`~repro.errors.RankFailedError` /
+   :class:`~repro.errors.CommRevokedError`;
+2. a failed member **revokes** the communicator, which interrupts every
+   other member's pending operations so nobody hangs on the half-dead
+   collective;
+3. all survivors run a fault-tolerant **agree** on the outcome — the
+   uniform-completion test: only if *every* live member finished cleanly
+   is the collective's result trusted (a member may complete locally,
+   e.g. a broadcast subtree, while others saw the failure);
+4. on a non-uniform outcome, everybody **shrinks** to the same dense
+   survivor communicator and the schedule is rebuilt against it —
+   in-flight ``Ibcast``/``Ialltoall`` are thereby retried post-repair.
+
+Stale messages of an aborted attempt can never match the retry: the
+shrunken communicator has a fresh ``comm_id``, and within one
+communicator every attempt reserves a fresh collective tag block.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..errors import CommRevokedError, RankFailedError
+from ..sim.mpi import MPIContext, SimComm
+from ..sim.process import Wait
+from .request import NBCRequest
+
+__all__ = ["ft_collective"]
+
+
+def ft_collective(
+    ctx: MPIContext,
+    start: Callable[[MPIContext, SimComm], NBCRequest],
+    comm: Optional[SimComm] = None,
+    max_repairs: Optional[int] = None,
+):
+    """Run ``start(ctx, comm)`` with ULFM-style repair (generator).
+
+    ``start`` must build *and post* the collective against the
+    communicator it is given (e.g. ``lambda ctx, comm:
+    start_ibcast(ctx, nbytes, comm=comm)``) — it is re-invoked against
+    the shrunken communicator after every repair.  Every live member of
+    ``comm`` must execute this call collectively.
+
+    Returns ``(request, comm, repairs)``: the completed request, the
+    communicator it finally completed on (the original one if no repair
+    was needed), and the number of repairs performed.  Raises the last
+    failure when ``max_repairs`` is exhausted.
+
+    Use as ``req, comm, repairs = yield from ft_collective(ctx, ...)``.
+    """
+    comm = comm or ctx.comm_world
+    repairs = 0
+    last_exc: Optional[BaseException] = None
+    while True:
+        if comm.revoked:
+            # a concurrent recovery already invalidated this communicator
+            comm = comm.shrink()
+        req = None
+        ok = 1
+        try:
+            req = start(ctx, comm)
+            yield Wait(req)
+        except (RankFailedError, CommRevokedError) as exc:
+            ok = 0
+            last_exc = exc
+            # interrupt everyone still blocked on the dead collective
+            comm.revoke(ctx)
+        # uniform-completion test: all survivors must have finished
+        flag = yield from comm.agree(ctx, ok)
+        if flag:
+            return req, comm, repairs
+        repairs += 1
+        if max_repairs is not None and repairs > max_repairs:
+            raise last_exc if last_exc is not None else RankFailedError(
+                f"rank {ctx.rank}: collective failed on a peer and "
+                f"max_repairs={max_repairs} is exhausted",
+                ctx.dead_ranks,
+            )
+        comm.revoke(ctx)
+        comm = comm.shrink()

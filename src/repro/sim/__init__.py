@@ -17,6 +17,7 @@ from .faults import (
     FaultPlan,
     LinkDegradation,
     RailFailure,
+    RankCrash,
 )
 from .mpi import MPIContext, RunResult, SimComm, SimWorld
 from .netmodel import LinkParams, MachineParams
@@ -44,6 +45,7 @@ __all__ = [
     "LinkDegradation",
     "LinkParams",
     "RailFailure",
+    "RankCrash",
     "MachineParams",
     "MPIContext",
     "MessageRecord",

@@ -22,6 +22,15 @@ can be exercised and regression-tested:
   (possibly multi-rail) NIC goes down for a window; traffic re-routes to
   the surviving rails, and if none survive the message is treated as
   dropped until a rail recovers.
+* **Rank crash** (:class:`RankCrash`) — a process dies at a virtual
+  time.  Unlike every fault above, this is not transient: the rank's
+  program is terminated, its pending operations will never complete, and
+  survivors touching it observe :class:`~repro.errors.RankFailedError`
+  instead of silently deadlocking.  Recovery (ULFM-style revoke/shrink/
+  agree) lives in :mod:`repro.sim.mpi`; the optional ``respawn_delay``
+  models how long a replacement process would take to join a subsequent
+  execution and is accounted by the fault-tolerant harness, not inside
+  the simulation (a crashed rank never returns within one run).
 
 A :class:`FaultPlan` is a frozen, hashable script of such faults; the
 :class:`FaultInjector` executes it against a :class:`~repro.sim.engine.
@@ -49,6 +58,7 @@ __all__ = [
     "DropRule",
     "LinkDegradation",
     "RailFailure",
+    "RankCrash",
     "FaultPlan",
     "FaultInjector",
 ]
@@ -125,6 +135,32 @@ class RailFailure:
 
 
 @dataclass(frozen=True)
+class RankCrash:
+    """World rank ``rank`` dies at virtual time ``t`` and never returns.
+
+    ``respawn_delay`` (optional) is the provisioning time a replacement
+    process would need before it could join a *subsequent* execution;
+    within one simulation the rank stays dead.  The fault-tolerant
+    harness (:func:`repro.bench.run_overlap_ft`) adds it to restart-time
+    accounting.
+    """
+
+    rank: int
+    t: float
+    respawn_delay: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.rank < 0:
+            raise FaultError(f"crash rank {self.rank} must be >= 0")
+        if self.t < 0.0:
+            raise FaultError(f"crash time {self.t!r} must be >= 0")
+        if self.respawn_delay is not None and self.respawn_delay < 0.0:
+            raise FaultError(
+                f"respawn delay {self.respawn_delay!r} must be >= 0"
+            )
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A deterministic, hashable script of faults for one simulation."""
 
@@ -133,6 +169,7 @@ class FaultPlan:
     #: ``(world_rank, slowdown_factor)`` pairs; factor > 1 slows compute
     stragglers: tuple[tuple[int, float], ...] = ()
     rail_failures: tuple[RailFailure, ...] = ()
+    crashes: tuple[RankCrash, ...] = ()
     seed: int = 0
 
     def __post_init__(self) -> None:
@@ -143,12 +180,18 @@ class FaultPlan:
                 raise FaultError(
                     f"straggler factor {factor!r} must be >= 1 (a slowdown)"
                 )
+        seen = set()
+        for crash in self.crashes:
+            if crash.rank in seen:
+                raise FaultError(f"rank {crash.rank} crashes more than once")
+            seen.add(crash.rank)
 
     @property
     def empty(self) -> bool:
         """True when the plan injects nothing at all."""
         return not (
-            self.drops or self.degradations or self.stragglers or self.rail_failures
+            self.drops or self.degradations or self.stragglers
+            or self.rail_failures or self.crashes
         )
 
     # ------------------------------------------------------------------
@@ -167,14 +210,18 @@ class FaultPlan:
             straggler=RANK:F      RANK computes F times slower
             rail=NODE:RAIL@T0     rail RAIL of NODE fails at T0 (forever)
             rail=NODE:RAIL@T0:T1  ... recovering at T1
+            crash=RANK@T          RANK dies at virtual time T (forever)
+            crash=RANK@T:D        ... a replacement needs D s to provision
             seed=N                seed of the drop RNG
 
-        Example: ``drop=0.02,degrade=0:0.5:4:8,straggler=3:2.5,seed=7``.
+        Example: ``drop=0.02,degrade=0:0.5:4:8,straggler=3:2.5,seed=7``
+        or ``crash=3@0.05`` to kill rank 3 at t=0.05s.
         """
         drops: list[DropRule] = []
         degradations: list[LinkDegradation] = []
         stragglers: list[tuple[int, float]] = []
         rails: list[RailFailure] = []
+        crashes: list[RankCrash] = []
         seed = 0
         for clause in filter(None, (c.strip() for c in spec.split(","))):
             key, sep, value = clause.partition("=")
@@ -205,6 +252,16 @@ class FaultPlan:
                     else:
                         t0, t1 = 0.0, math.inf
                     rails.append(RailFailure(int(node), int(rail), t0, t1))
+                elif key == "crash":
+                    rank, _, when = value.partition("@")
+                    if not when:
+                        raise FaultError(
+                            f"crash clause {clause!r} needs RANK@T[:RESPAWN]"
+                        )
+                    parts = when.split(":")
+                    t = float(parts[0])
+                    delay = float(parts[1]) if len(parts) > 1 else None
+                    crashes.append(RankCrash(int(rank), t, delay))
                 elif key == "seed":
                     seed = int(value)
                 else:
@@ -216,6 +273,7 @@ class FaultPlan:
             degradations=tuple(degradations),
             stragglers=tuple(stragglers),
             rail_failures=tuple(rails),
+            crashes=tuple(crashes),
             seed=seed,
         )
 
@@ -232,6 +290,9 @@ class FaultPlan:
             parts.append(f"{len(self.stragglers)} straggler(s)")
         if self.rail_failures:
             parts.append(f"{len(self.rail_failures)} rail failure(s)")
+        if self.crashes:
+            ranks = ",".join(str(c.rank) for c in self.crashes)
+            parts.append(f"{len(self.crashes)} rank crash(es) [{ranks}]")
         return ", ".join(parts) + f" (seed {self.seed})"
 
 
@@ -254,8 +315,15 @@ class FaultInjector:
         self._failed_rails: set[tuple[int, int]] = set()
         self._stragglers: dict[int, float] = dict(plan.stragglers)
         self._installed = False
+        #: world ranks the plan has killed so far (observability mirror of
+        #: the authoritative set kept by :class:`~repro.sim.mpi.SimWorld`)
+        self.dead: set[int] = set()
+        #: callback invoked when a crash fires; SimWorld wires this to its
+        #: crash handler before calling :meth:`install`
+        self.on_rank_crash = None
         #: observability counters
         self.messages_dropped = 0
+        self.ranks_crashed = 0
 
     # ------------------------------------------------------------------
     # installation (DES-event driven window boundaries)
@@ -276,6 +344,8 @@ class FaultInjector:
         for rf in self.plan.rail_failures:
             self._schedule(sim, now, rf.t_start, self._fail_rail, rf)
             self._schedule(sim, now, rf.t_end, self._restore_rail, rf)
+        for crash in self.plan.crashes:
+            self._schedule(sim, now, crash.t, self._crash, crash)
 
     @staticmethod
     def _schedule(sim, now: float, when: float, fn, arg) -> None:
@@ -305,6 +375,14 @@ class FaultInjector:
 
     def _restore_rail(self, rf: RailFailure) -> None:
         self._failed_rails.discard((rf.node, rf.rail))
+
+    def _crash(self, crash: RankCrash) -> None:
+        if crash.rank in self.dead:
+            return
+        self.dead.add(crash.rank)
+        self.ranks_crashed += 1
+        if self.on_rank_crash is not None:
+            self.on_rank_crash(crash)
 
     # ------------------------------------------------------------------
     # per-message / per-syscall queries (hot path)

@@ -26,19 +26,23 @@ current ``busy_until`` so bursts of posts serialize realistically.
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
 from ..errors import (
+    CommRevokedError,
     DeadlockError,
+    FaultError,
     MatchingError,
     MessageLostError,
+    RankFailedError,
     SimulationError,
     WatchdogTimeout,
 )
 from .engine import Simulator
-from .faults import FaultInjector, FaultPlan
+from .faults import FaultInjector, FaultPlan, RankCrash
 from .netmodel import MachineParams
 from .noise import NoiseModel, NullNoise
 from .platforms import Platform
@@ -109,9 +113,12 @@ class _RankState:
         "pending_data",
         "posted",
         "unexpected",
+        "open_by_peer",
+        "failed_excs",
         "n_active",
         "finished",
         "finish_time",
+        "dead",
         "noise",
     )
 
@@ -130,10 +137,44 @@ class _RankState:
         self.posted: dict[tuple[int, int, int], list[RecvRequest]] = {}
         #: unexpected messages: same key -> FIFO list
         self.unexpected: dict[tuple[int, int, int], list[_Message]] = {}
+        #: incomplete requests by world peer, so a crash/revoke can fail
+        #: exactly the operations that can no longer complete
+        self.open_by_peer: dict[int, list] = {}
+        #: failure notifications not yet reported to the program; sticky
+        #: until thrown into the generator at its next MPI syscall
+        self.failed_excs: list[BaseException] = []
         self.n_active = 0
         self.finished = False
         self.finish_time = 0.0
+        #: True once a :class:`~repro.sim.faults.RankCrash` killed this rank
+        self.dead = False
         self.noise = noise
+
+
+class _AgreeHandle(Waitable):
+    """Completion handle of one rank's :meth:`SimComm.agree` call.
+
+    Waits on it are *uninterruptible*: agreement must complete even when
+    new failures are reported mid-protocol (the ULFM guarantee), so the
+    sticky failure-notification machinery skips ranks blocked on one.
+    """
+
+    __slots__ = ()
+
+
+class _AgreeState:
+    """Shared state of one :meth:`SimComm.agree` instance (internal)."""
+
+    __slots__ = ("op", "contrib", "waiters", "decided", "result")
+
+    def __init__(self, op: str):
+        self.op = op
+        #: world rank -> contributed value
+        self.contrib: dict[int, int] = {}
+        #: ``(world_rank, handle)`` pairs blocked on the decision
+        self.waiters: list[tuple[int, Waitable]] = []
+        self.decided = False
+        self.result: Optional[int] = None
 
 
 class SimComm:
@@ -143,6 +184,13 @@ class SimComm:
     requires all members to issue collectives on a communicator in the
     same order, the counters stay synchronized across ranks without any
     simulated communication — the same trick LibNBC uses.
+
+    Process failures are handled ULFM-style: :meth:`revoke` interrupts
+    every member's pending operations so the whole group converges into
+    the recovery path, :meth:`shrink` builds a new dense communicator
+    over the survivors, and :meth:`agree` is a fault-tolerant agreement
+    that returns the same value on every survivor even when ranks die
+    mid-protocol.
     """
 
     _TAG_BASE = 1 << 16
@@ -155,6 +203,14 @@ class SimComm:
         self.comm_id = comm_id
         self._local_of = {w: i for i, w in enumerate(self.ranks)}
         self._coll_counter = [0] * len(self.ranks)
+        #: True once any member called :meth:`revoke`
+        self.revoked = False
+        #: per-local-rank agree-instance counters (collective ordering)
+        self._agree_seq = [0] * len(self.ranks)
+        self._agree_state: dict[int, _AgreeState] = {}
+        #: shrink memo keyed by the dead subset, so every survivor gets
+        #: the *same* replacement communicator object
+        self._shrunk: dict[frozenset, "SimComm"] = {}
 
     @property
     def size(self) -> int:
@@ -182,6 +238,98 @@ class SimComm:
         base = self._coll_counter[local]
         self._coll_counter[local] = base + span
         return self._TAG_BASE + base
+
+    # -- ULFM-style failure handling ----------------------------------
+
+    def live_ranks(self) -> list[int]:
+        """World ranks of this communicator that are still alive."""
+        dead = self.world._dead
+        if not dead:
+            return list(self.ranks)
+        return [r for r in self.ranks if r not in dead]
+
+    def failed_ranks(self) -> list[int]:
+        """World ranks of this communicator known to have crashed."""
+        dead = self.world._dead
+        if not dead:
+            return []
+        return [r for r in self.ranks if r in dead]
+
+    def revoke(self, ctx: Optional["MPIContext"] = None) -> None:
+        """Revoke the communicator (``MPIX_Comm_revoke``).
+
+        Idempotent.  Every member's pending operations on this
+        communicator fail with :class:`~repro.errors.CommRevokedError`,
+        blocked members are interrupted, and any further post on it
+        raises — so all survivors converge into the recovery path
+        instead of hanging on a half-dead collective.
+
+        Pass the calling rank's ``ctx`` when revoking from a recovery
+        path: the initiator's own leftover requests on the communicator
+        are then failed *silently* (no new failure notification — it
+        already knows, it is the one recovering).
+        """
+        if self.revoked:
+            return
+        self.revoked = True
+        initiator = ctx.rank if ctx is not None else None
+        self.world._revoke_sweep(self, initiator)
+
+    def shrink(self) -> "SimComm":
+        """New dense communicator over the survivors (``MPIX_Comm_shrink``).
+
+        The surviving ranks keep their relative order and are renumbered
+        densely from 0.  Memoized on the dead subset: every member that
+        shrinks after the same set of failures receives the *same*
+        communicator object (the replicated-state equivalent of shrink's
+        agreement on the failed group), with a fresh ``comm_id`` so
+        stale messages from the revoked parent can never match.
+        """
+        dead = frozenset(self.failed_ranks())
+        got = self._shrunk.get(dead)
+        if got is None:
+            got = self.world.make_comm(r for r in self.ranks if r not in dead)
+            self._shrunk[dead] = got
+        return got
+
+    def agree(self, ctx: "MPIContext", value: int, op: str = "and"):
+        """Fault-tolerant agreement (generator, ``MPIX_Comm_agree``).
+
+        Every live member must call this collectively (in the same order
+        relative to other ``agree`` calls on this communicator); each
+        contributes ``value`` and all receive the same result: the
+        bitwise AND (or ``min``/``max``) over the contributions of the
+        ranks still alive when the decision commits.  Ranks that die
+        mid-protocol are excluded and never block the decision; the call
+        works on revoked communicators (recovery needs it).
+
+        The protocol is modeled at the same level as the hard
+        :class:`~repro.sim.process.Barrier`: the decision commits on
+        shared replicated state once every live member contributed
+        (crashes re-trigger the commit check), and completion is charged
+        the cost of an up-and-down sweep of a binomial tree over the
+        survivor group.  Use ``yield from comm.agree(ctx, v)``.
+        """
+        if op not in ("and", "min", "max"):
+            raise SimulationError(f"unknown agree op {op!r}")
+        local = self.local_rank(ctx.rank)
+        inst = self._agree_seq[local]
+        self._agree_seq[local] = inst + 1
+        state = self._agree_state.get(inst)
+        if state is None:
+            state = _AgreeState(op)
+            self._agree_state[inst] = state
+        elif state.op != op:
+            raise SimulationError(
+                f"agree op mismatch: rank {ctx.rank} used {op!r}, "
+                f"others used {state.op!r}"
+            )
+        state.contrib[ctx.rank] = int(value)
+        handle = _AgreeHandle()
+        ctx.charge(self.world.params.o_send)  # entering the protocol
+        self.world._agree_join(self, state, ctx.rank, handle)
+        yield Wait(handle)
+        return state.result
 
 
 class RunResult:
@@ -244,6 +392,11 @@ class MPIContext:
     def nprocs(self) -> int:
         return self.world.topology.nprocs
 
+    @property
+    def dead_ranks(self) -> frozenset:
+        """World ranks known to have crashed (perfect failure detector)."""
+        return frozenset(self.world._dead)
+
     # -- cost accounting ----------------------------------------------
 
     def charge(self, seconds: float) -> None:
@@ -274,6 +427,10 @@ class MPIContext:
         defaults to the payload size.
         """
         comm = comm or self.world.comm_world
+        if comm.revoked:
+            raise CommRevokedError(
+                f"rank {self.rank}: isend on revoked communicator {comm.comm_id}"
+            )
         if nbytes is None:
             if data is None:
                 raise SimulationError("isend needs nbytes or data")
@@ -294,6 +451,10 @@ class MPIContext:
     ) -> RecvRequest:
         """Post a non-blocking receive from communicator-local ``source``."""
         comm = comm or self.world.comm_world
+        if comm.revoked:
+            raise CommRevokedError(
+                f"rank {self.rank}: irecv on revoked communicator {comm.comm_id}"
+            )
         wsrc = comm.world_rank(source)
         return self.world._post_irecv(self._st, wsrc, tag, comm.comm_id,
                                       int(nbytes), notify)
@@ -374,6 +535,10 @@ class SimWorld:
         self._barrier_waiting: list[int] = []
         self._barrier_time = 0.0
         self._launched = False
+        #: world ranks killed by a RankCrash fault (authoritative)
+        self._dead: set[int] = set()
+        #: agree instances whose decision has not committed yet
+        self._agree_pending: list[tuple[SimComm, _AgreeState]] = []
         if isinstance(faults, FaultPlan):
             faults = None if faults.empty else FaultInjector(faults)
         self._faults = faults
@@ -381,13 +546,27 @@ class SimWorld:
         self._max_retries = int(max_retries)
         #: retransmissions performed by the reliable transport (observability)
         self.retransmits = 0
+        #: messages discarded because their destination was dead
+        self.dead_letters = 0
         if self._faults is not None:
+            for crash in self._faults.plan.crashes:
+                if crash.rank >= nprocs:
+                    raise FaultError(
+                        f"crash rank {crash.rank} out of range for "
+                        f"nprocs={nprocs}"
+                    )
+            self._faults.on_rank_crash = self._on_rank_crash
             self._faults.install(self.sim)
 
     @property
     def faults(self) -> Optional[FaultInjector]:
         """The active fault injector, if any."""
         return self._faults
+
+    @property
+    def dead_ranks(self) -> frozenset:
+        """World ranks known to have crashed so far."""
+        return frozenset(self._dead)
 
     # ------------------------------------------------------------------
 
@@ -410,6 +589,9 @@ class SimWorld:
             raise SimulationError("SimWorld.launch() may only be called once")
         self._launched = True
         for st in self._ranks:
+            if st.dead:
+                # killed by a crash scheduled at t <= 0: never starts
+                continue
             st.gen = program_factory(st.ctx)
             self._n_unfinished += 1
             self.sim.at(0.0, self._resume, st.id, None)
@@ -428,15 +610,28 @@ class SimWorld:
             raise SimulationError("call launch() before run()")
         self.sim.run(until=deadline, stop_when=lambda: self._n_unfinished == 0)
         if self._n_unfinished:
-            blocked = [st.id for st in self._ranks if not st.finished]
+            blocked = [
+                st for st in self._ranks if not st.finished and not st.dead
+            ]
+            ids = [st.id for st in blocked]
+            dead = sorted(self._dead)
             head = (
-                f"{len(blocked)} unfinished rank(s): "
-                f"{blocked[:16]}{'...' if len(blocked) > 16 else ''}"
+                f"{len(ids)} unfinished rank(s): "
+                f"{ids[:16]}{'...' if len(ids) > 16 else ''}"
             )
+            if dead:
+                head += f"; dead rank(s): {dead}"
             if deadline is not None and self.sim.pending():
                 raise WatchdogTimeout(
                     f"watchdog expired at t={deadline!r}s with {head}\n"
                     + self.blocked_report()
+                )
+            on_dead = [st for st in blocked if self._blocked_on_dead(st)]
+            if on_dead:
+                raise RankFailedError(
+                    f"{len(on_dead)} rank(s) blocked on dead peer(s) — "
+                    f"not a cyclic wait: {head}\n" + self.blocked_report(),
+                    frozenset(self._dead),
                 )
             raise DeadlockError(
                 f"simulation stalled with {head}\n" + self.blocked_report()
@@ -444,6 +639,20 @@ class SimWorld:
         return RunResult(
             [st.finish_time for st in self._ranks], self.sim.events_dispatched
         )
+
+    def _blocked_on_dead(self, st: _RankState) -> bool:
+        """True when a blocked rank's wait depends on a crashed peer."""
+        if st.failed_excs:
+            return True
+        if not self._dead:
+            return False
+        if st.waiting is not None:
+            for item in st.waiting:
+                if item.failed is not None:
+                    return True
+                if getattr(item, "peer", None) in self._dead:
+                    return True
+        return any(peer in self._dead for peer in st.open_by_peer)
 
     # ------------------------------------------------------------------
     # diagnostics
@@ -458,12 +667,15 @@ class SimWorld:
         """
         in_barrier = set(self._barrier_waiting)
         lines = []
-        blocked = [st for st in self._ranks if not st.finished]
+        if self._dead:
+            lines.append(f"  dead rank(s): {sorted(self._dead)}")
+        blocked = [st for st in self._ranks if not st.finished and not st.dead]
+        n_live = len(self._ranks) - len(self._dead)
         for st in blocked[:max_ranks]:
             if st.id in in_barrier:
                 lines.append(
                     f"  rank {st.id}: in barrier "
-                    f"({len(in_barrier)}/{len(self._ranks)} arrived)"
+                    f"({len(in_barrier)}/{n_live} arrived)"
                 )
             elif st.waiting is not None:
                 pending = [it for it in st.waiting if not it.done]
@@ -477,14 +689,14 @@ class SimWorld:
             lines.append(f"  ... and {len(blocked) - max_ranks} more rank(s)")
         return "\n".join(lines)
 
-    @staticmethod
-    def _describe_waitable(item: Waitable) -> str:
-        if isinstance(item, SendRequest):
-            return (f"send(to={item.peer}, tag={item.tag}, "
-                    f"comm={item.comm_id}, {item.nbytes}B)")
-        if isinstance(item, RecvRequest):
-            return (f"recv(from={item.peer}, tag={item.tag}, "
-                    f"comm={item.comm_id}, {item.nbytes}B)")
+    def _describe_waitable(self, item: Waitable) -> str:
+        if isinstance(item, (SendRequest, RecvRequest)):
+            kind, prep = (
+                ("send", "to") if isinstance(item, SendRequest) else ("recv", "from")
+            )
+            note = " [peer DEAD]" if item.peer in self._dead else ""
+            return (f"{kind}({prep}={item.peer}, tag={item.tag}, "
+                    f"comm={item.comm_id}, {item.nbytes}B){note}")
         return repr(item)
 
     # ------------------------------------------------------------------
@@ -493,6 +705,8 @@ class SimWorld:
 
     def _resume(self, rank_id: int, value: Any) -> None:
         st = self._ranks[rank_id]
+        if st.dead:
+            return  # stale event scheduled before the crash
         st.busy_until = max(st.busy_until, self.sim.now)
         try:
             syscall = st.gen.send(value)
@@ -503,6 +717,50 @@ class SimWorld:
             return
         self._handle_syscall(st, syscall)
 
+    def _throw(self, rank_id: int, exc: BaseException) -> None:
+        """Throw a failure into a rank program suspended at a syscall.
+
+        The program either catches it (``try`` around its yields — the
+        fault-tolerant recovery path) and yields its next syscall, or
+        lets it propagate, which aborts the whole simulation with the
+        original exception (``MPI_ERRORS_ARE_FATAL`` semantics).
+        """
+        st = self._ranks[rank_id]
+        if st.dead or st.finished:
+            return
+        st.waiting = None
+        st.failed_excs.clear()
+        st.busy_until = max(st.busy_until, self.sim.now)
+        try:
+            syscall = st.gen.throw(exc)
+        except StopIteration:
+            st.finished = True
+            st.finish_time = st.busy_until
+            self._n_unfinished -= 1
+            return
+        self._handle_syscall(st, syscall)
+
+    @staticmethod
+    def _interruptible(items) -> bool:
+        """Whether a failure may be thrown into a rank waiting on ``items``.
+
+        Agreement waits are exempt: ULFM guarantees ``agree`` completes
+        despite failures reported mid-protocol, so pending notifications
+        stay queued until the agreement finishes (where they are
+        consumed — see :meth:`_agree_finish`).
+        """
+        return not all(isinstance(i, _AgreeHandle) for i in items)
+
+    def _deliver_failure(self, st: _RankState) -> None:
+        """Interrupt a *blocked* rank holding unreported failures."""
+        if st.dead or st.finished or not st.failed_excs:
+            return
+        if st.waiting is None:
+            return  # not blocked: it learns at its next MPI syscall
+        if not self._interruptible(st.waiting):
+            return  # blocked inside agree: immune until it completes
+        self._throw(st.id, st.failed_excs[0])
+
     def _handle_syscall(self, st: _RankState, sc: Any) -> None:
         if type(sc) is Compute:
             dur = st.noise.perturb(sc.seconds)
@@ -511,12 +769,22 @@ class SimWorld:
             st.busy_until += dur
             self.sim.at(st.busy_until, self._resume, st.id, None)
         elif type(sc) is Progress:
+            if st.failed_excs:
+                self._throw(st.id, st.failed_excs[0])
+                return
             self._mpi_entry(st)
             st.ctx.charge(self.params.progress_cost(st.n_active))
-            for h in sc.handles:
-                h.progress(st.ctx)
+            try:
+                for h in sc.handles:
+                    h.progress(st.ctx)
+            except (RankFailedError, CommRevokedError) as exc:
+                self._throw(st.id, exc)
+                return
             self.sim.at(st.busy_until, self._resume, st.id, None)
         elif type(sc) is Wait:
+            if st.failed_excs and self._interruptible(sc.items):
+                self._throw(st.id, st.failed_excs[0])
+                return
             self._mpi_entry(st)
             st.waiting = sc.items
             self._wait_try(st)
@@ -524,25 +792,42 @@ class SimWorld:
             self._mpi_entry(st)
             self._barrier_waiting.append(st.id)
             self._barrier_time = max(self._barrier_time, st.busy_until)
-            if len(self._barrier_waiting) == len(self._ranks):
-                when = self._barrier_time
-                waiting, self._barrier_waiting = self._barrier_waiting, []
-                self._barrier_time = 0.0
-                for rid in waiting:
-                    self._ranks[rid].busy_until = when
-                    self.sim.at(when, self._resume, rid, None)
+            self._barrier_maybe_release()
         else:
             raise SimulationError(f"rank {st.id} yielded unknown syscall {sc!r}")
+
+    def _barrier_maybe_release(self) -> None:
+        """Release the hard barrier once every *live* rank arrived."""
+        if not self._barrier_waiting:
+            return
+        if len(self._barrier_waiting) < len(self._ranks) - len(self._dead):
+            return
+        when = self._barrier_time
+        waiting, self._barrier_waiting = self._barrier_waiting, []
+        self._barrier_time = 0.0
+        for rid in waiting:
+            self._ranks[rid].busy_until = when
+            self.sim.at(when, self._resume, rid, None)
 
     def _wait_try(self, st: _RankState) -> None:
         """Re-evaluate a blocked rank's wait condition (spin semantics)."""
         items = st.waiting
         if items is None:
             return
+        if st.failed_excs and self._interruptible(items):
+            self._throw(st.id, st.failed_excs[0])
+            return
         ctx = st.ctx
         for item in items:
             if not item.done:
-                item.progress(ctx)
+                if item.failed is not None:
+                    self._throw(st.id, item.failed)
+                    return
+                try:
+                    item.progress(ctx)
+                except (RankFailedError, CommRevokedError) as exc:
+                    self._throw(st.id, exc)
+                    return
         for item in items:
             if not item.done:
                 return  # still blocked; a future event will retry
@@ -591,6 +876,11 @@ class SimWorld:
         notify: Optional[Callable],
     ) -> SendRequest:
         params = self.params
+        if wdst in self._dead:
+            raise RankFailedError(
+                f"rank {st.id}: isend to dead rank {wdst} "
+                f"(t={self.sim.now:.6f}s)", frozenset(self._dead),
+            )
         self._mpi_entry(st)  # any MPI call drives pending protocol actions
         st.ctx.charge(params.o_send)
         req = SendRequest(wdst, tag, nbytes, st.busy_until, comm_id)
@@ -610,6 +900,7 @@ class SimWorld:
                 notify(req, st.busy_until)
         else:
             st.n_active += 1
+            st.open_by_peer.setdefault(wdst, []).append(req)
             # RTS control message: latency only
             self.sim.at(
                 max(st.busy_until + link.alpha, self.sim.now),
@@ -627,6 +918,11 @@ class SimWorld:
         notify: Optional[Callable],
     ) -> RecvRequest:
         params = self.params
+        if wsrc in self._dead:
+            raise RankFailedError(
+                f"rank {st.id}: irecv from dead rank {wsrc} "
+                f"(t={self.sim.now:.6f}s)", frozenset(self._dead),
+            )
         self._mpi_entry(st)
         st.ctx.charge(params.o_recv)
         req = RecvRequest(wsrc, tag, nbytes, st.busy_until, comm_id)
@@ -649,10 +945,12 @@ class SimWorld:
                 # unexpected RTS: answer with CTS at this (in-MPI) moment
                 msg.recv_req = req
                 st.n_active += 1
+                st.open_by_peer.setdefault(wsrc, []).append(req)
                 st.pending_cts.append(msg)
                 self._mpi_entry(st)
         else:
             st.n_active += 1
+            st.open_by_peer.setdefault(wsrc, []).append(req)
             st.posted.setdefault(key, []).append(req)
         return req
 
@@ -689,6 +987,9 @@ class SimWorld:
         link degradation, rail failure and message drops; intra-node
         (shared-memory) transfers are never dropped or degraded.
         """
+        if self._dead and msg.dst in self._dead:
+            self.dead_letters += 1
+            return
         params = self.params
         link = params.link(same_node)
         ser = self._net_noise.perturb(link.serialization_time(msg.nbytes))
@@ -785,21 +1086,43 @@ class SimWorld:
     def _retransmit(self, msg: _Message, same_node: bool) -> None:
         self._inject(msg, self.sim.now, same_node)
 
+    @staticmethod
+    def _untrack(st: _RankState, req) -> None:
+        """Drop a finished request from the per-peer open-request index."""
+        queue = st.open_by_peer.get(req.peer)
+        if queue is None:
+            return
+        try:
+            queue.remove(req)
+        except ValueError:
+            return
+        if not queue:
+            del st.open_by_peer[req.peer]
+
     def _on_send_complete(self, msg: _Message) -> None:
         """Rendezvous data fully injected: the send buffer is reusable."""
         st = self._ranks[msg.src]
         req = msg.send_req
+        if st.dead or req.failed is not None:
+            return  # already accounted for by the crash/revoke sweep
         req.done = True
         req.complete_time = self.sim.now
         st.n_active -= 1
+        self._untrack(st, req)
         notify = getattr(req, "_notify", None)
         if notify is not None:
-            notify(req, self.sim.now)
+            try:
+                notify(req, self.sim.now)
+            except (RankFailedError, CommRevokedError) as exc:
+                st.failed_excs.append(exc)
         if st.waiting is not None:
             self._wait_try(st)
 
     def _on_rts_arrival(self, msg: _Message) -> None:
         st = self._ranks[msg.dst]
+        if st.dead:
+            self.dead_letters += 1
+            return
         key = (msg.src, msg.tag, msg.comm_id)
         queue = st.posted.get(key)
         if queue:
@@ -816,18 +1139,25 @@ class SimWorld:
 
     def _on_cts_arrival(self, msg: _Message) -> None:
         st = self._ranks[msg.src]
+        if st.dead or msg.send_req.failed is not None:
+            return
         st.pending_data.append(msg)
         if st.waiting is not None:
             self._mpi_entry(st)
 
     def _start_data_transfer(self, st: _RankState, msg: _Message) -> None:
         """Sender CPU noticed the CTS: move the payload."""
+        if msg.send_req.failed is not None:
+            return
         self._inject(msg, max(st.busy_until, self.sim.now),
                      self.topology.same_node(msg.src, msg.dst))
 
     def _deliver(self, msg: _Message) -> None:
         st = self._ranks[msg.dst]
         t = self.sim.now
+        if st.dead:
+            self.dead_letters += 1
+            return
         if msg.recv_req is not None:
             self._complete_recv(st, msg.recv_req, msg, t)
             return
@@ -844,12 +1174,209 @@ class SimWorld:
 
     def _complete_recv(self, st: _RankState, req: RecvRequest,
                        msg: _Message, t: float) -> None:
+        if req.failed is not None:
+            return  # failed by a crash/revoke sweep; message is dropped
         req.data = msg.data
         req.done = True
         req.complete_time = t
         st.n_active -= 1
+        self._untrack(st, req)
         notify = getattr(req, "_notify", None)
         if notify is not None:
-            notify(req, t)
+            try:
+                notify(req, t)
+            except (RankFailedError, CommRevokedError) as exc:
+                st.failed_excs.append(exc)
+        if st.waiting is not None:
+            self._wait_try(st)
+
+    # ------------------------------------------------------------------
+    # process failure: rank crash, revoke sweep, agreement commit
+    # ------------------------------------------------------------------
+
+    def _fail_request(self, st: _RankState, req, exc: BaseException,
+                      notify: bool = True) -> None:
+        """Permanently fail one of ``st``'s open requests.
+
+        With ``notify=False`` the request is marked failed but no sticky
+        failure notification is queued — used when the owning rank
+        itself triggered the failure (it revoked the communicator) and a
+        notification would only re-interrupt its recovery.
+        """
+        req.failed = exc
+        if notify:
+            st.failed_excs.append(exc)
+        st.n_active -= 1
+        if isinstance(req, RecvRequest):
+            key = (req.peer, req.tag, req.comm_id)
+            queue = st.posted.get(key)
+            if queue is not None:
+                try:
+                    queue.remove(req)
+                except ValueError:
+                    pass
+                else:
+                    if not queue:
+                        del st.posted[key]
+
+    def _on_rank_crash(self, crash: RankCrash) -> None:
+        """A :class:`~repro.sim.faults.RankCrash` fired: kill the rank.
+
+        The dead rank's program is closed and its driver state wiped;
+        every survivor's open request that depends on it is failed with
+        :class:`~repro.errors.RankFailedError`, blocked survivors are
+        interrupted immediately, the hard barrier is re-evaluated over
+        the live group, and pending agreements re-check their commit
+        condition (a dead rank must never block a decision).
+        """
+        rank = crash.rank
+        st = self._ranks[rank]
+        if st.dead or st.finished:
+            return  # already dead, or finished before the crash hit
+        now = self.sim.now
+        st.dead = True
+        self._dead.add(rank)
+        st.finish_time = now
+        st.waiting = None
+        st.failed_excs.clear()
+        st.pending_cts.clear()
+        st.pending_data.clear()
+        st.posted.clear()
+        st.unexpected.clear()
+        st.open_by_peer.clear()
+        st.n_active = 0
+        if st.gen is not None:
+            st.gen.close()
+            st.gen = None
+            self._n_unfinished -= 1
+        if rank in self._barrier_waiting:
+            self._barrier_waiting.remove(rank)
+        self._barrier_maybe_release()
+        exc = RankFailedError(
+            f"rank {rank} crashed at t={now:.6f}s", frozenset(self._dead)
+        )
+        for other in self._ranks:
+            if other.dead or other.finished:
+                continue
+            reqs = other.open_by_peer.pop(rank, None)
+            if not reqs:
+                continue
+            for req in reqs:
+                if req.done or req.failed is not None:
+                    continue
+                self._fail_request(other, req, exc)
+        if self._agree_pending:
+            still = []
+            for comm, state in self._agree_pending:
+                if not state.decided:
+                    self._agree_try_commit(comm, state)
+                if not state.decided:
+                    still.append((comm, state))
+            self._agree_pending = still
+        for other in list(self._ranks):
+            if not other.dead and not other.finished and other.failed_excs:
+                self._deliver_failure(other)
+
+    def _revoke_sweep(self, comm: SimComm,
+                      initiator: Optional[int] = None) -> None:
+        """Fail every live rank's pending operations on a revoked comm.
+
+        Interrupting blocked members is deferred by a zero-delay event so
+        a revoke issued from inside one rank's program frame never drives
+        another rank's generator reentrantly.  The ``initiator`` rank
+        (the one that called revoke, already in its recovery path) has
+        its leftover requests failed without queueing a notification.
+        """
+        cid = comm.comm_id
+        now = self.sim.now
+        for st in self._ranks:
+            if st.dead or st.finished:
+                continue
+            notify = st.id != initiator
+            hit = False
+            for peer in list(st.open_by_peer):
+                queue = st.open_by_peer[peer]
+                keep = []
+                for req in queue:
+                    if not req.done and req.failed is None and req.comm_id == cid:
+                        self._fail_request(st, req, CommRevokedError(
+                            f"communicator {cid} revoked at t={now:.6f}s"
+                        ), notify=notify)
+                        hit = notify
+                    else:
+                        keep.append(req)
+                if keep:
+                    st.open_by_peer[peer] = keep
+                else:
+                    del st.open_by_peer[peer]
+            if st.pending_cts:
+                st.pending_cts = [m for m in st.pending_cts if m.comm_id != cid]
+            if st.pending_data:
+                st.pending_data = [m for m in st.pending_data if m.comm_id != cid]
+            for key in [k for k in st.unexpected if k[2] == cid]:
+                del st.unexpected[key]
+            if hit and st.waiting is not None:
+                self.sim.at(now, self._deferred_failure, st.id)
+
+    def _deferred_failure(self, rank_id: int) -> None:
+        self._deliver_failure(self._ranks[rank_id])
+
+    def _agree_join(self, comm: SimComm, state: _AgreeState, rank: int,
+                    handle: Waitable) -> None:
+        state.waiters.append((rank, handle))
+        if state.decided:
+            # late joiner after the decision committed (defensive; a live
+            # member cannot be late — commit waits for all live members)
+            self.sim.at(self.sim.now, self._agree_finish, rank, handle)
+            return
+        if len(state.waiters) == 1:
+            self._agree_pending.append((comm, state))
+        self._agree_try_commit(comm, state)
+
+    def _agree_try_commit(self, comm: SimComm, state: _AgreeState) -> None:
+        """Commit the agreement once every live member contributed.
+
+        Re-invoked from :meth:`_on_rank_crash`, so a rank dying
+        mid-protocol shrinks the required contributor set instead of
+        blocking the decision forever; contributions from ranks that
+        died before the commit are excluded (ULFM allows either).
+        """
+        if state.decided:
+            return
+        live = [r for r in comm.ranks if r not in self._dead]
+        if not live:
+            return
+        contrib = state.contrib
+        for r in live:
+            if r not in contrib:
+                return
+        vals = [contrib[r] for r in live]
+        if state.op == "and":
+            result = vals[0]
+            for v in vals[1:]:
+                result &= v
+        elif state.op == "min":
+            result = min(vals)
+        else:
+            result = max(vals)
+        state.result = result
+        state.decided = True
+        # completion cost: an up-and-down sweep of a binomial tree over
+        # the survivor group, one inter-node latency per hop
+        rounds = math.ceil(math.log2(len(live))) if len(live) > 1 else 0
+        t_done = self.sim.now + 2.0 * rounds * self.params.link(False).alpha
+        for rank, handle in state.waiters:
+            self.sim.at(t_done, self._agree_finish, rank, handle)
+
+    def _agree_finish(self, rank: int, handle: Waitable) -> None:
+        st = self._ranks[rank]
+        if st.dead or st.finished or handle.done:
+            return
+        handle.done = True
+        # the agreement is the recovery synchronization point: completing
+        # it consumes every failure notification queued up to the decision
+        # (the program observes the failure set via comm.failed_ranks()
+        # afterwards); failures after the commit queue fresh notices
+        st.failed_excs.clear()
         if st.waiting is not None:
             self._wait_try(st)

@@ -52,10 +52,13 @@ class Waitable:
     rounds).
     """
 
-    __slots__ = ("done", "_notify")
+    __slots__ = ("done", "failed", "_notify")
 
     def __init__(self) -> None:
         self.done = False
+        #: the exception that permanently failed this request (a dead peer,
+        #: a revoked communicator), or ``None`` while it can still complete
+        self.failed = None
         #: optional completion callback ``(request, time) -> None`` used by
         #: the driver to bubble completions up to NBC schedules / waits
         self._notify = None

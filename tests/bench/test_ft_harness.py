@@ -1,0 +1,103 @@
+"""End-to-end fault-tolerant tuning: crash mid-tuning, recover, agree.
+
+These tests pin down the acceptance criteria for the process-failure
+work: with a seeded crash killing one of eight ranks mid-tuning, the
+fault-tolerant driver completes, every survivor reports the same winner
+through the fault-tolerant agreement, and a checkpointed restart re-runs
+strictly fewer learning iterations than a cold restart.
+"""
+
+import pytest
+
+from repro.adcl import CheckpointStore
+from repro.bench import OverlapConfig, run_overlap, run_overlap_ft
+from repro.errors import RankFailedError
+from repro.sim import FaultPlan, RankCrash
+from repro.units import KiB
+
+
+def config(crashes=(), iterations=20, nprocs=8, **kw):
+    plan = FaultPlan(crashes=tuple(crashes)) if crashes else None
+    return OverlapConfig(
+        platform="whale", nprocs=nprocs, operation="alltoall",
+        nbytes=64 * KiB, iterations=iterations, faults=plan, **kw,
+    )
+
+
+CRASH = RankCrash(5, 0.009)  # kills rank 5 of 8 mid-learning
+
+
+def test_crash_mid_tuning_recovers_and_completes():
+    res = run_overlap_ft(config([CRASH]), evals_per_function=2)
+    assert res.dead == [5]
+    assert res.survivors == [0, 1, 2, 3, 4, 6, 7]
+    assert res.repairs == 1
+    assert len(res.records) == 20  # all iterations completed despite crash
+    assert res.winner is not None
+
+
+def test_all_survivors_agree_on_the_winner():
+    res = run_overlap_ft(config([CRASH]), evals_per_function=2)
+    # every survivor reported through the final agreement ...
+    assert sorted(res.agreed_winner) == res.survivors
+    # ... and they all obtained the same decision
+    assert len(set(res.agreed_winner.values())) == 1
+    assert next(iter(res.agreed_winner.values())) == res.winner
+
+
+def test_no_fault_matches_plain_driver_decision():
+    plain = run_overlap(config(), evals_per_function=2)
+    ft = run_overlap_ft(config(), evals_per_function=2)
+    assert ft.dead == [] and ft.repairs == 0
+    assert ft.winner == plain.winner
+    assert ft.decided_at == plain.decided_at
+    assert sorted(ft.agreed_winner) == list(range(8))
+
+
+def test_checkpointed_restart_beats_cold_restart(tmp_path):
+    store = CheckpointStore(str(tmp_path / "ckpt.json"))
+
+    # first execution: crash, recover, checkpoint along the way
+    first = run_overlap_ft(
+        config([CRASH]), evals_per_function=2,
+        checkpoint=store, checkpoint_every=4,
+    )
+    assert first.checkpoints_written > 0
+    key = "alltoall@whale:B65536"
+    assert store.epoch(key) > 0
+
+    # cold restart re-learns from scratch; warm restart restores the
+    # journal and must re-run strictly fewer measurement iterations
+    cold = run_overlap_ft(config(), evals_per_function=2)
+    warm = run_overlap_ft(
+        config(), evals_per_function=2, restore_from=store.load(key),
+    )
+    assert warm.restored_epoch > 0
+    assert warm.learning_iterations < cold.learning_iterations
+    assert warm.winner == cold.winner
+
+
+def test_max_repairs_zero_aborts_on_crash():
+    with pytest.raises(RankFailedError):
+        run_overlap_ft(config([CRASH]), evals_per_function=2, max_repairs=0)
+
+
+def test_respawn_wait_is_accounted():
+    res = run_overlap_ft(
+        config([RankCrash(5, 0.009, respawn_delay=1.5)]),
+        evals_per_function=2,
+    )
+    assert res.dead == [5]
+    assert res.respawn_wait == pytest.approx(1.5)
+
+
+def test_two_crashes_two_repairs():
+    res = run_overlap_ft(
+        config([RankCrash(5, 0.009), RankCrash(2, 0.03)]),
+        evals_per_function=2,
+    )
+    assert res.dead == [2, 5]
+    assert res.survivors == [0, 1, 3, 4, 6, 7]
+    assert res.repairs == 2
+    assert len(res.records) == 20
+    assert len(set(res.agreed_winner.values())) == 1

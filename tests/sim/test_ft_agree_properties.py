@@ -1,0 +1,96 @@
+"""Property-based tests: agreement and shrink under random crash schedules.
+
+For *every* seeded crash schedule the fault-tolerant agreement must
+deliver the same value to every survivor (ULFM's uniformity guarantee),
+and shrink must produce one shared, dense, order-preserving survivor
+communicator.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import Compute, FaultPlan, RankCrash, SimWorld, get_platform
+
+
+def crash_schedules(max_procs=8):
+    """Strategy: (nprocs, ((rank, t), ...)) leaving >= 2 survivors."""
+
+    @st.composite
+    def build(draw):
+        nprocs = draw(st.integers(min_value=3, max_value=max_procs))
+        ncrash = draw(st.integers(min_value=0, max_value=nprocs - 2))
+        ranks = draw(
+            st.permutations(list(range(nprocs))).map(lambda p: p[:ncrash])
+        )
+        times = [
+            draw(st.floats(min_value=1e-6, max_value=8e-3,
+                           allow_nan=False, allow_infinity=False))
+            for _ in range(ncrash)
+        ]
+        return nprocs, tuple(zip(ranks, times))
+
+    return build()
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(crash_schedules())
+def test_agree_is_uniform_on_survivors_for_every_schedule(schedule):
+    nprocs, crashes = schedule
+    plan = FaultPlan(
+        crashes=tuple(RankCrash(r, t) for r, t in crashes)
+    ) if crashes else None
+    world = SimWorld(get_platform("whale"), nprocs, faults=plan)
+    comm = world.comm_world
+    out = {}
+
+    def prog(ctx):
+        # stagger the joins so crashes land before, between and after
+        # individual contributions
+        yield Compute(1e-3 * (ctx.rank + 1) / nprocs)
+        v = yield from comm.agree(ctx, ctx.rank + 1, op="max")
+        out[ctx.rank] = v
+
+    world.launch(prog)
+    world.run()
+    dead = world.dead_ranks
+    survivors = [r for r in range(nprocs) if r not in dead]
+    # every survivor decided, and they all decided the same value
+    assert set(out) >= set(survivors)
+    values = {out[r] for r in survivors}
+    assert len(values) == 1
+    # the decision is the op over contributions of a superset of the
+    # survivors (ranks that died mid-protocol may or may not be counted,
+    # but the result can never exceed the largest contribution)
+    value = values.pop()
+    assert max(r + 1 for r in survivors) <= value <= nprocs
+
+
+@settings(max_examples=60, deadline=None, derandomize=True)
+@given(crash_schedules())
+def test_shrink_is_shared_dense_and_ordered(schedule):
+    nprocs, crashes = schedule
+    plan = FaultPlan(
+        crashes=tuple(RankCrash(r, t) for r, t in crashes)
+    ) if crashes else None
+    world = SimWorld(get_platform("whale"), nprocs, faults=plan)
+    comm = world.comm_world
+    out = {}
+
+    def prog(ctx):
+        yield Compute(0.01)  # outlive every crash in the schedule
+        out[ctx.rank] = comm.shrink()
+
+    world.launch(prog)
+    world.run()
+    dead = world.dead_ranks
+    survivors = [r for r in range(nprocs) if r not in dead]
+    assert sorted(out) == survivors
+    # one shared communicator object for everyone (memoized agreement)
+    assert len({id(c) for c in out.values()}) == 1
+    sc = out[survivors[0]]
+    # dense and order-preserving over the survivors
+    assert list(sc.ranks) == survivors
+    assert [sc.local_rank(r) for r in sc.ranks] == list(range(len(survivors)))
+    if dead:
+        assert sc.comm_id != comm.comm_id
+    assert not sc.failed_ranks()

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Gate on performance regressions against the recorded baseline.
+
+Usage::
+
+    python benchmarks/check_perf_regression.py \
+        [current=benchmarks/out/BENCH_perf.json] \
+        [baseline=benchmarks/BENCH_perf_baseline.json] [--factor 3.0]
+
+Compares the higher-is-better metrics of a fresh ``BENCH_perf.json``
+(produced by ``benchmarks/test_perf_engine.py``) against the committed
+baseline and exits non-zero when any of them regressed by more than
+``--factor`` (default 3x).
+
+The wide factor is deliberate: absolute throughput moves with the host
+(CI runners differ from the machine that recorded the baseline), so the
+gate only catches order-of-magnitude breakage — a lost fast path, an
+accidentally disabled cache — not ordinary machine-to-machine noise.
+Ratio metrics (``speedup``, ``ratio``, ``hit_rate``) are host-independent
+and the 3x factor makes them an effectively hard floor.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: (section, key) metrics where larger is better
+METRICS = [
+    ("sweep_speedup", "speedup"),
+    ("sweep_speedup", "optimized_events_per_s"),
+    ("engine_microbench", "ratio"),
+    ("engine_microbench", "optimized_events_per_s"),
+    ("schedule_cache", "hit_rate"),
+    ("result_cache", "replay_speedup"),
+]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("current", nargs="?",
+                        default="benchmarks/out/BENCH_perf.json")
+    parser.add_argument("baseline", nargs="?",
+                        default="benchmarks/BENCH_perf_baseline.json")
+    parser.add_argument("--factor", type=float, default=3.0,
+                        help="maximum tolerated slowdown (default 3x)")
+    args = parser.parse_args(argv)
+
+    with open(args.current, encoding="utf-8") as fh:
+        current = json.load(fh)
+    with open(args.baseline, encoding="utf-8") as fh:
+        baseline = json.load(fh)
+
+    failures = []
+    width = max(len(f"{s}.{k}") for s, k in METRICS)
+    for section, key in METRICS:
+        base = baseline.get(section, {}).get(key)
+        cur = current.get(section, {}).get(key)
+        name = f"{section}.{key}"
+        if base is None or cur is None:
+            # a section may legitimately be absent (e.g. a partial run);
+            # the harness assertions are the primary gate, this is a net
+            print(f"SKIP  {name:<{width}}  (missing from "
+                  f"{'baseline' if base is None else 'current'})")
+            continue
+        ok = cur * args.factor >= base
+        verdict = "ok  " if ok else "FAIL"
+        print(f"{verdict}  {name:<{width}}  "
+              f"baseline {base:>14.4f}  current {cur:>14.4f}  "
+              f"({cur / base:.2f}x of baseline)")
+        if not ok:
+            failures.append(name)
+
+    if failures:
+        print(f"\nperformance regression (> {args.factor:g}x) in: "
+              + ", ".join(failures), file=sys.stderr)
+        return 1
+    print(f"\nno metric regressed by more than {args.factor:g}x")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,3 +1,7 @@
+# The seed-revision snapshot of repro.sim.mpi, kept verbatim for A/B
+# benchmarking by test_perf_engine.py. Only imports were adapted
+# (absolute paths; the seed event loop comes from legacy_engine).
+# Do not "improve" this file.
 """Simulated single-threaded MPI over the discrete-event kernel.
 
 This module provides the point-to-point substrate every collective in
@@ -27,12 +31,11 @@ current ``busy_until`` so bursts of posts serialize realistically.
 from __future__ import annotations
 
 import math
-from heapq import heappush as _heappush
 from typing import Any, Callable, Iterable, Optional, Sequence, Union
 
 import numpy as np
 
-from ..errors import (
+from repro.errors import (
     CommRevokedError,
     DeadlockError,
     FaultError,
@@ -42,12 +45,12 @@ from ..errors import (
     SimulationError,
     WatchdogTimeout,
 )
-from .engine import Simulator
-from .faults import FaultInjector, FaultPlan, RankCrash
-from .netmodel import MachineParams
-from .noise import NoiseModel, NullNoise
-from .platforms import Platform
-from .process import (
+from legacy_engine import Simulator
+from repro.sim.faults import FaultInjector, FaultPlan, RankCrash
+from repro.sim.netmodel import MachineParams
+from legacy_noise import NoiseModel, NullNoise
+from repro.sim.platforms import Platform
+from repro.sim.process import (
     Barrier,
     Compute,
     Progress,
@@ -56,7 +59,7 @@ from .process import (
     Wait,
     Waitable,
 )
-from .topology import Topology
+from repro.sim.topology import Topology
 
 __all__ = ["SimWorld", "SimComm", "MPIContext", "RunResult", "INCAST_DEPTH_CAP"]
 
@@ -107,7 +110,6 @@ class _RankState:
     __slots__ = (
         "id",
         "gen",
-        "gen_send",
         "ctx",
         "busy_until",
         "waiting",
@@ -122,16 +124,11 @@ class _RankState:
         "finish_time",
         "dead",
         "noise",
-        "perturb",
-        "noise_det",
     )
 
     def __init__(self, rank_id: int, noise: NoiseModel):
         self.id = rank_id
         self.gen = None
-        #: cached ``gen.send`` bound method (set in SimWorld.launch);
-        #: skips one descriptor binding per resume
-        self.gen_send = None
         self.ctx: Optional["MPIContext"] = None
         self.busy_until = 0.0
         #: tuple of waited-on items while blocked, else None
@@ -156,10 +153,6 @@ class _RankState:
         #: True once a :class:`~repro.sim.faults.RankCrash` killed this rank
         self.dead = False
         self.noise = noise
-        #: cached ``noise.perturb`` bound method (compute hot path),
-        #: and whether it is the identity (skips the call entirely)
-        self.perturb = noise.perturb
-        self.noise_det = noise.deterministic
 
 
 class _AgreeHandle(Waitable):
@@ -385,9 +378,7 @@ class MPIContext:
     @property
     def now(self) -> float:
         """This rank's own clock (virtual seconds, including CPU debt)."""
-        busy = self._st.busy_until
-        now = self.world.sim._now
-        return busy if busy > now else now
+        return max(self._st.busy_until, self.world.sim.now)
 
     @property
     def params(self) -> MachineParams:
@@ -415,9 +406,7 @@ class MPIContext:
     def charge(self, seconds: float) -> None:
         """Consume ``seconds`` of this rank's CPU time."""
         st = self._st
-        busy = st.busy_until
-        now = self.world.sim._now
-        st.busy_until = (busy if busy > now else now) + seconds
+        st.busy_until = max(st.busy_until, self.world.sim.now) + seconds
 
     def charge_copy(self, nbytes: int) -> None:
         """Consume the CPU time of a local memcpy of ``nbytes``."""
@@ -446,13 +435,12 @@ class MPIContext:
             raise CommRevokedError(
                 f"rank {self.rank}: isend on revoked communicator {comm.comm_id}"
             )
-        if data is not None:
-            if nbytes is None:
-                nbytes = data.nbytes if isinstance(data, np.ndarray) else len(data)
-            if isinstance(data, np.ndarray):
-                data = data.copy()
-        elif nbytes is None:
-            raise SimulationError("isend needs nbytes or data")
+        if nbytes is None:
+            if data is None:
+                raise SimulationError("isend needs nbytes or data")
+            nbytes = data.nbytes if isinstance(data, np.ndarray) else len(data)
+        if isinstance(data, np.ndarray):
+            data = data.copy()
         wdst = comm.world_rank(dest)
         return self.world._post_isend(self._st, wdst, tag, comm.comm_id,
                                       int(nbytes), data, notify)
@@ -525,16 +513,6 @@ class SimWorld:
         self.platform = platform
         self.params = platform.params
         self.topology = platform.topology(nprocs, placement=placement)
-        # hot-path precomputations: these back the inlined versions of
-        # params.progress_cost()/params.link() and topology lookups used
-        # once per event in the protocol paths below
-        self._progress_base = self.params.progress_base
-        self._progress_per_req = self.params.progress_per_req
-        self._node_of = tuple(
-            self.topology.node_of(r) for r in range(nprocs)
-        )
-        #: indexed by bool(same_node): (inter, intra)
-        self._links = (self.params.inter, self.params.intra)
         self.sim = Simulator()
         base_noise = noise if noise is not None else NullNoise()
         #: network-side noise stream (shared, deterministic draw order);
@@ -561,23 +539,6 @@ class SimWorld:
         self._barrier_waiting: list[int] = []
         self._barrier_time = 0.0
         self._launched = False
-        # cache hot callbacks in the instance dict: `self._resume` etc.
-        # are referenced once per posted event, and an instance-dict hit
-        # skips binding a fresh method object each time
-        self._resume = self._resume
-        self._post = self.sim.post
-        # inline-post protocol (engine.py: "Fast-path invariants"): the
-        # resume events this layer schedules are the majority of all
-        # heap traffic and are never in the past (busy_until is clamped
-        # to >= now before every charge), so they push heap tuples
-        # directly instead of paying a Simulator.post() call each
-        self._sim_heap = self.sim._heap
-        self._sim_seq = self.sim._seq
-        self._deliver = self._deliver
-        self._on_send_complete = self._on_send_complete
-        self._on_rts_arrival = self._on_rts_arrival
-        self._on_cts_arrival = self._on_cts_arrival
-        self._wait_try = self._wait_try
         #: world ranks killed by a RankCrash fault (authoritative)
         self._dead: set[int] = set()
         #: agree instances whose decision has not committed yet
@@ -636,9 +597,8 @@ class SimWorld:
                 # killed by a crash scheduled at t <= 0: never starts
                 continue
             st.gen = program_factory(st.ctx)
-            st.gen_send = st.gen.send
             self._n_unfinished += 1
-            self._post(0.0, self._resume, st, None)
+            self.sim.at(0.0, self._resume, st.id, None)
 
     def run(self, deadline: Optional[float] = None) -> RunResult:
         """Run the job to completion and return per-rank finish times.
@@ -652,13 +612,7 @@ class SimWorld:
         """
         if not self._launched:
             raise SimulationError("call launch() before run()")
-        # completion is signalled via Simulator.halt() at the moment
-        # _n_unfinished drops to zero (cheaper than a stop_when
-        # predicate evaluated after every event)
-        if self._n_unfinished == 0:
-            self.sim.halt()  # all ranks dead/finished before run()
-        else:
-            self.sim.run(until=deadline)
+        self.sim.run(until=deadline, stop_when=lambda: self._n_unfinished == 0)
         if self._n_unfinished:
             blocked = [
                 st for st in self._ranks if not st.finished and not st.dead
@@ -753,66 +707,17 @@ class SimWorld:
     # generator driving
     # ------------------------------------------------------------------
 
-    def _resume(self, st: _RankState, value: Any) -> None:
-        # the rank state is passed directly (not an id) to skip a list
-        # index on the single hottest callback in the simulation
+    def _resume(self, rank_id: int, value: Any) -> None:
+        st = self._ranks[rank_id]
         if st.dead:
             return  # stale event scheduled before the crash
-        now = self.sim._now
-        if st.busy_until < now:
-            st.busy_until = now
+        st.busy_until = max(st.busy_until, self.sim.now)
         try:
-            syscall = st.gen_send(value)
+            syscall = st.gen.send(value)
         except StopIteration:
             st.finished = True
             st.finish_time = st.busy_until
             self._n_unfinished -= 1
-            if self._n_unfinished == 0:
-                self.sim.halt()
-            return
-        # inline the Compute and Progress branches of _handle_syscall:
-        # one of each per chunk per iteration, together the overwhelming
-        # majority of syscalls.  Anything else takes the full dispatch.
-        tsc = type(syscall)
-        if tsc is Compute:
-            sec = syscall.seconds
-            dur = sec if st.noise_det else st.perturb(sec)
-            if self._faults is not None:
-                dur *= self._faults.compute_factor(st.id)
-            busy = st.busy_until + dur
-            st.busy_until = busy
-            # inline-post (see __init__): busy >= now by construction
-            _heappush(self._sim_heap,
-                      (busy, next(self._sim_seq), self._resume, (st, None)))
-            self.sim._live += 1
-            return
-        if tsc is Progress:
-            if st.failed_excs:
-                self._throw(st.id, st.failed_excs[0])
-                return
-            if st.pending_cts or st.pending_data:
-                self._mpi_entry(st)
-            # inlined ctx.charge(params.progress_cost(n_active)); the
-            # cost is summed first so the float grouping matches, and
-            # busy_until is already clamped to >= now above
-            st.busy_until = st.busy_until + (
-                self._progress_base + self._progress_per_req * st.n_active
-            )
-            try:
-                for h in syscall.handles:
-                    # progress() on a completed handle is a no-op; the
-                    # attribute read is far cheaper than the call
-                    if not h.done:
-                        h.progress(st.ctx)
-            except (RankFailedError, CommRevokedError) as exc:
-                self._throw(st.id, exc)
-                return
-            # inline-post: charges only ever move busy_until forward
-            _heappush(
-                self._sim_heap,
-                (st.busy_until, next(self._sim_seq), self._resume, (st, None)),
-            )
-            self.sim._live += 1
             return
         self._handle_syscall(st, syscall)
 
@@ -836,8 +741,6 @@ class SimWorld:
             st.finished = True
             st.finish_time = st.busy_until
             self._n_unfinished -= 1
-            if self._n_unfinished == 0:
-                self.sim.halt()
             return
         self._handle_syscall(st, syscall)
 
@@ -863,62 +766,37 @@ class SimWorld:
         self._throw(st.id, st.failed_excs[0])
 
     def _handle_syscall(self, st: _RankState, sc: Any) -> None:
-        # branch order: Compute is inlined in _resume, so Progress is
-        # the most frequent syscall arriving here
-        tsc = type(sc)
-        if tsc is Progress:
+        if type(sc) is Compute:
+            dur = st.noise.perturb(sc.seconds)
+            if self._faults is not None:
+                dur *= self._faults.compute_factor(st.id)
+            st.busy_until += dur
+            self.sim.at(st.busy_until, self._resume, st.id, None)
+        elif type(sc) is Progress:
             if st.failed_excs:
                 self._throw(st.id, st.failed_excs[0])
                 return
-            if st.pending_cts or st.pending_data:
-                self._mpi_entry(st)
-            # inlined ctx.charge(params.progress_cost(n_active)); the
-            # cost is summed first so the float grouping matches
-            busy = st.busy_until
-            now = self.sim._now
-            if busy < now:
-                busy = now
-            st.busy_until = busy + (
-                self._progress_base + self._progress_per_req * st.n_active
-            )
+            self._mpi_entry(st)
+            st.ctx.charge(self.params.progress_cost(st.n_active))
             try:
                 for h in sc.handles:
-                    if not h.done:
-                        h.progress(st.ctx)
+                    h.progress(st.ctx)
             except (RankFailedError, CommRevokedError) as exc:
                 self._throw(st.id, exc)
                 return
-            # inline-post (see __init__): busy_until was clamped to >= now
-            _heappush(
-                self._sim_heap,
-                (st.busy_until, next(self._sim_seq), self._resume, (st, None)),
-            )
-            self.sim._live += 1
-        elif tsc is Wait:
+            self.sim.at(st.busy_until, self._resume, st.id, None)
+        elif type(sc) is Wait:
             if st.failed_excs and self._interruptible(sc.items):
                 self._throw(st.id, st.failed_excs[0])
                 return
-            if st.pending_cts or st.pending_data:
-                self._mpi_entry(st)
+            self._mpi_entry(st)
             st.waiting = sc.items
             self._wait_try(st)
-        elif tsc is Barrier:
-            if st.pending_cts or st.pending_data:
-                self._mpi_entry(st)
+        elif type(sc) is Barrier:
+            self._mpi_entry(st)
             self._barrier_waiting.append(st.id)
             self._barrier_time = max(self._barrier_time, st.busy_until)
             self._barrier_maybe_release()
-        elif tsc is Compute:
-            sec = sc.seconds
-            dur = sec if st.noise_det else st.perturb(sec)
-            if self._faults is not None:
-                dur *= self._faults.compute_factor(st.id)
-            busy = st.busy_until + dur
-            st.busy_until = busy
-            # inline-post (see __init__): busy >= now by construction
-            _heappush(self._sim_heap,
-                      (busy, next(self._sim_seq), self._resume, (st, None)))
-            self.sim._live += 1
         else:
             raise SimulationError(f"rank {st.id} yielded unknown syscall {sc!r}")
 
@@ -931,16 +809,9 @@ class SimWorld:
         when = self._barrier_time
         waiting, self._barrier_waiting = self._barrier_waiting, []
         self._barrier_time = 0.0
-        heap = self._sim_heap
-        seq = self._sim_seq
-        resume = self._resume
-        ranks = self._ranks
         for rid in waiting:
-            st = ranks[rid]
-            st.busy_until = when
-            # inline-post: `when` is the latest arrival, hence >= now
-            _heappush(heap, (when, next(seq), resume, (st, None)))
-        self.sim._live += len(waiting)
+            self._ranks[rid].busy_until = when
+            self.sim.at(when, self._resume, rid, None)
 
     def _wait_try(self, st: _RankState) -> None:
         """Re-evaluate a blocked rank's wait condition (spin semantics)."""
@@ -965,19 +836,8 @@ class SimWorld:
             if not item.done:
                 return  # still blocked; a future event will retry
         st.waiting = None
-        # inlined ctx.charge(params.progress_cost(n_active)); the cost
-        # is summed first so the float grouping matches
-        busy = st.busy_until
-        now = self.sim._now
-        if busy < now:
-            busy = now
-        st.busy_until = busy + (
-            self._progress_base + self._progress_per_req * st.n_active
-        )
-        # inline-post (see __init__): busy_until was clamped to >= now
-        _heappush(self._sim_heap,
-                  (st.busy_until, next(self._sim_seq), self._resume, (st, None)))
-        self.sim._live += 1
+        ctx.charge(self.params.progress_cost(st.n_active))
+        self.sim.at(st.busy_until, self._resume, st.id, None)
 
     # ------------------------------------------------------------------
     # MPI entry (single-threaded progress semantics)
@@ -989,25 +849,17 @@ class SimWorld:
         Called whenever the rank is inside the MPI library: progress
         calls, waits (incl. every spin retry), and posts.
         """
+        params = self.params
         if st.pending_cts:
-            sim = self.sim
-            now = sim._now
-            node_of = self._node_of
-            o_send = self.params.o_send
-            heap = sim._heap
-            seq = sim._seq
-            on_cts = self._on_cts_arrival
             msgs, st.pending_cts = st.pending_cts, []
             for msg in msgs:
                 # sending a CTS control message costs one post overhead
-                # (inlined ctx.charge(params.o_send))
-                busy = st.busy_until
-                st.busy_until = busy = (busy if busy > now else now) + o_send
-                link = self._links[node_of[msg.src] == node_of[msg.dst]]
-                t = busy + link.alpha
-                _heappush(heap, (t if t > now else now, next(seq),
-                                 on_cts, (msg,)))
-                sim._live += 1
+                st.ctx.charge(params.o_send)
+                link = params.link(self.topology.same_node(msg.src, msg.dst))
+                self.sim.at(
+                    max(st.busy_until + link.alpha, self.sim.now),
+                    self._on_cts_arrival, msg,
+                )
         if st.pending_data:
             msgs, st.pending_data = st.pending_data, []
             for msg in msgs:
@@ -1028,22 +880,17 @@ class SimWorld:
         notify: Optional[Callable],
     ) -> SendRequest:
         params = self.params
-        if self._dead and wdst in self._dead:
+        if wdst in self._dead:
             raise RankFailedError(
                 f"rank {st.id}: isend to dead rank {wdst} "
                 f"(t={self.sim.now:.6f}s)", frozenset(self._dead),
             )
-        if st.pending_cts or st.pending_data:
-            self._mpi_entry(st)  # any MPI call drives pending protocol actions
-        # inlined st.ctx.charge(params.o_send)
-        busy = st.busy_until
-        now = self.sim._now
-        st.busy_until = (busy if busy > now else now) + params.o_send
+        self._mpi_entry(st)  # any MPI call drives pending protocol actions
+        st.ctx.charge(params.o_send)
         req = SendRequest(wdst, tag, nbytes, st.busy_until, comm_id)
         req._notify = notify  # type: ignore[attr-defined]
-        node_of = self._node_of
-        same_node = node_of[st.id] == node_of[wdst]
-        link = self._links[same_node]
+        same_node = self.topology.same_node(st.id, wdst)
+        link = params.link(same_node)
         eager = nbytes <= link.eager_threshold
         msg = _Message(st.id, wdst, tag, comm_id, nbytes, data, eager, req)
         if eager:
@@ -1059,12 +906,10 @@ class SimWorld:
             st.n_active += 1
             st.open_by_peer.setdefault(wdst, []).append(req)
             # RTS control message: latency only
-            sim = self.sim
-            t = st.busy_until + link.alpha
-            now = sim._now
-            _heappush(sim._heap, (t if t > now else now, next(sim._seq),
-                                  self._on_rts_arrival, (msg,)))
-            sim._live += 1
+            self.sim.at(
+                max(st.busy_until + link.alpha, self.sim.now),
+                self._on_rts_arrival, msg,
+            )
         return req
 
     def _post_irecv(
@@ -1077,17 +922,13 @@ class SimWorld:
         notify: Optional[Callable],
     ) -> RecvRequest:
         params = self.params
-        if self._dead and wsrc in self._dead:
+        if wsrc in self._dead:
             raise RankFailedError(
                 f"rank {st.id}: irecv from dead rank {wsrc} "
                 f"(t={self.sim.now:.6f}s)", frozenset(self._dead),
             )
-        if st.pending_cts or st.pending_data:
-            self._mpi_entry(st)
-        # inlined st.ctx.charge(params.o_recv)
-        busy = st.busy_until
-        now = self.sim._now
-        st.busy_until = (busy if busy > now else now) + params.o_recv
+        self._mpi_entry(st)
+        st.ctx.charge(params.o_recv)
         req = RecvRequest(wsrc, tag, nbytes, st.busy_until, comm_id)
         req._notify = notify  # type: ignore[attr-defined]
         key = (wsrc, tag, comm_id)
@@ -1154,38 +995,29 @@ class SimWorld:
             self.dead_letters += 1
             return
         params = self.params
-        sim = self.sim
-        now = sim._now
-        link = self._links[same_node]
-        # inlined link.serialization_time(nbytes)
-        ser = self._net_noise.perturb(link.per_msg + msg.nbytes / link.beta)
+        link = params.link(same_node)
+        ser = self._net_noise.perturb(link.serialization_time(msg.nbytes))
         if same_node:
             # intra-node transfers share the node's memory channels;
             # flooding them (many concurrent large copies) additionally
             # degrades each transfer (sm-BTL FIFO / cache contention)
-            mem = self._mem_free[self._node_of[msg.src]]
+            mem = self._mem_free[self.topology.node_of(msg.src)]
             rail = self._pair_hash(msg.src, msg.dst) % len(mem)
-            free = mem[rail]
-            start = t_post if t_post > free else free
+            start = max(t_post, mem[rail])
             if params.intra_contention > 0.0 and ser > 0.0:
                 depth = (start - t_post) / ser
                 ser *= 1.0 + params.intra_contention * min(depth, INCAST_DEPTH_CAP)
-            done = start + ser
-            mem[rail] = done
+            mem[rail] = start + ser
             arrival = start + link.alpha + ser
-            _heappush(sim._heap, (arrival if arrival > now else now,
-                                  next(sim._seq), self._deliver, (msg,)))
-            sim._live += 1
+            self.sim.at(max(arrival, self.sim.now), self._deliver, msg)
             if not msg.eager:
-                _heappush(sim._heap, (done if done > now else now,
-                                      next(sim._seq),
-                                      self._on_send_complete, (msg,)))
-                sim._live += 1
+                self.sim.at(max(start + ser, self.sim.now),
+                            self._on_send_complete, msg)
             return
         rail = self._rail_of(msg.src, msg.dst)
         alpha = link.alpha
-        src_node = self._node_of[msg.src]
-        dst_node = self._node_of[msg.dst]
+        src_node = self.topology.node_of(msg.src)
+        dst_node = self.topology.node_of(msg.dst)
         tx_rail = rx_rail = rail
         faults = self._faults
         if faults is not None:
@@ -1203,15 +1035,11 @@ class SimWorld:
                 self._drop(msg, t_post, same_node)
                 return
         tx = self._tx_free[src_node]
-        free = tx[tx_rail]
-        start = t_post if t_post > free else free
+        start = max(t_post, tx[tx_rail])
         tx[tx_rail] = start + ser
         if not msg.eager:
-            done = start + ser
-            _heappush(sim._heap, (done if done > now else now,
-                                  next(sim._seq),
-                                  self._on_send_complete, (msg,)))
-            sim._live += 1
+            self.sim.at(max(start + ser, self.sim.now),
+                        self._on_send_complete, msg)
         arrival = start + alpha + ser
         # receive-side rail contention (incast): the message occupies the
         # destination rail for its serialization time before delivery;
@@ -1220,17 +1048,13 @@ class SimWorld:
         # proportional to the queue depth, capped so the model stays
         # bounded (real TCP throughput collapses to a floor, not to 0)
         rx = self._rx_free[dst_node]
-        t_head = arrival - ser
-        free = rx[rx_rail]
-        start_rx = t_head if t_head > free else free
+        start_rx = max(arrival - ser, rx[rx_rail])
         if params.incast_penalty > 0.0 and ser > 0.0:
-            depth = (start_rx - t_head) / ser
+            depth = (start_rx - (arrival - ser)) / ser
             ser *= 1.0 + params.incast_penalty * min(depth, INCAST_DEPTH_CAP)
         delivery = start_rx + ser
         rx[rx_rail] = delivery
-        _heappush(sim._heap, (delivery if delivery > now else now,
-                              next(sim._seq), self._deliver, (msg,)))
-        sim._live += 1
+        self.sim.at(max(delivery, self.sim.now), self._deliver, msg)
 
     # ------------------------------------------------------------------
     # reliable transport (retransmission on injected message loss)
@@ -1261,7 +1085,7 @@ class SimWorld:
             )
         self.retransmits += 1
         retry_at = max(t_post + self._rto(msg, same_node), self.sim.now)
-        self._post(retry_at, self._retransmit, msg, same_node)
+        self.sim.at(retry_at, self._retransmit, msg, same_node)
 
     def _retransmit(self, msg: _Message, same_node: bool) -> None:
         self._inject(msg, self.sim.now, same_node)
@@ -1285,15 +1109,14 @@ class SimWorld:
         req = msg.send_req
         if st.dead or req.failed is not None:
             return  # already accounted for by the crash/revoke sweep
-        now = self.sim._now
         req.done = True
-        req.complete_time = now
+        req.complete_time = self.sim.now
         st.n_active -= 1
         self._untrack(st, req)
-        notify = req._notify
+        notify = getattr(req, "_notify", None)
         if notify is not None:
             try:
-                notify(req, now)
+                notify(req, self.sim.now)
             except (RankFailedError, CommRevokedError) as exc:
                 st.failed_excs.append(exc)
         if st.waiting is not None:
@@ -1330,15 +1153,12 @@ class SimWorld:
         """Sender CPU noticed the CTS: move the payload."""
         if msg.send_req.failed is not None:
             return
-        busy = st.busy_until
-        now = self.sim._now
-        node_of = self._node_of
-        self._inject(msg, busy if busy > now else now,
-                     node_of[msg.src] == node_of[msg.dst])
+        self._inject(msg, max(st.busy_until, self.sim.now),
+                     self.topology.same_node(msg.src, msg.dst))
 
     def _deliver(self, msg: _Message) -> None:
         st = self._ranks[msg.dst]
-        t = self.sim._now
+        t = self.sim.now
         if st.dead:
             self.dead_letters += 1
             return
@@ -1365,7 +1185,7 @@ class SimWorld:
         req.complete_time = t
         st.n_active -= 1
         self._untrack(st, req)
-        notify = req._notify
+        notify = getattr(req, "_notify", None)
         if notify is not None:
             try:
                 notify(req, t)
@@ -1432,10 +1252,7 @@ class SimWorld:
         if st.gen is not None:
             st.gen.close()
             st.gen = None
-            st.gen_send = None
             self._n_unfinished -= 1
-            if self._n_unfinished == 0:
-                self.sim.halt()
         if rank in self._barrier_waiting:
             self._barrier_waiting.remove(rank)
         self._barrier_maybe_release()
@@ -1503,7 +1320,7 @@ class SimWorld:
             for key in [k for k in st.unexpected if k[2] == cid]:
                 del st.unexpected[key]
             if hit and st.waiting is not None:
-                self._post(now, self._deferred_failure, st.id)
+                self.sim.at(now, self._deferred_failure, st.id)
 
     def _deferred_failure(self, rank_id: int) -> None:
         self._deliver_failure(self._ranks[rank_id])
@@ -1514,7 +1331,7 @@ class SimWorld:
         if state.decided:
             # late joiner after the decision committed (defensive; a live
             # member cannot be late — commit waits for all live members)
-            self._post(self.sim.now, self._agree_finish, rank, handle)
+            self.sim.at(self.sim.now, self._agree_finish, rank, handle)
             return
         if len(state.waiters) == 1:
             self._agree_pending.append((comm, state))
@@ -1553,7 +1370,7 @@ class SimWorld:
         rounds = math.ceil(math.log2(len(live))) if len(live) > 1 else 0
         t_done = self.sim.now + 2.0 * rounds * self.params.link(False).alpha
         for rank, handle in state.waiters:
-            self._post(t_done, self._agree_finish, rank, handle)
+            self.sim.at(t_done, self._agree_finish, rank, handle)
 
     def _agree_finish(self, rank: int, handle: Waitable) -> None:
         st = self._ranks[rank]

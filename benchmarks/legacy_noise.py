@@ -1,3 +1,6 @@
+# Verbatim snapshot of src/repro/sim/noise.py at the pre-optimization
+# baseline commit (c6e9d2f), kept for honest A/B benchmarking by
+# test_perf_engine.py. Do not modernize this file.
 """Stochastic noise model for simulated durations.
 
 The paper's measurements are taken on real clusters where operating-system
@@ -63,20 +66,11 @@ class NoiseModel:
         if self.outlier_lo > self.outlier_hi:
             raise ValueError("outlier_lo must be <= outlier_hi")
         self._rng = np.random.default_rng(self.seed)
-        # hot-path flag: perturb() runs once per simulated duration
-        self._deterministic = self.sigma == 0.0 and self.outlier_prob == 0.0
-        # bound methods, bypassing two attribute lookups per draw.
-        # standard_normal()*sigma is bit-identical to normal(0, sigma)
-        # (the latter computes loc + scale*standard_normal internally)
-        # and skips the loc/scale argument processing.
-        self._standard_normal = self._rng.standard_normal
-        self._random = self._rng.random
-        self._uniform = self._rng.uniform
 
     @property
     def deterministic(self) -> bool:
         """True when this model never perturbs a duration."""
-        return self._deterministic
+        return self.sigma == 0.0 and self.outlier_prob == 0.0
 
     def perturb(self, duration: float) -> float:
         """Return ``duration`` with jitter (and possibly an outlier) applied.
@@ -84,18 +78,14 @@ class NoiseModel:
         Negative results are clamped at 10% of the nominal duration so a
         wild jitter draw can never produce a non-positive time.
         """
-        if self._deterministic or duration <= 0.0:
+        if duration <= 0.0 or self.deterministic:
             return duration
         factor = 1.0
-        sigma = self.sigma
-        if sigma > 0.0:
-            factor += self._standard_normal() * sigma
-        outlier_prob = self.outlier_prob
-        if outlier_prob > 0.0 and self._random() < outlier_prob:
-            factor *= self._uniform(self.outlier_lo, self.outlier_hi)
-        if factor < 0.1:
-            factor = 0.1
-        return duration * factor
+        if self.sigma > 0.0:
+            factor += self._rng.normal(0.0, self.sigma)
+        if self.outlier_prob > 0.0 and self._rng.random() < self.outlier_prob:
+            factor *= self._rng.uniform(self.outlier_lo, self.outlier_hi)
+        return duration * max(factor, 0.1)
 
     def _derive_seed(self, offset: int, stream: int) -> int:
         """Distinct seed per (offset, stream family) pair."""

@@ -1,3 +1,7 @@
+# The seed-revision snapshot of repro.nbc.request, kept verbatim for A/B
+# benchmarking by test_perf_engine.py. Only imports were adapted
+# (absolute paths; the seed event loop comes from legacy_engine).
+# Do not "improve" this file.
 """Execution of collective schedules: the NBC request & progress engine.
 
 An :class:`NBCRequest` executes a :class:`~repro.nbc.schedule.Schedule`
@@ -19,14 +23,14 @@ in single-threaded MPI libraries.
 
 from __future__ import annotations
 
-from typing import Union, Optional
+from typing import Optional
 
 import numpy as np
 
-from ..errors import ScheduleError
-from ..sim.mpi import MPIContext, SimComm
-from ..sim.process import RecvRequest, Waitable
-from .schedule import CompiledSchedule, Schedule, resolve
+from repro.errors import ScheduleError
+from repro.sim.mpi import MPIContext, SimComm
+from repro.sim.process import RecvRequest, Waitable
+from repro.nbc.schedule import Schedule, resolve
 
 __all__ = ["NBCRequest", "make_buffers"]
 
@@ -61,11 +65,7 @@ class NBCRequest(Waitable):
     Parameters
     ----------
     schedule:
-        The per-rank schedule to execute — a mutable
-        :class:`~repro.nbc.schedule.Schedule` or a cached
-        :class:`~repro.nbc.schedule.CompiledSchedule` plan (all per-run
-        state lives in this request, so compiled plans are freely shared
-        across requests, ranks and iterations).
+        The per-rank schedule to execute.
     comm:
         Communicator the collective runs on.
     local_rank:
@@ -86,12 +86,11 @@ class NBCRequest(Waitable):
         "_round",
         "_pending",
         "_started",
-        "_nrounds",
     )
 
     def __init__(
         self,
-        schedule: Union[Schedule, CompiledSchedule],
+        schedule: Schedule,
         comm: SimComm,
         local_rank: int,
         buffers: Optional[dict] = None,
@@ -107,7 +106,6 @@ class NBCRequest(Waitable):
         self._round = 0
         self._pending = 0
         self._started = False
-        self._nrounds = 0
 
     # ------------------------------------------------------------------
 
@@ -120,9 +118,6 @@ class NBCRequest(Waitable):
         self.tag_base = self.comm.next_coll_tag(
             self.local_rank, self.schedule.tag_span
         )
-        # rounds are frozen once started; cache the count for _advance,
-        # which runs on every progress/wait poll
-        self._nrounds = len(self.schedule.rounds)
         if not self.schedule.rounds:
             self.done = True
             self.complete_time = ctx.now
@@ -136,12 +131,6 @@ class NBCRequest(Waitable):
 
         Returns True when the request is complete.
         """
-        # fast exits for the two common poll outcomes: already complete,
-        # or blocked on in-flight ops (nothing to advance either way)
-        if self.done:
-            return True
-        if self._pending:
-            return False
         if not self._started:
             raise ScheduleError("progress() before start()")
         self._advance(ctx)
@@ -150,10 +139,9 @@ class NBCRequest(Waitable):
     # ------------------------------------------------------------------
 
     def _advance(self, ctx: MPIContext) -> None:
-        nrounds = self._nrounds
         while not self.done and self._pending == 0:
             self._round += 1
-            if self._round >= nrounds:
+            if self._round >= len(self.schedule.rounds):
                 self.done = True
                 self.complete_time = ctx.now
                 notify = self._notify
@@ -165,35 +153,10 @@ class NBCRequest(Waitable):
     def _post_round(self, ctx: MPIContext) -> None:
         ops = self.schedule.rounds[self._round]
         buffers = self.buffers
-        comm = self.comm
-        tag_base = self.tag_base
-        child_done = self._child_done
         # guard: eager sends / instantly-matched recvs fire their notify
         # synchronously inside the post call; the sentinel keeps _pending
         # positive until every op of the round has been posted
         self._pending += 1
-        if buffers is None:
-            # size-only fast path: no buffer resolution, no data movement
-            # (performance sweeps post thousands of these rounds)
-            for op in ops:
-                kind = op.kind
-                if kind == "send":
-                    self._pending += 1
-                    # positional args: this is the sweep hot loop
-                    ctx.isend(op.peer, op.nbytes, tag_base + op.tagoff,
-                              comm, None, child_done)
-                elif kind == "recv":
-                    self._pending += 1
-                    ctx.irecv(op.peer, op.nbytes, tag_base + op.tagoff,
-                              comm, child_done)
-                elif kind == "copy":
-                    ctx.charge_copy(op.nbytes)
-                elif kind == "combine":
-                    ctx.charge_copy(2 * op.nbytes)
-                else:  # pragma: no cover - schedule.validate() prevents this
-                    raise ScheduleError(f"unknown op kind {kind!r}")
-            self._pending -= 1
-            return
         for op in ops:
             kind = op.kind
             if kind == "send":
@@ -202,23 +165,23 @@ class NBCRequest(Waitable):
                 ctx.isend(
                     op.peer,
                     nbytes=op.nbytes,
-                    tag=tag_base + op.tagoff,
-                    comm=comm,
+                    tag=self.tag_base + op.tagoff,
+                    comm=self.comm,
                     data=data,
-                    notify=child_done,
+                    notify=self._child_done,
                 )
             elif kind == "recv":
                 self._pending += 1
                 dst = resolve(buffers, op.dst)
                 if dst is None:
-                    notify = child_done
+                    notify = self._child_done
                 else:
                     notify = self._make_recv_notify(dst)
                 ctx.irecv(
                     op.peer,
                     nbytes=op.nbytes,
-                    tag=tag_base + op.tagoff,
-                    comm=comm,
+                    tag=self.tag_base + op.tagoff,
+                    comm=self.comm,
                     notify=notify,
                 )
             elif kind == "copy":

@@ -20,10 +20,10 @@ from typing import Mapping, Optional
 
 import numpy as np
 
-from ..nbc.ialltoall import alltoall_scratch_bytes, build_ialltoall
-from ..nbc.iallgather import build_iallgather
-from ..nbc.ibcast import BINOMIAL, IBCAST_FANOUTS, build_ibcast
-from ..nbc.ireduce import build_ireduce
+from ..nbc.ialltoall import alltoall_scratch_bytes, compiled_ialltoall
+from ..nbc.iallgather import compiled_iallgather
+from ..nbc.ibcast import BINOMIAL, IBCAST_FANOUTS, compiled_ibcast
+from ..nbc.ireduce import compiled_ireduce
 from ..nbc.request import NBCRequest, make_buffers
 from ..sim.mpi import MPIContext
 from ..units import KiB
@@ -70,8 +70,8 @@ def ibcast_function_set() -> FunctionSet:
                       fanout=fanout, segsize=segsize) -> NBCRequest:
                 comm = spec.comm
                 rank = comm.local_rank(ctx.rank)
-                sched = build_ibcast(comm.size, rank, spec.root, spec.nbytes,
-                                     fanout, segsize)
+                sched = compiled_ibcast(comm.size, rank, spec.root, spec.nbytes,
+                                        fanout, segsize)
                 return NBCRequest(sched, comm, rank, _as_buffers(buffers)).start(ctx)
 
             functions.append(CollFunction(
@@ -86,7 +86,7 @@ def _alltoall_maker(algorithm: str, ctx: MPIContext, spec: CollSpec,
                     buffers) -> NBCRequest:
     comm = spec.comm
     rank = comm.local_rank(ctx.rank)
-    sched = build_ialltoall(comm.size, rank, spec.nbytes, algorithm)
+    sched = compiled_ialltoall(comm.size, rank, spec.nbytes, algorithm)
     bufs = _as_buffers(buffers)
     if bufs is not None:
         for name, nbytes in alltoall_scratch_bytes(
@@ -153,7 +153,7 @@ def iallgather_function_set(size: Optional[int] = None) -> FunctionSet:
         def maker(ctx, spec, buffers, algorithm=algorithm):
             comm = spec.comm
             rank = comm.local_rank(ctx.rank)
-            sched = build_iallgather(comm.size, rank, spec.nbytes, algorithm)
+            sched = compiled_iallgather(comm.size, rank, spec.nbytes, algorithm)
             return NBCRequest(sched, comm, rank, _as_buffers(buffers)).start(ctx)
 
         functions.append(CollFunction(
@@ -174,8 +174,8 @@ def ireduce_function_set(segsizes=(0, 64 * KiB)) -> FunctionSet:
             def maker(ctx, spec, buffers, algorithm=algorithm, segsize=segsize):
                 comm = spec.comm
                 rank = comm.local_rank(ctx.rank)
-                sched = build_ireduce(comm.size, rank, spec.root, spec.nbytes,
-                                      algorithm, segsize=segsize)
+                sched = compiled_ireduce(comm.size, rank, spec.root, spec.nbytes,
+                                         algorithm, segsize=segsize)
                 bufs = _as_buffers(buffers)
                 if bufs is not None:
                     bufs.setdefault("acc", np.empty(spec.nbytes, np.uint8))

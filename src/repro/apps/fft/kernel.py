@@ -118,6 +118,8 @@ class FFTResult:
     decided_at: Optional[int]
     makespan: float
     validated: Optional[bool]
+    #: simulator events dispatched over the whole run
+    events: int = 0
 
     @property
     def total_time(self) -> float:
@@ -271,4 +273,5 @@ def run_fft(config: FFTConfig) -> FFTResult:
         decided_at=areq.decided_at,
         makespan=res.makespan,
         validated=validated,
+        events=res.events,
     )

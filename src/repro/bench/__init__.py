@@ -7,7 +7,9 @@
   implementation vs. the ADCL selectors, with the paper's 5%%
   correct-decision criterion;
 * :mod:`repro.bench.report` — paper-style text tables and bar charts;
-* :mod:`repro.bench.runner` — fast-vs-paper-scale knobs.
+* :mod:`repro.bench.runner` — fast-vs-paper-scale knobs;
+* :mod:`repro.bench.parallel` — the parallel sweep executor
+  (multiprocessing fan-out + keyed on-disk result cache).
 """
 
 from .ft import FTOverlapResult, run_overlap_ft
@@ -18,6 +20,14 @@ from .overlap import (
     function_set_for,
     run_overlap,
     run_overlap_resilient,
+)
+from .parallel import (
+    ResultCache,
+    derive_seed,
+    fft_methods,
+    run_tasks,
+    sweep_implementations,
+    task_key,
 )
 from .report import format_bars, format_series, format_table
 from .runner import SweepResult, bench_seed, paper_scale, scaled
@@ -33,9 +43,12 @@ __all__ = [
     "OverlapConfig",
     "OverlapResult",
     "ResilientOverlapResult",
+    "ResultCache",
     "SweepResult",
     "VerificationResult",
     "bench_seed",
+    "derive_seed",
+    "fft_methods",
     "format_bars",
     "format_series",
     "format_table",
@@ -44,6 +57,9 @@ __all__ = [
     "run_overlap",
     "run_overlap_ft",
     "run_overlap_resilient",
+    "run_tasks",
     "run_verification",
     "scaled",
+    "sweep_implementations",
+    "task_key",
 ]

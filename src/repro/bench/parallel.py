@@ -1,0 +1,286 @@
+"""Parallel sweep executor: fan simulations out across cores.
+
+A sweep (``python -m repro sweep``) or an FFT method comparison runs
+many *independent* simulations — one per candidate implementation or
+per method.  Each simulation is a self-contained deterministic world,
+so the set parallelizes embarrassingly:
+
+* :func:`run_tasks` — the generic executor: a list of ``(key,
+  payload)`` tasks, a picklable module-level worker, a
+  ``multiprocessing`` pool (``fork`` start method where available), and
+  an optional on-disk :class:`ResultCache`;
+* :func:`sweep_implementations` / :func:`fft_methods` — the two
+  concrete sweeps behind the ``sweep`` and ``fft`` CLI commands;
+* :func:`derive_seed` — deterministic per-task seed derivation, so a
+  task's noise stream depends only on its identity (never on sweep
+  order, worker count, or which other tasks run alongside it).
+
+Determinism contract: for the same task list, serial execution
+(``jobs=1``), parallel execution (``jobs=N``), and a cache replay all
+return bit-identical summaries.  Workers reduce each simulation to a
+JSON-able dict whose float fields carry ``float.hex()`` twins
+(``*_hex`` keys), so the contract survives a JSON round-trip through
+the cache exactly.
+
+The cache reuses :func:`repro.adcl.history.atomic_write_json`: one
+file per task, named by the SHA-256 of the task key, written
+crash-safely so concurrent workers (or concurrent sweeps sharing a
+cache directory) never tear each other's entries.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import multiprocessing
+import os
+from typing import Any, Callable, Optional, Sequence
+
+from ..adcl.history import atomic_write_json
+from .overlap import OverlapConfig, function_set_for, run_overlap
+
+__all__ = [
+    "ResultCache",
+    "derive_seed",
+    "fft_methods",
+    "run_tasks",
+    "sweep_implementations",
+    "task_key",
+]
+
+
+# ---------------------------------------------------------------------------
+# task identity & seed derivation
+# ---------------------------------------------------------------------------
+
+
+def task_key(kind: str, **fields: Any) -> str:
+    """Canonical string identity of one task.
+
+    ``fields`` must be JSON-able; dataclasses are flattened with
+    :func:`dataclasses.asdict`.  The key is stable across processes and
+    sessions (sorted keys, no whitespace), making it usable both as the
+    cache key and as the seed-derivation input.
+    """
+    flat = {}
+    for name, value in fields.items():
+        if dataclasses.is_dataclass(value) and not isinstance(value, type):
+            value = dataclasses.asdict(value)
+        flat[name] = value
+    body = json.dumps(flat, sort_keys=True, separators=(",", ":"), default=str)
+    return f"{kind}:{body}"
+
+
+def derive_seed(base_seed: int, key: str) -> int:
+    """Deterministic per-task seed: hash the base seed with the task key.
+
+    Python's builtin ``hash()`` is salted per process, so we use
+    SHA-256 — the derived seed is identical in every worker process and
+    every session.  The result is a non-negative 31-bit int (safe for
+    ``numpy`` generators).
+    """
+    digest = hashlib.sha256(f"{base_seed}:{key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big") & 0x7FFFFFFF
+
+
+# ---------------------------------------------------------------------------
+# on-disk result cache
+# ---------------------------------------------------------------------------
+
+
+class ResultCache:
+    """Keyed on-disk cache of task summaries.
+
+    One JSON file per task under ``directory``, named by the SHA-256 of
+    the key and written with ``atomic_write_json`` (unique temp file +
+    fsync + atomic rename), so concurrent writers are safe.  Each file
+    stores ``{"key": ..., "result": ...}``; the stored key is verified
+    on read so a (vanishingly unlikely) digest collision degrades to a
+    miss, never a wrong answer.
+    """
+
+    def __init__(self, directory: str):
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, key: str) -> str:
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
+        return os.path.join(self.directory, f"{digest[:40]}.json")
+
+    def get(self, key: str) -> Optional[Any]:
+        """The cached result for ``key``, or None on a miss."""
+        try:
+            with open(self.path_for(key), encoding="utf-8") as fh:
+                entry = json.load(fh)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        if entry.get("key") != key:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry.get("result")
+
+    def put(self, key: str, result: Any) -> None:
+        atomic_write_json(self.path_for(key), {"key": key, "result": result})
+        self.stores += 1
+
+    def __len__(self) -> int:
+        return sum(1 for name in os.listdir(self.directory)
+                   if name.endswith(".json"))
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict:
+        return {
+            "directory": self.directory,
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "entries": len(self),
+            "hit_rate": round(self.hit_rate, 4),
+        }
+
+
+# ---------------------------------------------------------------------------
+# the executor
+# ---------------------------------------------------------------------------
+
+
+def _pool_context() -> multiprocessing.context.BaseContext:
+    # fork keeps workers cheap (no re-import) and lets them inherit the
+    # warm schedule cache; fall back to the platform default elsewhere
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_tasks(
+    tasks: Sequence[tuple[str, Any]],
+    worker: Callable[[Any], Any],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> list:
+    """Run ``worker(payload)`` for every ``(key, payload)`` task.
+
+    Results come back in task order.  Cached tasks are served from
+    ``cache`` without running; computed results are written back to it.
+    With ``jobs > 1`` the non-cached tasks run on a process pool —
+    ``worker`` must be a picklable module-level callable and payloads
+    must be picklable.  ``pool.map`` preserves order, so parallel
+    execution is observationally identical to serial execution.
+    """
+    results: list = [None] * len(tasks)
+    todo: list[int] = []
+    for i, (key, _payload) in enumerate(tasks):
+        if cache is not None:
+            hit = cache.get(key)
+            if hit is not None:
+                results[i] = hit
+                continue
+        todo.append(i)
+
+    if todo:
+        payloads = [tasks[i][1] for i in todo]
+        if jobs > 1 and len(todo) > 1:
+            ctx = _pool_context()
+            with ctx.Pool(processes=min(jobs, len(todo))) as pool:
+                computed = pool.map(worker, payloads)
+        else:
+            computed = [worker(payload) for payload in payloads]
+        for i, result in zip(todo, computed):
+            results[i] = result
+            if cache is not None:
+                cache.put(tasks[i][0], result)
+    return results
+
+
+# ---------------------------------------------------------------------------
+# concrete sweeps (workers are module-level so they pickle)
+# ---------------------------------------------------------------------------
+
+
+def _records_summary(res) -> dict:
+    """JSON-able, bit-exact summary shared by both sweep kinds."""
+    return {
+        "mean_iteration": res.mean_iteration,
+        "mean_iteration_hex": float(res.mean_iteration).hex(),
+        "makespan": res.makespan,
+        "makespan_hex": float(res.makespan).hex(),
+        "events": getattr(res, "events", 0),
+        "winner": res.winner,
+        "decided_at": res.decided_at,
+        "record_hex": [float(r.seconds).hex() for r in res.records],
+    }
+
+
+def _sweep_worker(payload) -> dict:
+    config, fn_index, fn_name = payload
+    res = run_overlap(config, selector=fn_index)
+    out = _records_summary(res)
+    out["fn_index"] = fn_index
+    out["name"] = fn_name
+    out["seed"] = config.seed
+    return out
+
+
+def sweep_implementations(
+    config: OverlapConfig,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+    derive_seeds: bool = True,
+) -> list[dict]:
+    """Time every implementation of ``config.operation`` (the ``sweep``
+    command), optionally in parallel and/or against a result cache.
+
+    With ``derive_seeds`` (the default) each implementation runs under
+    :func:`derive_seed`'s per-task seed, so its noise stream is a pure
+    function of the scenario + implementation identity.
+    """
+    fnset = function_set_for(config.operation)
+    tasks = []
+    for i, fn in enumerate(fnset):
+        key = task_key("sweep", config=config, fn_index=i, fn_name=fn.name)
+        cfg = config
+        if derive_seeds:
+            cfg = dataclasses.replace(config, seed=derive_seed(config.seed, key))
+        tasks.append((key, (cfg, i, fn.name)))
+    return run_tasks(tasks, _sweep_worker, jobs=jobs, cache=cache)
+
+
+def _fft_worker(payload) -> dict:
+    config, method = payload
+    # local import: keep bench importable without the apps package and
+    # avoid a bench <-> apps import cycle at module load
+    from ..apps.fft import run_fft
+
+    res = run_fft(config)
+    out = _records_summary(res)
+    out["method"] = method
+    tail = [r.seconds for r in res.records if not r.learning]
+    steady = sum(tail) / len(tail) if tail else res.mean_iteration
+    out["mean_after_learning"] = steady
+    out["mean_after_learning_hex"] = float(steady).hex()
+    return out
+
+
+def fft_methods(
+    config,
+    methods: Sequence[str],
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> list[dict]:
+    """Run the FFT kernel once per method (the ``fft`` command)."""
+    tasks = []
+    for method in methods:
+        cfg = dataclasses.replace(config, method=method)
+        key = task_key("fft", config=cfg)
+        tasks.append((key, (cfg, method)))
+    return run_tasks(tasks, _fft_worker, jobs=jobs, cache=cache)

@@ -26,20 +26,25 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import time
 from typing import Optional, Sequence
 
 from .adcl.checkpoint import CheckpointStore
 from .adcl.resilience import Resilience
-from .apps.fft import FFTConfig, run_fft
+from .apps.fft import FFTConfig
 from .bench import (
     OverlapConfig,
+    ResultCache,
+    fft_methods,
     format_bars,
     format_table,
     function_set_for,
     run_overlap,
     run_overlap_ft,
     run_overlap_resilient,
+    sweep_implementations,
 )
+from .nbc.schedule import schedule_cache_stats
 from .sim import FaultPlan, RankCrash, available_platforms, get_platform
 from .units import fmt_time, parse_size
 
@@ -108,12 +113,27 @@ def build_parser() -> argparse.ArgumentParser:
                             "'drop=0.01@0.1:0.5,degrade=0:1:4:4,"
                             "straggler=3:2.5,rail=0:1@0.2,seed=7'")
 
+    def perf_flags(p, parallel: bool = True):
+        if parallel:
+            p.add_argument("--jobs", type=int, default=1, metavar="N",
+                           help="worker processes to fan simulations out "
+                                "over (1 = serial; results are bit-identical "
+                                "either way)")
+            p.add_argument("--result-cache", default=None, metavar="DIR",
+                           help="keyed on-disk result cache directory; "
+                                "repeated runs reuse finished simulations")
+        p.add_argument("--stats", action="store_true",
+                       help="print wall-clock time, events dispatched, "
+                            "events/sec and schedule-cache hit rate")
+
     p_sweep = sub.add_parser(
         "sweep", help="time every implementation of an operation")
     common(p_sweep)
+    perf_flags(p_sweep)
 
     p_tune = sub.add_parser("tune", help="run the ADCL selection logic")
     common(p_tune)
+    perf_flags(p_tune, parallel=False)
     p_tune.add_argument("--selector", default="brute_force",
                         choices=["brute_force", "heuristic", "factorial"])
     p_tune.add_argument("--evals", type=int, default=3,
@@ -154,7 +174,25 @@ def build_parser() -> argparse.ArgumentParser:
     p_fft.add_argument("--methods", nargs="+",
                        default=["libnbc", "adcl", "mpi"],
                        choices=["libnbc", "adcl", "adcl_ext", "mpi"])
+    perf_flags(p_fft)
     return parser
+
+
+def _print_stats(wall: float, events: int, cache: Optional[ResultCache]) -> None:
+    """The ``--stats`` footer: wall-clock + throughput + cache efficacy."""
+    rate = events / wall if wall > 0 else float("inf")
+    print(f"\nwall-clock            {wall:.3f} s")
+    print(f"events dispatched     {events}")
+    print(f"events/sec            {rate:,.0f}")
+    sstats = schedule_cache_stats()
+    print(f"schedule cache        hit rate {sstats['hit_rate']:.1%} "
+          f"({sstats['hits']} hits / {sstats['misses']} misses, "
+          f"{sstats['entries']} entries)")
+    if cache is not None:
+        cstats = cache.stats()
+        print(f"result cache          hit rate {cstats['hit_rate']:.1%} "
+              f"({cstats['hits']} hits / {cstats['misses']} misses) "
+              f"-> {cstats['directory']}")
 
 
 def _overlap_config(args) -> OverlapConfig:
@@ -199,18 +237,24 @@ def cmd_platforms() -> int:
 def cmd_sweep(args) -> int:
     cfg = _overlap_config(args)
     fnset = function_set_for(args.operation)
-    print(f"sweeping {len(fnset)} implementations of {cfg.describe()} ...")
-    times = {}
-    for i, fn in enumerate(fnset):
-        times[fn.name] = run_overlap(cfg, selector=i).mean_iteration
+    cache = ResultCache(args.result_cache) if args.result_cache else None
+    where = f" ({args.jobs} jobs)" if args.jobs > 1 else ""
+    print(f"sweeping {len(fnset)} implementations of {cfg.describe()}{where} ...")
+    t0 = time.perf_counter()
+    rows = sweep_implementations(cfg, jobs=args.jobs, cache=cache)
+    wall = time.perf_counter() - t0
+    times = {row["name"]: row["mean_iteration"] for row in rows}
     print()
     print(format_bars(times, title="mean iteration time per implementation"))
+    if args.stats:
+        _print_stats(wall, sum(row["events"] for row in rows), cache)
     return 0
 
 
 def cmd_tune(args) -> int:
     cfg = _overlap_config(args)
     fnset = function_set_for(args.operation)
+    t0 = time.perf_counter()
     if args.resilient:
         res = run_overlap_resilient(
             cfg, selector=args.selector, evals_per_function=args.evals,
@@ -231,6 +275,7 @@ def cmd_tune(args) -> int:
     else:
         res = run_overlap(cfg, selector=args.selector,
                           evals_per_function=args.evals)
+    wall = time.perf_counter() - t0
     mode = ("resilient " if args.resilient
             else "fault-tolerant " if args.ft else "")
     print(f"tuning {cfg.describe()} with the {mode}{args.selector} selector")
@@ -264,6 +309,8 @@ def cmd_tune(args) -> int:
         if res.checkpoints_written:
             print(f"checkpoints written: {res.checkpoints_written} "
                   f"-> {args.checkpoint}")
+    if args.stats:
+        _print_stats(wall, res.events, None)
     if res.winner is None:
         print("\nno decision yet — increase --iterations")
         return 1
@@ -275,23 +322,30 @@ def cmd_tune(args) -> int:
 def cmd_fft(args) -> int:
     print(f"3-D FFT N={args.n}^3, P={args.nprocs} on {args.platform}, "
           f"pattern={args.pattern}\n")
-    rows = []
-    for method in args.methods:
-        res = run_fft(FFTConfig(
-            n=args.n, nprocs=args.nprocs, platform=args.platform,
-            pattern=args.pattern, method=method,
-            iterations=args.iterations, evals_per_function=2,
-        ))
-        rows.append([
-            method,
-            fmt_time(res.mean_iteration),
-            fmt_time(res.mean_after_learning()),
-            res.winner or "-",
-        ])
+    cfg = FFTConfig(
+        n=args.n, nprocs=args.nprocs, platform=args.platform,
+        pattern=args.pattern, iterations=args.iterations,
+        evals_per_function=2,
+    )
+    cache = ResultCache(args.result_cache) if args.result_cache else None
+    t0 = time.perf_counter()
+    summaries = fft_methods(cfg, args.methods, jobs=args.jobs, cache=cache)
+    wall = time.perf_counter() - t0
+    rows = [
+        [
+            row["method"],
+            fmt_time(row["mean_iteration"]),
+            fmt_time(row["mean_after_learning"]),
+            row["winner"] or "-",
+        ]
+        for row in summaries
+    ]
     print(format_table(
         ["method", "mean iteration", "steady state", "selected"],
         rows,
     ))
+    if args.stats:
+        _print_stats(wall, sum(row["events"] for row in summaries), cache)
     return 0
 
 

@@ -26,12 +26,29 @@ from .coll import (
     start_ireduce,
 )
 from .ft import ft_collective
-from .iallgather import ALLGATHER_ALGORITHMS, build_iallgather
-from .ialltoall import ALLTOALL_ALGORITHMS, alltoall_scratch_bytes, build_ialltoall
-from .ibcast import BINOMIAL, IBCAST_FANOUTS, bcast_tree, build_ibcast
-from .ireduce import REDUCE_ALGORITHMS, build_ireduce
+from .iallgather import ALLGATHER_ALGORITHMS, build_iallgather, compiled_iallgather
+from .ialltoall import (
+    ALLTOALL_ALGORITHMS,
+    alltoall_scratch_bytes,
+    build_ialltoall,
+    compiled_ialltoall,
+)
+from .ibcast import BINOMIAL, IBCAST_FANOUTS, bcast_tree, build_ibcast, compiled_ibcast
+from .ireduce import REDUCE_ALGORITHMS, build_ireduce, compiled_ireduce
 from .request import NBCRequest, make_buffers
-from .schedule import BufSpec, CombineOp, CopyOp, RecvOp, Schedule, SendOp, resolve
+from .schedule import (
+    SCHEDULE_CACHE,
+    BufSpec,
+    CombineOp,
+    CompiledSchedule,
+    CopyOp,
+    RecvOp,
+    Schedule,
+    ScheduleCache,
+    SendOp,
+    resolve,
+    schedule_cache_stats,
+)
 
 __all__ = [
     "ALLGATHER_ALGORITHMS",
@@ -39,12 +56,15 @@ __all__ = [
     "BINOMIAL",
     "BufSpec",
     "CombineOp",
+    "CompiledSchedule",
     "CopyOp",
     "IBCAST_FANOUTS",
     "NBCRequest",
     "RecvOp",
     "REDUCE_ALGORITHMS",
+    "SCHEDULE_CACHE",
     "Schedule",
+    "ScheduleCache",
     "SendOp",
     "allgather",
     "alltoall",
@@ -56,10 +76,15 @@ __all__ = [
     "build_ialltoall",
     "build_ibcast",
     "build_ireduce",
+    "compiled_iallgather",
+    "compiled_ialltoall",
+    "compiled_ibcast",
+    "compiled_ireduce",
     "ft_collective",
     "make_buffers",
     "reduce",
     "resolve",
+    "schedule_cache_stats",
     "start_iallgather",
     "start_ialltoall",
     "start_ibarrier",

@@ -21,12 +21,12 @@ import numpy as np
 
 from ..sim.mpi import MPIContext, SimComm
 from ..sim.process import Wait
-from .ialltoall import alltoall_scratch_bytes, build_ialltoall
-from .iallgather import build_iallgather
-from .ibcast import BINOMIAL, build_ibcast
-from .ireduce import build_ireduce
+from .ialltoall import alltoall_scratch_bytes, compiled_ialltoall
+from .iallgather import compiled_iallgather
+from .ibcast import BINOMIAL, compiled_ibcast
+from .ireduce import compiled_ireduce
 from .request import NBCRequest, make_buffers
-from .schedule import Schedule
+from .schedule import SCHEDULE_CACHE, Schedule
 
 __all__ = [
     "start_ialltoall",
@@ -57,7 +57,7 @@ def start_ialltoall(
 ) -> NBCRequest:
     """Post a non-blocking all-to-all of ``m`` bytes per process pair."""
     comm, rank = _local_rank(ctx, comm)
-    sched = build_ialltoall(comm.size, rank, m, algorithm)
+    sched = compiled_ialltoall(comm.size, rank, m, algorithm)
     buffers = None
     if sendbuf is not None or recvbuf is not None:
         buffers = make_buffers(send=sendbuf, recv=recvbuf)
@@ -77,7 +77,7 @@ def start_ibcast(
 ) -> NBCRequest:
     """Post a non-blocking broadcast of ``nbytes`` from ``root``."""
     comm, rank = _local_rank(ctx, comm)
-    sched = build_ibcast(comm.size, rank, root, nbytes, fanout, segsize)
+    sched = compiled_ibcast(comm.size, rank, root, nbytes, fanout, segsize)
     buffers = make_buffers(data=buf) if buf is not None else None
     return NBCRequest(sched, comm, rank, buffers).start(ctx)
 
@@ -92,7 +92,7 @@ def start_iallgather(
 ) -> NBCRequest:
     """Post a non-blocking all-gather of ``m`` bytes per rank."""
     comm, rank = _local_rank(ctx, comm)
-    sched = build_iallgather(comm.size, rank, m, algorithm)
+    sched = compiled_iallgather(comm.size, rank, m, algorithm)
     buffers = None
     if sendbuf is not None or recvbuf is not None:
         buffers = make_buffers(send=sendbuf, recv=recvbuf)
@@ -112,8 +112,8 @@ def start_ireduce(
 ) -> NBCRequest:
     """Post a non-blocking reduction of ``nbytes`` to ``root``."""
     comm, rank = _local_rank(ctx, comm)
-    sched = build_ireduce(comm.size, rank, root, nbytes, algorithm,
-                          dtype=dtype, op=op, segsize=segsize)
+    sched = compiled_ireduce(comm.size, rank, root, nbytes, algorithm,
+                             dtype=dtype, op=op, segsize=segsize)
     buffers = None
     if buf is not None:
         buffers = make_buffers(data=buf)
@@ -137,7 +137,11 @@ def _barrier_schedule(size: int, rank: int) -> Schedule:
 def start_ibarrier(ctx: MPIContext, comm: Optional[SimComm] = None) -> NBCRequest:
     """Post a non-blocking dissemination barrier."""
     comm, rank = _local_rank(ctx, comm)
-    return NBCRequest(_barrier_schedule(comm.size, rank), comm, rank).start(ctx)
+    sched = SCHEDULE_CACHE.get(
+        ("barrier", "dissemination", comm.size, rank, 0, 0, 0),
+        lambda: _barrier_schedule(comm.size, rank),
+    )
+    return NBCRequest(sched, comm, rank).start(ctx)
 
 
 # ---------------------------------------------------------------------------

@@ -18,9 +18,9 @@ from __future__ import annotations
 import math
 
 from ..errors import ScheduleError
-from .schedule import Schedule
+from .schedule import SCHEDULE_CACHE, Schedule
 
-__all__ = ["ALLGATHER_ALGORITHMS", "build_iallgather"]
+__all__ = ["ALLGATHER_ALGORITHMS", "build_iallgather", "compiled_iallgather"]
 
 ALLGATHER_ALGORITHMS = ("ring", "recursive_doubling", "linear")
 
@@ -96,3 +96,11 @@ def _linear(size: int, rank: int, m: int) -> Schedule:
         peer = (rank + i) % size
         sched.send(peer, m, tagoff=0, src=("send", 0, m))
     return sched
+
+
+def compiled_iallgather(size: int, rank: int, m: int, algorithm: str):
+    """Cached compiled plan for :func:`build_iallgather` (same arguments)."""
+    return SCHEDULE_CACHE.get(
+        ("allgather", algorithm, size, rank, m, 0, 0),
+        lambda: build_iallgather(size, rank, m, algorithm),
+    )

@@ -24,12 +24,13 @@ from __future__ import annotations
 import math
 
 from ..errors import ScheduleError
-from .schedule import Schedule
+from .schedule import SCHEDULE_CACHE, Schedule
 
 __all__ = [
     "ALLTOALL_ALGORITHMS",
     "alltoall_scratch_bytes",
     "build_ialltoall",
+    "compiled_ialltoall",
     "bruck_final_source",
 ]
 
@@ -131,3 +132,11 @@ def _bruck(size: int, rank: int, m: int) -> Schedule:
         sched.copy(m, src=_block("tmp", j, m),
                    dst=_block("recv", (rank - j) % size, m))
     return sched
+
+
+def compiled_ialltoall(size: int, rank: int, m: int, algorithm: str):
+    """Cached compiled plan for :func:`build_ialltoall` (same arguments)."""
+    return SCHEDULE_CACHE.get(
+        ("alltoall", algorithm, size, rank, m, 0, 0),
+        lambda: build_ialltoall(size, rank, m, algorithm),
+    )

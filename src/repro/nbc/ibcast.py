@@ -24,9 +24,10 @@ from __future__ import annotations
 import math
 
 from ..errors import ScheduleError
-from .schedule import Schedule
+from .schedule import SCHEDULE_CACHE, Schedule
 
-__all__ = ["BINOMIAL", "build_ibcast", "bcast_tree", "IBCAST_FANOUTS"]
+__all__ = ["BINOMIAL", "build_ibcast", "compiled_ibcast", "bcast_tree",
+           "IBCAST_FANOUTS"]
 
 #: sentinel fan-out value selecting the binomial tree (the paper's "N")
 BINOMIAL = -1
@@ -139,3 +140,18 @@ def build_ibcast(
                     sched.send(to_real(c), length, tagoff=k - 1,
                                src=("data", off, length))
     return sched
+
+
+def compiled_ibcast(
+    size: int,
+    rank: int,
+    root: int,
+    nbytes: int,
+    fanout: int,
+    segsize: int,
+):
+    """Cached compiled plan for :func:`build_ibcast` (same arguments)."""
+    return SCHEDULE_CACHE.get(
+        ("bcast", "tree", size, rank, nbytes, segsize, fanout, root),
+        lambda: build_ibcast(size, rank, root, nbytes, fanout, segsize),
+    )

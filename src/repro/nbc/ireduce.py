@@ -18,9 +18,9 @@ from __future__ import annotations
 import math
 
 from ..errors import ScheduleError
-from .schedule import Schedule
+from .schedule import SCHEDULE_CACHE, Schedule
 
-__all__ = ["REDUCE_ALGORITHMS", "build_ireduce"]
+__all__ = ["REDUCE_ALGORITHMS", "build_ireduce", "compiled_ireduce"]
 
 REDUCE_ALGORITHMS = ("binomial", "chain")
 
@@ -127,3 +127,21 @@ def _chain(size: int, rank: int, root: int, nbytes: int,
         sched.round()
         sched.copy(nbytes, src=("acc", 0, nbytes), dst=("data", 0, nbytes))
     return sched
+
+
+def compiled_ireduce(
+    size: int,
+    rank: int,
+    root: int,
+    nbytes: int,
+    algorithm: str,
+    dtype: str = "float64",
+    op: str = "sum",
+    segsize: int = 0,
+):
+    """Cached compiled plan for :func:`build_ireduce` (same arguments)."""
+    return SCHEDULE_CACHE.get(
+        ("reduce", algorithm, size, rank, nbytes, segsize, 0, root, dtype, op),
+        lambda: build_ireduce(size, rank, root, nbytes, algorithm,
+                              dtype=dtype, op=op, segsize=segsize),
+    )

@@ -15,17 +15,45 @@ Operations reference buffers symbolically through ``(name, offset,
 nbytes)`` byte-range specs resolved against a ``buffers`` dict of 1-D
 ``uint8`` arrays at execution time, so the same schedule object serves
 both modes.
+
+Compiled schedules & the schedule cache
+---------------------------------------
+Building a schedule is pure: the op list depends only on the problem
+geometry ``(operation, algorithm, nranks, rank, nbytes, segsize,
+fanout, ...)``, never on run-time state.  All per-run mutable state
+(request handles, the round cursor, pending-op counts) lives in
+:class:`~repro.nbc.request.NBCRequest`, so one plan can back any number
+of concurrent or successive requests.  A tuning run replays the same
+handful of plans for hundreds of iterations; :class:`CompiledSchedule`
+freezes a built schedule into an immutable, shareable plan (rounds as
+tuples, ``tag_span`` precomputed) and :class:`ScheduleCache` memoizes
+plans under their geometry key with hit/miss statistics.  The builders
+expose ``compiled_*`` entry points that go through the process-global
+:data:`SCHEDULE_CACHE`.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import os
+from typing import Callable, Optional
 
 import numpy as np
 
 from ..errors import ScheduleError
 
-__all__ = ["BufSpec", "SendOp", "RecvOp", "CopyOp", "CombineOp", "Schedule", "resolve"]
+__all__ = [
+    "BufSpec",
+    "SendOp",
+    "RecvOp",
+    "CopyOp",
+    "CombineOp",
+    "Schedule",
+    "CompiledSchedule",
+    "ScheduleCache",
+    "SCHEDULE_CACHE",
+    "schedule_cache_stats",
+    "resolve",
+]
 
 #: symbolic byte-range into a named buffer: ``(buffer_name, offset, nbytes)``
 BufSpec = tuple[str, int, int]
@@ -246,8 +274,158 @@ class Schedule:
                 if op.kind in ("send", "recv") and op.peer < 0:
                     raise ScheduleError(f"{self.name}: negative peer in {op!r}")
 
+    def compile(self, key: Optional[tuple] = None) -> "CompiledSchedule":
+        """Freeze this schedule into an immutable :class:`CompiledSchedule`.
+
+        Validates first — a cached plan is instantiated many times, so a
+        malformed schedule must fail at compile time, not mid-run.
+        """
+        self.validate()
+        return CompiledSchedule(self, key=key)
+
     def __repr__(self) -> str:  # pragma: no cover
         return (
             f"<Schedule {self.name!r}: {self.nrounds} rounds, "
             f"{self.count_ops()} ops>"
         )
+
+
+class CompiledSchedule:
+    """An immutable, shareable execution plan for one collective.
+
+    Structurally a frozen :class:`Schedule`: the rounds are tuples of
+    the same op objects and ``tag_span`` is precomputed, so
+    :class:`~repro.nbc.request.NBCRequest` executes either
+    interchangeably (and bit-identically — the ops themselves are
+    read-only during execution).  Because nothing in the plan mutates at
+    run time, a single instance can back any number of requests across
+    ranks, iterations and simulations of the same geometry.
+    """
+
+    __slots__ = ("name", "rounds", "tag_span", "key")
+
+    def __init__(self, schedule: Schedule, key: Optional[tuple] = None):
+        self.name = schedule.name
+        self.rounds: tuple[tuple, ...] = tuple(tuple(rnd) for rnd in schedule.rounds)
+        self.tag_span: int = schedule.tag_span
+        #: the cache key this plan was compiled under (None if uncached)
+        self.key = key
+
+    @property
+    def nrounds(self) -> int:
+        return len(self.rounds)
+
+    def count_ops(self, kind: Optional[str] = None) -> int:
+        """Total operations (optionally of one kind) across all rounds."""
+        return sum(
+            1
+            for rnd in self.rounds
+            for op in rnd
+            if kind is None or op.kind == kind
+        )
+
+    def total_send_bytes(self) -> int:
+        """Bytes this rank injects into the network over the whole schedule."""
+        return sum(
+            op.nbytes for rnd in self.rounds for op in rnd if op.kind == "send"
+        )
+
+    def validate(self) -> None:
+        """No-op: the plan was validated when compiled."""
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<CompiledSchedule {self.name!r}: {self.nrounds} rounds, "
+            f"{self.count_ops()} ops>"
+        )
+
+
+class ScheduleCache:
+    """Memoizes compiled plans under their geometry key.
+
+    ``get(key, builder)`` returns the cached :class:`CompiledSchedule`
+    for ``key`` or builds, compiles and stores one.  With the cache
+    disabled the builder's raw mutable :class:`Schedule` is returned —
+    exactly the pre-cache behavior, which the perf harness uses as its
+    A/B baseline.
+
+    The store is a plain dict (the lookup is on a tuning hot path); when
+    it would exceed ``maxsize`` distinct keys it is flushed wholesale —
+    a realistic tuning run holds well under a thousand plans, so a flush
+    signals key churn, not a working set worth LRU bookkeeping.
+    """
+
+    def __init__(self, maxsize: int = 4096, enabled: bool = True):
+        if maxsize <= 0:
+            raise ScheduleError(f"cache maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self.enabled = enabled
+        self._store: dict[tuple, CompiledSchedule] = {}
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+
+    def get(self, key: tuple, builder: Callable[[], Schedule]):
+        """The compiled plan for ``key``, building it on a miss."""
+        if not self.enabled:
+            self.misses += 1
+            return builder()
+        plan = self._store.get(key)
+        if plan is not None:
+            self.hits += 1
+            return plan
+        self.misses += 1
+        plan = builder().compile(key)
+        store = self._store
+        if len(store) >= self.maxsize:
+            store.clear()
+            self.flushes += 1
+        store[key] = plan
+        return plan
+
+    def clear(self) -> None:
+        """Drop all cached plans (statistics are kept)."""
+        self._store.clear()
+
+    def reset_stats(self) -> None:
+        """Zero the hit/miss/flush counters (cached plans are kept)."""
+        self.hits = 0
+        self.misses = 0
+        self.flushes = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._store)
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "entries": len(self._store),
+            "flushes": self.flushes,
+            "hit_rate": self.hit_rate,
+            "enabled": self.enabled,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (
+            f"<ScheduleCache {len(self._store)} plans, "
+            f"{self.hits} hits / {self.misses} misses>"
+        )
+
+
+#: process-global plan cache used by the ``compiled_*`` builder entry
+#: points.  ``REPRO_SCHEDULE_CACHE=0`` disables it (A/B baselines).
+SCHEDULE_CACHE = ScheduleCache(
+    enabled=os.environ.get("REPRO_SCHEDULE_CACHE", "1") not in ("", "0", "false")
+)
+
+
+def schedule_cache_stats() -> dict:
+    """Statistics of the process-global schedule cache."""
+    return SCHEDULE_CACHE.stats()

@@ -1,13 +1,43 @@
 """Discrete-event simulation kernel.
 
 A :class:`Simulator` is a minimal, deterministic event loop over virtual
-time.  Events are ``(time, seq, callback)`` triples kept in a binary heap;
+time.  Events are kept in a binary heap of ``(time, seq, ...)`` tuples;
 ties on time are broken by insertion order (``seq``) so runs are fully
-reproducible.
+reproducible.  Using plain tuples as heap entries keeps every heap
+comparison in C — payloads are never compared during
+``heappush``/``heappop`` because ``seq`` is unique.
 
 The kernel knows nothing about MPI, ranks or networks — those live in
 :mod:`repro.sim.mpi` and friends and drive the simulator through
-:meth:`Simulator.at` / :meth:`Simulator.after`.
+:meth:`Simulator.at` / :meth:`Simulator.after` /
+:meth:`Simulator.post`.
+
+Fast-path invariants (see DESIGN.md §10)
+----------------------------------------
+* Two scheduling entry points share one heap: :meth:`at` returns a
+  cancellable :class:`Event` handle (entry ``(time, seq, Event)``);
+  :meth:`post` returns nothing and allocates nothing but the heap tuple
+  ``(time, seq, fn, args)`` — the right call when the caller discards
+  the handle, which is every hot-path event the MPI layer schedules.
+  Both draw from the same ``seq`` counter, so their relative order is
+  exactly insertion order regardless of which entry point was used.
+* ``pending()`` is O(1): a live-event counter is maintained on every
+  schedule/cancel/dispatch instead of scanning the heap.
+* Cancelled events are lazily deleted; when more than half of a
+  non-trivial heap is cancelled the heap is *compacted* (rebuilt without
+  the dead entries).  Compaction never changes the dispatch order:
+  entries are totally ordered by ``(time, seq)`` and only entries that
+  would have been skipped anyway are removed.
+* The dispatch loop binds its hot names to locals.  Event order is
+  bit-identical to the straightforward peek/pop loop.
+* **Inline-post protocol** for trusted drivers: a caller that can prove
+  ``time >= now`` for every event it schedules may push
+  ``(time, next(sim._seq), fn, args)`` onto ``sim._heap`` directly and
+  increment ``sim._live``, skipping the :meth:`post` call entirely.
+  ``_heap`` is only ever mutated in place (see :meth:`_compact`), so a
+  cached reference stays valid for the simulator's lifetime.  The MPI
+  layer uses this for the resume/delivery events that dominate heap
+  traffic.
 """
 
 from __future__ import annotations
@@ -20,26 +50,49 @@ from ..errors import SimulationError
 
 __all__ = ["Simulator", "Event"]
 
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+
+#: heap size below which compaction is never attempted (rebuilds of tiny
+#: heaps cost more than the lazy skips they save)
+_COMPACT_MIN_HEAP = 64
+
 
 class Event:
     """Handle to a scheduled callback.
 
     Supports cancellation: a cancelled event stays in the heap but is
     skipped when popped (lazy deletion), which keeps cancellation O(1).
+    The owning simulator is notified so its live-event counter stays
+    exact; once an event has been dispatched (or its cancelled shell
+    discarded) the back-reference is dropped and a late ``cancel()``
+    only sets the flag.
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple,
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        self._sim = sim
 
     def cancel(self) -> None:
         """Prevent the callback from firing.  Idempotent."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        sim = self._sim
+        if sim is not None:
+            self._sim = None
+            sim._live -= 1
+            heap = sim._heap
+            nheap = len(heap)
+            if nheap > _COMPACT_MIN_HEAP and (nheap - sim._live) * 2 > nheap:
+                sim._compact()
 
     def __lt__(self, other: "Event") -> bool:
         if self.time != other.time:
@@ -62,11 +115,23 @@ class Simulator:
 
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
-        self._heap: list[Event] = []
+        #: heap of ``(time, seq, Event)`` / ``(time, seq, fn, args)``
+        #: entries (tuples compare in C; element 2 is never compared)
+        self._heap: list[tuple] = []
         self._seq = itertools.count()
         self._running = False
-        #: number of events dispatched so far (observability / tests)
+        #: cooperative stop flag checked once per dispatched event; set
+        #: by :meth:`halt` from inside a callback (cheaper than a
+        #: ``stop_when`` predicate, which costs a call per event)
+        self._halted = False
+        #: live (non-cancelled) events currently in the heap
+        self._live = 0
+        #: number of events dispatched so far (observability / tests).
+        #: Updated exactly at loop exit by :meth:`run` (and per event by
+        #: :meth:`step`); read it after the loop returns.
         self.events_dispatched = 0
+        #: number of heap compactions performed (observability / tests)
+        self.compactions = 0
 
     # ------------------------------------------------------------------ API
 
@@ -85,8 +150,10 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at t={time!r} in the past (now={self._now!r})"
             )
-        ev = Event(time, next(self._seq), fn, args)
-        heapq.heappush(self._heap, ev)
+        seq = next(self._seq)
+        ev = Event(time, seq, fn, args, self)
+        heapq.heappush(self._heap, (time, seq, ev))
+        self._live += 1
         return ev
 
     def after(self, delay: float, fn: Callable[..., Any], *args: Any) -> Event:
@@ -95,9 +162,61 @@ class Simulator:
             raise SimulationError(f"negative delay {delay!r}")
         return self.at(self._now + delay, fn, *args)
 
+    def post(self, time: float, fn: Callable[..., Any], *args: Any) -> None:
+        """Schedule ``fn(*args)`` at ``time`` with no cancellation handle.
+
+        The fire-and-forget fast path: semantically identical to
+        :meth:`at` with the returned :class:`Event` discarded, but
+        allocates only the heap tuple.  The simulation's internal
+        machinery schedules hundreds of thousands of events per run and
+        never cancels them, so it uses this entry point.
+        """
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule event at t={time!r} in the past (now={self._now!r})"
+            )
+        _heappush(self._heap, (time, next(self._seq), fn, args))
+        self._live += 1
+
+    def halt(self) -> None:
+        """Stop the running loop after the current event's callback.
+
+        Equivalent to a ``stop_when`` predicate that flips to ``True``,
+        but costs an attribute read per event instead of a call.  The
+        flag is cleared on the next :meth:`run`.
+        """
+        self._halted = True
+
     def pending(self) -> int:
-        """Number of live (non-cancelled) events still queued."""
-        return sum(1 for ev in self._heap if not ev.cancelled)
+        """Number of live (non-cancelled) events still queued.  O(1)."""
+        return self._live
+
+    def stats(self) -> dict:
+        """Kernel observability counters (cheap; safe to poll)."""
+        return {
+            "events_dispatched": self.events_dispatched,
+            "pending": self._live,
+            "heap_size": len(self._heap),
+            "compactions": self.compactions,
+        }
+
+    # ------------------------------------------------------------------ heap
+
+    def _compact(self) -> None:
+        """Drop cancelled entries and restore the heap invariant.
+
+        Rebuilding keeps the total order ``(time, seq)`` intact, so the
+        dispatch sequence of the surviving events — including ties — is
+        exactly what lazy deletion would have produced.
+        """
+        heap = self._heap
+        # in-place: Simulator.run() holds a local reference to the list
+        heap[:] = [
+            entry for entry in heap
+            if not (type(entry[2]) is Event and entry[2].cancelled)
+        ]
+        heapq.heapify(heap)
+        self.compactions += 1
 
     # ------------------------------------------------------------------ run
 
@@ -108,12 +227,19 @@ class Simulator:
         """
         heap = self._heap
         while heap:
-            ev = heapq.heappop(heap)
-            if ev.cancelled:
-                continue
-            self._now = ev.time
+            entry = heapq.heappop(heap)
+            ev = entry[2]
+            if type(ev) is Event:
+                if ev.cancelled:
+                    continue
+                ev._sim = None
+                fn, args = ev.fn, ev.args
+            else:
+                fn, args = ev, entry[3]
+            self._live -= 1
+            self._now = entry[0]
             self.events_dispatched += 1
-            ev.fn(*ev.args)
+            fn(*args)
             return True
         return False
 
@@ -141,25 +267,70 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
+        self._halted = False
+        dispatched = 0
+        # +inf horizon keeps the per-event check a single float compare
+        until_f = float("inf") if until is None else until
         try:
             heap = self._heap
-            while heap:
-                ev = heap[0]
-                if ev.cancelled:
-                    heapq.heappop(heap)
-                    continue
-                if until is not None and ev.time > until:
-                    self._now = until
-                    break
-                heapq.heappop(heap)
-                self._now = ev.time
-                self.events_dispatched += 1
-                ev.fn(*ev.args)
-                if stop_when is not None and stop_when():
-                    break
+            pop = _heappop
+            event_cls = Event
+            if stop_when is None:
+                # the common loop: one fewer branch per dispatched event
+                while heap:
+                    entry = heap[0]
+                    ev = entry[2]
+                    cancellable = type(ev) is event_cls
+                    if cancellable and ev.cancelled:
+                        pop(heap)
+                        continue
+                    time = entry[0]
+                    if time > until_f:
+                        self._now = until
+                        break
+                    pop(heap)
+                    self._live -= 1
+                    self._now = time
+                    dispatched += 1
+                    if cancellable:
+                        ev._sim = None
+                        ev.fn(*ev.args)
+                    else:
+                        ev(*entry[3])
+                    if self._halted:
+                        break
+                else:
+                    if until is not None and until > self._now:
+                        self._now = until
             else:
-                if until is not None and until > self._now:
-                    self._now = until
+                while heap:
+                    entry = heap[0]
+                    ev = entry[2]
+                    cancellable = type(ev) is event_cls
+                    if cancellable and ev.cancelled:
+                        pop(heap)
+                        continue
+                    time = entry[0]
+                    if time > until_f:
+                        self._now = until
+                        break
+                    pop(heap)
+                    self._live -= 1
+                    self._now = time
+                    dispatched += 1
+                    if cancellable:
+                        ev._sim = None
+                        ev.fn(*ev.args)
+                    else:
+                        ev(*entry[3])
+                    if self._halted:
+                        break
+                    if stop_when():
+                        break
+                else:
+                    if until is not None and until > self._now:
+                        self._now = until
         finally:
             self._running = False
+            self.events_dispatched += dispatched
         return self._now

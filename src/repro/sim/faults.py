@@ -354,7 +354,7 @@ class FaultInjector:
         if when <= now:
             fn(arg)  # already in effect at install time
         else:
-            sim.at(when, fn, arg)
+            sim.post(when, fn, arg)
 
     def _activate_drop(self, rule: DropRule) -> None:
         self._active_drops.append(rule)

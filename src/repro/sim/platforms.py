@@ -20,6 +20,7 @@ the exact values.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import Callable, Dict
 
 from ..errors import SimulationError
@@ -183,18 +184,28 @@ def available_platforms() -> list[str]:
 def register_platform(name: str, factory: Callable[[], Platform]) -> None:
     """Register a custom platform preset (used by tests and ablations)."""
     _REGISTRY[name] = factory
+    # a re-registration must not serve the stale preset
+    _cached_platform.cache_clear()
+
+
+@lru_cache(maxsize=None)
+def _cached_platform(name: str) -> Platform:
+    return _REGISTRY[name]()
 
 
 def get_platform(name: str) -> Platform:
     """Look up a platform preset by name.
 
+    Presets are immutable (frozen dataclasses all the way down), so the
+    constructed :class:`Platform` is memoized — every simulation of a
+    sweep shares one instance instead of rebuilding the cost model.
+
     Raises :class:`SimulationError` for unknown names, listing the
     available presets.
     """
     try:
-        factory = _REGISTRY[name]
+        return _cached_platform(name)
     except KeyError:
         raise SimulationError(
             f"unknown platform {name!r}; available: {', '.join(available_platforms())}"
         ) from None
-    return factory()

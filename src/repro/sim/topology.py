@@ -15,10 +15,25 @@ options used on the paper's clusters:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 
 from ..errors import SimulationError
 
 __all__ = ["Topology"]
+
+
+@lru_cache(maxsize=256)
+def _ranks_by_node(node_of: tuple[int, ...]) -> dict[int, tuple[int, ...]]:
+    """node -> ranks grouping, memoized on the placement tuple.
+
+    Identical placements (every iteration of a sweep builds the same
+    Topology) share one grouping; values are tuples so the cached dict
+    is never mutated through a caller's view.
+    """
+    groups: dict[int, list[int]] = {}
+    for rank, node in enumerate(node_of):
+        groups.setdefault(node, []).append(rank)
+    return {node: tuple(ranks) for node, ranks in groups.items()}
 
 
 @dataclass(frozen=True)
@@ -76,8 +91,8 @@ class Topology:
     @property
     def nodes_used(self) -> int:
         """Number of distinct nodes occupied by the job."""
-        return len(set(self._node_of))
+        return len(_ranks_by_node(self._node_of))
 
     def ranks_on_node(self, node: int) -> list[int]:
         """All ranks placed on ``node`` (ascending)."""
-        return [r for r, n in enumerate(self._node_of) if n == node]
+        return list(_ranks_by_node(self._node_of).get(node, ()))

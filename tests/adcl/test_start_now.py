@@ -1,0 +1,75 @@
+"""Tests for ADCLRequest.start_now(), the plain-call start fast path."""
+
+from repro.adcl import (
+    ADCLRequest,
+    ADCLTimer,
+    CollSpec,
+    FixedSelector,
+    ialltoall_extended_function_set,
+    ibcast_function_set,
+)
+from repro.errors import AdclError
+from repro.sim import Barrier, Compute, Progress, SimWorld, get_platform
+
+
+def _run(nprocs, iterations, use_start_now):
+    world = SimWorld(get_platform("whale"), nprocs)
+    fnset = ibcast_function_set()
+    spec = CollSpec("bcast", world.comm_world, 8 * 1024)
+    areq = ADCLRequest(fnset, spec, selector="brute_force",
+                       evals_per_function=2)
+    timer = ADCLTimer(areq)
+
+    def factory(ctx):
+        for _ in range(iterations):
+            timer.start(ctx)
+            if use_start_now:
+                areq.start_now(ctx)
+            else:
+                yield from areq.start(ctx)
+            for _ in range(3):
+                yield Compute(0.001)
+                yield Progress([areq.handle(ctx)])
+            yield from areq.wait(ctx)
+            timer.stop(ctx)
+            yield Barrier()
+
+    world.launch(factory)
+    res = world.run()
+    return areq, timer, res
+
+
+def test_start_now_bit_identical_to_start():
+    """The plain-call path is an optimization, not a semantic change."""
+    areq_a, timer_a, res_a = _run(nprocs=8, iterations=10, use_start_now=True)
+    areq_b, timer_b, res_b = _run(nprocs=8, iterations=10, use_start_now=False)
+    assert areq_a.winner_name == areq_b.winner_name
+    assert areq_a.decided_at == areq_b.decided_at
+    assert res_a.makespan.hex() == res_b.makespan.hex()
+    assert [r.seconds.hex() for r in timer_a.records] == \
+        [r.seconds.hex() for r in timer_b.records]
+
+
+def test_start_now_refuses_blocking_implementations():
+    """A blocking function must suspend the caller, which a plain call
+    cannot do — start_now() raises instead of silently misbehaving."""
+    world = SimWorld(get_platform("whale"), 4)
+    fnset = ialltoall_extended_function_set()
+    blocking_idx = next(i for i, fn in enumerate(fnset) if fn.blocking)
+    spec = CollSpec("alltoall", world.comm_world, 1024)
+    areq = ADCLRequest(fnset, spec,
+                       selector=FixedSelector(fnset, blocking_idx),
+                       evals_per_function=1)
+    errors = []
+
+    def factory(ctx):
+        try:
+            areq.start_now(ctx)
+        except AdclError as exc:
+            errors.append(str(exc))
+        yield Compute(0.0)
+
+    world.launch(factory)
+    world.run()
+    assert len(errors) == 4
+    assert "blocking" in errors[0]

@@ -1,0 +1,143 @@
+"""Unit tests for the parallel sweep executor and its determinism contract."""
+
+import json
+
+import pytest
+
+from repro.bench.overlap import OverlapConfig
+from repro.bench.parallel import (
+    ResultCache,
+    derive_seed,
+    run_tasks,
+    sweep_implementations,
+    task_key,
+)
+
+#: tier-1 sized sweep scenario (21 bcast implementations, tiny runs)
+SMALL_CFG = OverlapConfig(platform="whale", nprocs=4, operation="bcast",
+                          nbytes=8 * 1024, iterations=4, nprogress=2,
+                          noise_sigma=0.02, noise_outlier_prob=0.05, seed=3)
+
+
+# module-level so the jobs>1 pool can pickle it
+def _double(payload):
+    return {"value": payload * 2}
+
+
+# ---------------------------------------------------------------------------
+# task identity & seed derivation
+# ---------------------------------------------------------------------------
+
+
+def test_task_key_is_stable_and_canonical():
+    a = task_key("sweep", config=SMALL_CFG, fn_index=3)
+    b = task_key("sweep", fn_index=3, config=SMALL_CFG)  # kwarg order irrelevant
+    assert a == b
+    assert a.startswith("sweep:")
+    assert task_key("sweep", config=SMALL_CFG, fn_index=4) != a
+
+
+def test_derive_seed_deterministic_and_bounded():
+    key = task_key("sweep", config=SMALL_CFG, fn_index=0)
+    s1 = derive_seed(7, key)
+    s2 = derive_seed(7, key)
+    assert s1 == s2
+    assert 0 <= s1 < 2**31
+    assert derive_seed(8, key) != s1
+    assert derive_seed(7, key + "x") != s1
+
+
+# ---------------------------------------------------------------------------
+# the on-disk result cache
+# ---------------------------------------------------------------------------
+
+
+def test_result_cache_roundtrip(tmp_path):
+    cache = ResultCache(str(tmp_path / "c"))
+    assert cache.get("k") is None
+    cache.put("k", {"x": 1.5, "y": [1, 2]})
+    assert cache.get("k") == {"x": 1.5, "y": [1, 2]}
+    assert len(cache) == 1
+    stats = cache.stats()
+    assert (stats["hits"], stats["misses"], stats["stores"]) == (1, 1, 1)
+    assert stats["hit_rate"] == 0.5
+
+
+def test_result_cache_key_mismatch_degrades_to_miss(tmp_path):
+    cache = ResultCache(str(tmp_path / "c"))
+    cache.put("real-key", {"x": 1})
+    # simulate a digest collision: the file exists but stores another key
+    with open(cache.path_for("real-key"), "w", encoding="utf-8") as fh:
+        json.dump({"key": "other-key", "result": {"x": 2}}, fh)
+    assert cache.get("real-key") is None
+
+
+def test_result_cache_corrupt_file_degrades_to_miss(tmp_path):
+    cache = ResultCache(str(tmp_path / "c"))
+    cache.put("k", {"x": 1})
+    with open(cache.path_for("k"), "w", encoding="utf-8") as fh:
+        fh.write("{not json")
+    assert cache.get("k") is None
+
+
+# ---------------------------------------------------------------------------
+# the generic executor
+# ---------------------------------------------------------------------------
+
+
+def test_run_tasks_preserves_task_order():
+    tasks = [(f"k{i}", i) for i in (5, 1, 9, 3)]
+    assert run_tasks(tasks, _double) == [
+        {"value": 10}, {"value": 2}, {"value": 18}, {"value": 6}]
+
+
+def test_run_tasks_parallel_matches_serial():
+    tasks = [(f"k{i}", i) for i in range(8)]
+    assert run_tasks(tasks, _double, jobs=2) == run_tasks(tasks, _double)
+
+
+def test_run_tasks_serves_cache_hits_without_running(tmp_path):
+    cache = ResultCache(str(tmp_path / "c"))
+    tasks = [(f"k{i}", i) for i in range(4)]
+    first = run_tasks(tasks, _double, cache=cache)
+    assert cache.stores == 4
+
+    calls = []
+
+    def must_not_run(payload):
+        calls.append(payload)
+        return {"value": payload * 2}
+
+    replay = run_tasks(tasks, must_not_run, cache=cache)
+    assert replay == first
+    assert calls == []
+    assert cache.hits == 4
+
+
+# ---------------------------------------------------------------------------
+# the determinism contract on a real sweep
+# ---------------------------------------------------------------------------
+
+
+def test_sweep_serial_parallel_and_replay_identical(tmp_path):
+    cache = ResultCache(str(tmp_path / "sweep"))
+    serial = sweep_implementations(SMALL_CFG, jobs=1, cache=cache)
+    parallel = sweep_implementations(SMALL_CFG, jobs=2)
+    replay = sweep_implementations(SMALL_CFG, jobs=1, cache=cache)
+    assert serial == parallel
+    assert serial == replay
+    assert cache.hits == len(serial)
+    # the summaries carry bit-exact hex twins for every float field
+    for row in serial:
+        assert float.fromhex(row["makespan_hex"]) == row["makespan"]
+        assert len(row["record_hex"]) == SMALL_CFG.iterations
+
+
+def test_sweep_derived_seeds_are_per_task():
+    rows = sweep_implementations(SMALL_CFG, jobs=1)
+    seeds = [row["seed"] for row in rows]
+    assert len(set(seeds)) == len(seeds)  # every implementation: own stream
+    assert all(s != SMALL_CFG.seed for s in seeds)
+
+    plain = sweep_implementations(SMALL_CFG, jobs=1, derive_seeds=False)
+    assert all(row["seed"] == SMALL_CFG.seed for row in plain)

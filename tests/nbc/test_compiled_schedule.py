@@ -1,0 +1,139 @@
+"""Unit tests for CompiledSchedule and the schedule cache."""
+
+import pytest
+
+from repro.errors import ScheduleError
+from repro.nbc.ibcast import build_ibcast, compiled_ibcast
+from repro.nbc.schedule import SCHEDULE_CACHE, CompiledSchedule, Schedule, ScheduleCache
+
+
+@pytest.fixture
+def global_cache():
+    """Clean slate on the process-global cache; restore afterwards."""
+    was_enabled = SCHEDULE_CACHE.enabled
+    SCHEDULE_CACHE.enabled = True
+    SCHEDULE_CACHE.clear()
+    SCHEDULE_CACHE.reset_stats()
+    yield SCHEDULE_CACHE
+    SCHEDULE_CACHE.enabled = was_enabled
+    SCHEDULE_CACHE.clear()
+    SCHEDULE_CACHE.reset_stats()
+
+
+def test_compile_freezes_structure():
+    sched = build_ibcast(size=8, rank=3, root=0, nbytes=64 * 1024,
+                         fanout=2, segsize=16 * 1024)
+    plan = sched.compile(key=("k",))
+    assert isinstance(plan, CompiledSchedule)
+    assert plan.key == ("k",)
+    assert plan.nrounds == sched.nrounds
+    assert plan.tag_span == sched.tag_span
+    assert plan.count_ops() == sched.count_ops()
+    assert plan.count_ops("send") == sched.count_ops("send")
+    assert plan.total_send_bytes() == sched.total_send_bytes()
+    # frozen: rounds are tuples of the *same* op objects
+    assert isinstance(plan.rounds, tuple)
+    for frozen, original in zip(plan.rounds, sched.rounds):
+        assert isinstance(frozen, tuple)
+        assert list(frozen) == original
+
+
+def test_compile_validates_first():
+    bad = Schedule("bad")
+    bad.round()  # empty round
+    with pytest.raises(ScheduleError):
+        bad.compile()
+
+
+def test_cache_hit_returns_same_plan_object():
+    cache = ScheduleCache()
+    built = []
+
+    def builder():
+        built.append(1)
+        return Schedule("x").send(1, 100)
+
+    first = cache.get(("a",), builder)
+    second = cache.get(("a",), builder)
+    assert first is second
+    assert isinstance(first, CompiledSchedule)
+    assert built == [1]
+    assert (cache.hits, cache.misses) == (1, 1)
+    assert cache.hit_rate == 0.5
+    assert len(cache) == 1
+
+
+def test_cache_disabled_returns_raw_schedule():
+    cache = ScheduleCache(enabled=False)
+    out = cache.get(("a",), lambda: Schedule("x").send(1, 100))
+    assert isinstance(out, Schedule)  # the pre-cache mutable object
+    assert cache.misses == 1
+    assert len(cache) == 0
+
+
+def test_cache_flushes_wholesale_at_maxsize():
+    cache = ScheduleCache(maxsize=2)
+    for i in range(3):
+        cache.get((i,), lambda: Schedule("x").send(1, 100))
+    assert cache.flushes == 1
+    assert len(cache) <= 2
+    # the flushed key rebuilds as a miss, not a wrong answer
+    cache.get((0,), lambda: Schedule("x").send(1, 100))
+    assert cache.hits == 0
+
+
+def test_cache_clear_keeps_stats_and_reset_stats_keeps_plans():
+    cache = ScheduleCache()
+    cache.get(("a",), lambda: Schedule("x").send(1, 100))
+    cache.get(("a",), lambda: Schedule("x").send(1, 100))
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.hits == 1
+    cache.get(("b",), lambda: Schedule("y").send(1, 100))
+    cache.reset_stats()
+    assert (cache.hits, cache.misses, cache.flushes) == (0, 0, 0)
+    assert len(cache) == 1
+
+
+def test_cache_rejects_nonpositive_maxsize():
+    with pytest.raises(ScheduleError):
+        ScheduleCache(maxsize=0)
+
+
+def test_compiled_ibcast_memoizes_per_geometry(global_cache):
+    a = compiled_ibcast(8, 3, 0, 64 * 1024, 2, 16 * 1024)
+    b = compiled_ibcast(8, 3, 0, 64 * 1024, 2, 16 * 1024)
+    other_rank = compiled_ibcast(8, 4, 0, 64 * 1024, 2, 16 * 1024)
+    assert a is b
+    assert a is not other_rank
+    assert global_cache.hits == 1
+    assert global_cache.misses == 2
+
+
+def test_compiled_plan_matches_builder_output(global_cache):
+    plan = compiled_ibcast(16, 5, 0, 128 * 1024, 4, 64 * 1024)
+    fresh = build_ibcast(16, 5, 0, 128 * 1024, fanout=4, segsize=64 * 1024)
+    assert plan.nrounds == fresh.nrounds
+    assert plan.tag_span == fresh.tag_span
+    assert plan.total_send_bytes() == fresh.total_send_bytes()
+    for frozen, built in zip(plan.rounds, fresh.rounds):
+        assert [repr(op) for op in frozen] == [repr(op) for op in built]
+
+
+def test_cached_and_uncached_runs_bit_identical(global_cache):
+    """The acceptance-criterion determinism check, tier-1 sized."""
+    from repro.bench.overlap import OverlapConfig, run_overlap
+
+    cfg = OverlapConfig(platform="whale", nprocs=8, operation="bcast",
+                        nbytes=32 * 1024, iterations=8, nprogress=3,
+                        noise_sigma=0.01, noise_outlier_prob=0.02, seed=5)
+
+    def fingerprint(res):
+        return (res.winner, res.decided_at, res.makespan.hex(),
+                tuple(r.seconds.hex() for r in res.records), res.events)
+
+    cached = run_overlap(cfg, evals_per_function=2)
+    global_cache.enabled = False
+    global_cache.clear()
+    uncached = run_overlap(cfg, evals_per_function=2)
+    assert fingerprint(cached) == fingerprint(uncached)

@@ -123,3 +123,187 @@ def test_chained_scheduling_inside_events():
     sim.at(0.0, tick, 3)
     sim.run()
     assert hits == [0.0, 1.0, 2.0, 3.0]
+
+
+# ---------------------------------------------------------------------------
+# the fast-path API: post(), halt(), stats(), compaction
+# ---------------------------------------------------------------------------
+
+
+def test_post_dispatches_in_time_order():
+    sim = Simulator()
+    order = []
+    sim.post(2.0, order.append, "b")
+    sim.post(1.0, order.append, "a")
+    sim.post(3.0, order.append, "c")
+    sim.run()
+    assert order == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_post_and_at_share_one_seq_counter():
+    """Ties between post() and at() events break by insertion order."""
+    sim = Simulator()
+    order = []
+    sim.post(1.0, order.append, "p1")
+    sim.at(1.0, order.append, "a1")
+    sim.post(1.0, order.append, "p2")
+    sim.at(1.0, order.append, "a2")
+    sim.run()
+    assert order == ["p1", "a1", "p2", "a2"]
+
+
+def test_post_in_past_raises():
+    sim = Simulator()
+    sim.at(1.0, lambda: None)
+    sim.run()
+    with pytest.raises(SimulationError):
+        sim.post(0.5, lambda: None)
+
+
+def test_post_counts_toward_pending():
+    sim = Simulator()
+    sim.post(1.0, lambda: None)
+    sim.at(2.0, lambda: None)
+    assert sim.pending() == 2
+    sim.run()
+    assert sim.pending() == 0
+
+
+def test_inline_post_protocol_matches_post():
+    """The documented trusted-driver protocol: push the tuple directly."""
+    sim = Simulator()
+    order = []
+    sim.post(1.0, order.append, "via-post")
+    # what repro.sim.mpi does on its hot paths
+    import heapq
+
+    heapq.heappush(sim._heap, (1.0, next(sim._seq), order.append, ("inline",)))
+    sim._live += 1
+    assert sim.pending() == 2
+    sim.run()
+    assert order == ["via-post", "inline"]
+    assert sim.pending() == 0
+
+
+def test_halt_stops_loop_and_preserves_queue():
+    sim = Simulator()
+    fired = []
+
+    def stopper():
+        fired.append("stop")
+        sim.halt()
+
+    sim.at(1.0, stopper)
+    sim.at(2.0, fired.append, "later")
+    assert sim.run() == 1.0
+    assert fired == ["stop"]
+    assert sim.pending() == 1
+    # the flag clears on the next run(), which drains the queue
+    sim.run()
+    assert fired == ["stop", "later"]
+
+
+def test_step_decrements_pending():
+    sim = Simulator()
+    sim.at(1.0, lambda: None)
+    sim.post(2.0, lambda: None)
+    assert sim.pending() == 2
+    sim.step()
+    assert sim.pending() == 1
+    sim.step()
+    assert sim.pending() == 0
+
+
+def test_cancel_after_fire_is_a_noop():
+    sim = Simulator()
+    ev = sim.at(1.0, lambda: None)
+    sim.run()
+    assert sim.pending() == 0
+    ev.cancel()  # late cancel: sets the flag, must not corrupt _live
+    assert sim.pending() == 0
+    sim.at(2.0, lambda: None)
+    assert sim.pending() == 1
+    sim.run()
+    assert sim.pending() == 0
+
+
+def test_compaction_triggers_and_preserves_order():
+    """Cancelling most of a large heap rebuilds it without the dead
+    entries and without disturbing the survivors' dispatch order."""
+    sim = Simulator()
+    doomed = [sim.at(float(i), lambda: None) for i in range(150)]
+    keep = []
+    for i in range(50):
+        sim.at(float(i) + 0.5, keep.append, i)
+    for ev in doomed:
+        ev.cancel()
+    assert sim.compactions >= 1
+    assert sim.pending() == 50
+    assert len(sim._heap) < 200  # compaction physically dropped dead entries
+    sim.run()
+    assert keep == list(range(50))
+
+
+def test_small_heaps_never_compact():
+    sim = Simulator()
+    events = [sim.at(float(i), lambda: None) for i in range(10)]
+    for ev in events:
+        ev.cancel()
+    assert sim.compactions == 0
+    assert sim.pending() == 0
+    sim.run()
+
+
+def test_stats_counters():
+    sim = Simulator()
+    sim.at(1.0, lambda: None)
+    sim.post(2.0, lambda: None)
+    ev = sim.at(3.0, lambda: None)
+    ev.cancel()
+    s = sim.stats()
+    assert s["pending"] == 2
+    assert s["heap_size"] == 3  # cancelled shell still queued (lazy delete)
+    assert s["events_dispatched"] == 0
+    sim.run()
+    s = sim.stats()
+    assert s["events_dispatched"] == 2
+    assert s["pending"] == 0
+    assert s["compactions"] == sim.compactions
+
+
+def test_run_is_not_reentrant():
+    sim = Simulator()
+    caught = []
+
+    def reenter():
+        try:
+            sim.run()
+        except SimulationError as exc:
+            caught.append(str(exc))
+
+    sim.at(1.0, reenter)
+    sim.run()
+    assert caught and "reentrant" in caught[0]
+
+
+def test_until_advances_clock_when_queue_drains():
+    """Both specialized loops advance now to the horizon on drain."""
+    sim = Simulator()
+    sim.at(1.0, lambda: None)
+    assert sim.run(until=5.0) == 5.0
+    assert sim.now == 5.0
+
+    sim2 = Simulator()
+    sim2.at(1.0, lambda: None)
+    assert sim2.run(until=5.0, stop_when=lambda: False) == 5.0
+
+
+def test_stop_when_with_until_horizon():
+    sim = Simulator()
+    fired = []
+    for t in (1.0, 2.0, 3.0, 4.0):
+        sim.post(t, fired.append, t)
+    sim.run(until=2.5, stop_when=lambda: len(fired) >= 2)
+    assert fired == [1.0, 2.0]
+    assert sim.now == 2.0  # stop_when fired before the horizon did

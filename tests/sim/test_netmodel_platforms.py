@@ -136,3 +136,18 @@ def test_register_custom_platform():
     register_platform("toy", lambda: plat)
     assert get_platform("toy") is plat
     assert "toy" in available_platforms()
+
+
+def test_get_platform_is_memoized():
+    # presets are immutable, so every lookup shares one instance
+    assert get_platform("whale") is get_platform("whale")
+    assert get_platform("crill") is get_platform("crill")
+
+
+def test_reregistration_invalidates_memoized_preset():
+    first = Platform(params=make_params(name="toy2"), nnodes=2, cores_per_node=2)
+    register_platform("toy2", lambda: first)
+    assert get_platform("toy2") is first
+    second = Platform(params=make_params(name="toy2"), nnodes=4, cores_per_node=2)
+    register_platform("toy2", lambda: second)
+    assert get_platform("toy2") is second

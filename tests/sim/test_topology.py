@@ -67,3 +67,20 @@ def test_block_placement_never_exceeds_core_count(nprocs, cores):
     topo = Topology(nprocs=nprocs, cores_per_node=cores, nnodes=nnodes)
     for node in range(nnodes):
         assert len(topo.ranks_on_node(node)) <= cores
+
+
+def test_identical_placements_share_one_grouping():
+    from repro.sim.topology import _ranks_by_node
+
+    a = Topology(nprocs=8, cores_per_node=4, nnodes=2)
+    b = Topology(nprocs=8, cores_per_node=4, nnodes=2)
+    # the node->ranks grouping is memoized on the placement tuple
+    assert _ranks_by_node(a._node_of) is _ranks_by_node(b._node_of)
+
+
+def test_ranks_on_node_returns_fresh_list():
+    topo = Topology(nprocs=8, cores_per_node=4, nnodes=2)
+    ranks = topo.ranks_on_node(0)
+    assert ranks == [0, 1, 2, 3]
+    ranks.append(99)  # caller mutation must not poison the cache
+    assert topo.ranks_on_node(0) == [0, 1, 2, 3]

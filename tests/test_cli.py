@@ -60,3 +60,35 @@ def test_parser_rejects_unknown_command():
 def test_nbytes_accepts_size_suffixes():
     args = build_parser().parse_args(["sweep", "--nbytes", "2MB"])
     assert args.nbytes == 2 * 1024 * 1024
+
+
+def test_sweep_with_jobs_result_cache_and_stats(capsys, tmp_path):
+    cache_dir = str(tmp_path / "cache")
+    argv = [
+        "sweep", "--platform", "whale", "--nprocs", "4",
+        "--nbytes", "1KB", "--iterations", "4", "--operation", "bcast",
+        "--jobs", "2", "--result-cache", cache_dir, "--stats",
+    ]
+    assert main(argv) == 0
+    first = capsys.readouterr().out
+    assert "wall-clock" in first
+    assert "events dispatched" in first
+    assert "schedule cache" in first
+    assert "result cache" in first
+
+    # second run replays entirely from the result cache
+    assert main(argv) == 0
+    second = capsys.readouterr().out
+    assert "hit rate 100.0%" in second.split("result cache")[1]
+
+
+def test_tune_with_stats(capsys):
+    rc = main([
+        "tune", "--platform", "whale", "--nprocs", "8",
+        "--nbytes", "1KB", "--iterations", "12", "--evals", "2",
+        "--stats",
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "decision at iteration" in out
+    assert "events/sec" in out

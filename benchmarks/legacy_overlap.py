@@ -114,4 +114,6 @@ def run_overlap_legacy(
         decided_at=areq.decided_at,
         makespan=res.makespan,
         events=res.events,
+        # the baseline_stack swaps in the legacy engine, which predates stats()
+        engine_stats=world.sim.stats() if hasattr(world.sim, "stats") else {},
     )

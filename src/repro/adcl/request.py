@@ -33,13 +33,14 @@ from typing import Mapping, Optional, Union
 import numpy as np
 
 from ..errors import AdclError
+from ..obs.recorder import get_recorder
 from ..sim.mpi import MPIContext
 from ..sim.process import Wait, Waitable
 from .function import CollSpec, FunctionSet
 from .history import HistoryStore
 from .resilience import Resilience
 from .selection.base import FixedSelector, Selector
-from .statistics import DriftDetector
+from .statistics import DriftDetector, filter_outliers
 from .selection.brute_force import BruteForceSelector
 from .selection.factorial import FactorialSelector
 from .selection.heuristic import HeuristicSelector
@@ -134,6 +135,18 @@ class ADCLRequest:
         #: basis of checkpoint/restore (:mod:`repro.adcl.checkpoint`)
         self._journal: list[list] = []
         self._replaying = False
+        #: decision audit log (None when tracing is disabled).  The audit
+        #: hooks sit on the same code paths :meth:`replay` traverses, so
+        #: replaying a journal under an installed recorder reconstructs
+        #: the audit trail from the journal alone.
+        _rec = get_recorder()
+        self.audit = _rec.audit if _rec.enabled else None
+        #: cursor into ``selector.quarantine_log`` for audit syncing
+        self._audit_quar_seen = 0
+        #: whether the current epoch's decision was already audited; the
+        #: selector may decide lazily inside ``function_for_iteration``,
+        #: so every audit site checks the transition via this flag
+        self._audit_decided = False
 
     def _configure_selector(self, selector: Selector) -> None:
         if self.resilience is None:
@@ -186,6 +199,10 @@ class ADCLRequest:
                 fn_idx = self.selector.substitute(fn_idx)
             self._iter_fn[it] = fn_idx
             self._journal.append(["iter", it, fn_idx])
+            if self.audit is not None:
+                self._audit_check_decision()
+                self.audit.selection(it, fn_idx, self.fnset[fn_idx].name,
+                                     not self.selector.decided)
         fn = self.fnset[fn_idx]
         handle = fn.make(ctx, self.spec, buffers)
         rs["handles"].append((handle, it, fn_idx, ctx.now))
@@ -220,6 +237,10 @@ class ADCLRequest:
                 fn_idx = self.selector.substitute(fn_idx)
             self._iter_fn[it] = fn_idx
             self._journal.append(["iter", it, fn_idx])
+            if self.audit is not None:
+                self._audit_check_decision()
+                self.audit.selection(it, fn_idx, self.fnset[fn_idx].name,
+                                     not self.selector.decided)
         fn = self.fnset[fn_idx]
         if fn.blocking:
             raise AdclError(
@@ -289,8 +310,14 @@ class ADCLRequest:
             return  # measured before the last re-tune: stale, discard
         if not self._replaying:
             self._journal.append(["feed", it, fn_idx, seconds])
+        audit = self.audit
+        if audit is not None:
+            audit.measurement(it, fn_idx, self.fnset[fn_idx].name, seconds)
         was_decided = self.selector.decided
         self.selector.feed(rel, fn_idx, seconds)
+        if audit is not None:
+            self._audit_sync_quarantines()
+            self._audit_check_decision()
         if not self.selector.decided:
             return
         if not self._history_saved and self.history is not None:
@@ -335,6 +362,56 @@ class ADCLRequest:
         self.selector.reset_learning()
         self._drift = None
         self._epoch_start = it + 1
+        if self.audit is not None:
+            self.audit.retune(it)
+            # the (possibly swapped) selector's quarantine log is the new
+            # cursor base; reset_learning never rewrites past entries
+            self._audit_quar_seen = len(self.selector.quarantine_log)
+            self._audit_decided = False
+
+    def _audit_sync_quarantines(self) -> None:
+        """Append any quarantines the selector issued since the last sync."""
+        log = self.selector.quarantine_log
+        for idx, reason in log[self._audit_quar_seen:]:
+            self.audit.quarantine(idx, self.fnset[idx].name, reason)
+        self._audit_quar_seen = len(log)
+
+    def _audit_check_decision(self) -> None:
+        """Audit the decision the first time it becomes visible."""
+        if self.selector.decided and not self._audit_decided:
+            self._audit_decided = True
+            self._audit_decision()
+
+    def _audit_decision(self) -> None:
+        """Record the winner with per-candidate evidence.
+
+        Evidence is computed at decision time from the measurement log:
+        for every candidate, the sample count, how many samples the
+        outlier filter kept/discarded, and the resulting estimate — the
+        data the decision was actually based on.
+        """
+        sel = self.selector
+        log = sel.log
+        evidence = []
+        for i in range(len(self.fnset)):
+            n = log.count(i)
+            quarantined = sel.quarantined.get(i)
+            if n == 0 and quarantined is None and i != sel.winner:
+                continue
+            entry: dict = {"index": i, "name": self.fnset[i].name, "n": n}
+            if n:
+                kept = filter_outliers(log.samples[i],
+                                       method=log.filter_method)
+                entry["kept"] = int(kept.size)
+                entry["discarded"] = n - int(kept.size)
+                entry["estimate"] = log.estimate(i)
+            if quarantined is not None:
+                entry["quarantined"] = quarantined[0]
+            if i == sel.winner:
+                entry["winner"] = True
+            evidence.append(entry)
+        self.audit.decision(sel.decided_at, sel.winner, sel.winner_name,
+                            evidence)
 
     def _attach_timer(self, timer) -> None:
         if self._timer is not None:
@@ -381,6 +458,8 @@ class ADCLRequest:
         done = self.selector.quarantine(fn_index, reason, sticky=sticky)
         if done and not self._replaying:
             self._journal.append(["quar", fn_index, reason, sticky])
+        if self.audit is not None:
+            self._audit_sync_quarantines()
         return done
 
     # ------------------------------------------------------------------
@@ -434,12 +513,19 @@ class ADCLRequest:
                             f"request's configuration"
                         )
                     self._iter_fn[it] = fn_idx
+                    if self.audit is not None:
+                        self._audit_check_decision()
+                        self.audit.selection(it, fn_idx,
+                                             self.fnset[fn_idx].name,
+                                             not self.selector.decided)
                 elif tag == "feed":
                     _, it, fn_idx, seconds = ev
                     self._feed(it, fn_idx, seconds)
                 elif tag == "quar":
                     _, fn_idx, reason, sticky = ev
                     self.selector.quarantine(fn_idx, reason, sticky=sticky)
+                    if self.audit is not None:
+                        self._audit_sync_quarantines()
                 else:
                     raise AdclError(f"unknown journal event {ev!r}")
         finally:

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..errors import AdclError
+from ..obs.recorder import get_recorder
 from ..sim.mpi import MPIContext
 from .request import ADCLRequest
 
@@ -45,6 +46,9 @@ class ADCLTimer:
         self._pending: dict[int, dict[int, float]] = {}
         #: completed iteration records in feeding order (for reporting)
         self.records: list[TimerRecord] = []
+        _rec = get_recorder()
+        self._obs = _rec if _rec.enabled else None
+        self._epoch_opened = False
 
     def window_index(self, rank: int) -> int:
         """The timer iteration ``rank`` is currently inside.
@@ -60,6 +64,10 @@ class ADCLTimer:
         """Begin timing this rank's current iteration."""
         if ctx.rank in self._t0:
             raise AdclError(f"rank {ctx.rank}: timer started twice")
+        if self._obs is not None and not self._epoch_opened:
+            self._epoch_opened = True
+            self._obs.instant("tuning", "tune.epoch", -1, ctx.now,
+                              {"phase": "open", "it": 0})
         self._t0[ctx.rank] = ctx.now
 
     def stop(self, ctx: MPIContext) -> None:
@@ -72,6 +80,18 @@ class ADCLTimer:
         self._counts[ctx.rank] = it + 1
         per_rank = self._pending.setdefault(it, {})
         per_rank[ctx.rank] = ctx.now - t0
+        obs = self._obs
+        if obs is not None:
+            # per-rank iteration span (cat "tuning"): the timed window of
+            # one candidate on one rank — the denominator of the overlap
+            # ratio `repro report` computes per candidate
+            span_it = self.request._iter_base + it
+            span_fn = self.request.function_used(span_it)
+            obs.complete(
+                "tuning", "iteration", ctx.rank, t0, ctx.now - t0,
+                {"fn": (self.request.fnset[span_fn].name
+                        if span_fn is not None else "?"),
+                 "it": span_it, "learning": not self.request.decided})
         if len(per_rank) == self.request.spec.comm.size:
             del self._pending[it]
             seconds = max(per_rank.values())
@@ -85,7 +105,20 @@ class ADCLTimer:
                     f"never started that iteration"
                 )
             learning = not self.request.decided
+            before_retunes = self.request.retunes
             self.request._feed(abs_it, fn_idx, seconds)
+            if obs is not None:
+                if learning and self.request.decided:
+                    obs.instant("tuning", "tune.decide", -1, ctx.now,
+                                {"winner": self.request.winner_name,
+                                 "it": abs_it})
+                    obs.instant("tuning", "tune.epoch", -1, ctx.now,
+                                {"phase": "close", "it": abs_it})
+                elif self.request.retunes > before_retunes:
+                    obs.instant("tuning", "tune.reopen", -1, ctx.now,
+                                {"it": abs_it})
+                    obs.instant("tuning", "tune.epoch", -1, ctx.now,
+                                {"phase": "open", "it": abs_it + 1})
             self.records.append(TimerRecord(abs_it, fn_idx, seconds, learning))
 
     # ------------------------------------------------------------------

@@ -203,6 +203,7 @@ def run_overlap_ft(
         decided_at=areq.decided_at,
         makespan=res.makespan,
         events=res.events,
+        engine_stats=world.sim.stats(),
         dead=dead,
         survivors=[r for r in range(config.nprocs) if r not in dead],
         repairs=repair_state["repairs"],

@@ -122,6 +122,9 @@ class OverlapResult:
     decided_at: Optional[int]
     makespan: float
     events: int
+    #: event-loop counters from :meth:`repro.sim.engine.Simulator.stats`
+    #: (summed over runs when the benchmark restarts simulations)
+    engine_stats: dict
 
     @property
     def total_time(self) -> float:
@@ -237,6 +240,7 @@ def run_overlap(
         decided_at=areq.decided_at,
         makespan=res.makespan,
         events=res.events,
+        engine_stats=world.sim.stats(),
     )
 
 
@@ -294,6 +298,11 @@ def run_overlap_resilient(
     events = 0
     dropped = 0
     retransmits = 0
+    engine_stats: dict = {}
+
+    def _merge_stats(world) -> None:
+        for k, v in world.sim.stats().items():
+            engine_stats[k] = engine_stats.get(k, 0) + v
 
     while len(records) < config.iterations:
         remaining = config.iterations - len(records)
@@ -351,6 +360,7 @@ def run_overlap_resilient(
             if world.faults is not None:
                 dropped += world.faults.messages_dropped
             retransmits += world.retransmits
+            _merge_stats(world)
             if restarts > resilience.max_restarts:
                 raise
             continue
@@ -361,6 +371,7 @@ def run_overlap_resilient(
         if world.faults is not None:
             dropped += world.faults.messages_dropped
         retransmits += world.retransmits
+        _merge_stats(world)
 
     return ResilientOverlapResult(
         config=config,
@@ -370,6 +381,7 @@ def run_overlap_resilient(
         decided_at=areq.decided_at,
         makespan=makespan,
         events=events,
+        engine_stats=engine_stats,
         restarts=restarts,
         aborts=aborts,
         quarantine_log=list(areq.quarantine_log),

@@ -218,13 +218,33 @@ def _records_summary(res) -> dict:
         "winner": res.winner,
         "decided_at": res.decided_at,
         "record_hex": [float(r.seconds).hex() for r in res.records],
+        "engine_stats": getattr(res, "engine_stats", None),
     }
 
 
 def _sweep_worker(payload) -> dict:
-    config, fn_index, fn_name = payload
-    res = run_overlap(config, selector=fn_index)
-    out = _records_summary(res)
+    config, fn_index, fn_name, trace = payload
+    if not trace:
+        res = run_overlap(config, selector=fn_index)
+        out = _records_summary(res)
+    else:
+        # per-task recorder: each task records its own world(s) and the
+        # parent merges them in task order, so serial, parallel and
+        # cache-replay sweeps all assemble byte-identical trace docs.
+        # install()/uninstall semantics matter for jobs=1 (in-process):
+        # the previous recorder must come back whatever happens.
+        from ..obs.recorder import TraceRecorder, install
+
+        rec = TraceRecorder()
+        prev = install(rec)
+        try:
+            res = run_overlap(config, selector=fn_index)
+        finally:
+            install(prev)
+        out = _records_summary(res)
+        out["trace"] = rec.export_events()
+        out["worlds"] = list(rec.worlds)
+        out["metrics"] = rec.metrics.snapshot()
     out["fn_index"] = fn_index
     out["name"] = fn_name
     out["seed"] = config.seed
@@ -236,6 +256,7 @@ def sweep_implementations(
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
     derive_seeds: bool = True,
+    trace: bool = False,
 ) -> list[dict]:
     """Time every implementation of ``config.operation`` (the ``sweep``
     command), optionally in parallel and/or against a result cache.
@@ -243,15 +264,26 @@ def sweep_implementations(
     With ``derive_seeds`` (the default) each implementation runs under
     :func:`derive_seed`'s per-task seed, so its noise stream is a pure
     function of the scenario + implementation identity.
+
+    With ``trace`` each task additionally records a structured event
+    trace and a metrics snapshot (``trace`` / ``worlds`` / ``metrics``
+    result keys).  Traced tasks use a distinct cache namespace so plain
+    sweep entries are never served trace-less to a traced sweep.
     """
     fnset = function_set_for(config.operation)
     tasks = []
     for i, fn in enumerate(fnset):
+        # seeds always derive from the plain sweep key: recording a
+        # trace must not perturb the simulated noise stream
         key = task_key("sweep", config=config, fn_index=i, fn_name=fn.name)
         cfg = config
         if derive_seeds:
             cfg = dataclasses.replace(config, seed=derive_seed(config.seed, key))
-        tasks.append((key, (cfg, i, fn.name)))
+        cache_key = (
+            task_key("sweep+trace", config=config, fn_index=i, fn_name=fn.name)
+            if trace else key
+        )
+        tasks.append((cache_key, (cfg, i, fn.name, trace)))
     return run_tasks(tasks, _sweep_worker, jobs=jobs, cache=cache)
 
 

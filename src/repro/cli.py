@@ -26,6 +26,7 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import time
 from typing import Optional, Sequence
 
@@ -45,6 +46,15 @@ from .bench import (
     sweep_implementations,
 )
 from .nbc.schedule import schedule_cache_stats
+from .obs import (
+    TraceRecorder,
+    build_trace_doc,
+    dump_trace,
+    install,
+    merge_snapshots,
+    render_report,
+)
+from .obs.report import validate_or_errors
 from .sim import FaultPlan, RankCrash, available_platforms, get_platform
 from .units import fmt_time, parse_size
 
@@ -126,14 +136,25 @@ def build_parser() -> argparse.ArgumentParser:
                        help="print wall-clock time, events dispatched, "
                             "events/sec and schedule-cache hit rate")
 
+    def obs_flags(p):
+        p.add_argument("--trace", default=None, metavar="PATH",
+                       help="record a structured event trace and write it "
+                            "as Chrome/Perfetto trace-event JSON "
+                            "(inspect with `repro report` or ui.perfetto.dev)")
+        p.add_argument("--metrics", default=None, metavar="PATH",
+                       help="write a metrics-registry snapshot (counters, "
+                            "gauges, histograms) as JSON")
+
     p_sweep = sub.add_parser(
         "sweep", help="time every implementation of an operation")
     common(p_sweep)
     perf_flags(p_sweep)
+    obs_flags(p_sweep)
 
     p_tune = sub.add_parser("tune", help="run the ADCL selection logic")
     common(p_tune)
     perf_flags(p_tune, parallel=False)
+    obs_flags(p_tune)
     p_tune.add_argument("--selector", default="brute_force",
                         choices=["brute_force", "heuristic", "factorial"])
     p_tune.add_argument("--evals", type=int, default=3,
@@ -175,15 +196,31 @@ def build_parser() -> argparse.ArgumentParser:
                        default=["libnbc", "adcl", "mpi"],
                        choices=["libnbc", "adcl", "adcl_ext", "mpi"])
     perf_flags(p_fft)
+
+    p_report = sub.add_parser(
+        "report", help="summarize a trace recorded with --trace")
+    p_report.add_argument("path", help="trace JSON file written by --trace")
+    p_report.add_argument("--validate", action="store_true",
+                          help="validate the trace against the schema and "
+                               "exit (0 valid / 2 invalid)")
+    p_report.add_argument("--timeline", action="store_true",
+                          help="append an ASCII per-rank timeline")
+    p_report.add_argument("--width", type=int, default=100,
+                          help="timeline width in characters")
     return parser
 
 
-def _print_stats(wall: float, events: int, cache: Optional[ResultCache]) -> None:
+def _print_stats(wall: float, events: int, cache: Optional[ResultCache],
+                 engine: Optional[dict] = None) -> None:
     """The ``--stats`` footer: wall-clock + throughput + cache efficacy."""
     rate = events / wall if wall > 0 else float("inf")
     print(f"\nwall-clock            {wall:.3f} s")
     print(f"events dispatched     {events}")
     print(f"events/sec            {rate:,.0f}")
+    if engine:
+        print(f"engine loop           {engine.get('events_dispatched', 0)} "
+              f"dispatched, {engine.get('compactions', 0)} heap "
+              f"compactions, {engine.get('pending', 0)} pending at exit")
     sstats = schedule_cache_stats()
     print(f"schedule cache        hit rate {sstats['hit_rate']:.1%} "
           f"({sstats['hits']} hits / {sstats['misses']} misses, "
@@ -193,6 +230,22 @@ def _print_stats(wall: float, events: int, cache: Optional[ResultCache]) -> None
         print(f"result cache          hit rate {cstats['hit_rate']:.1%} "
               f"({cstats['hits']} hits / {cstats['misses']} misses) "
               f"-> {cstats['directory']}")
+
+
+def _write_obs_outputs(args, scenario: str, tasks, audit, metrics) -> None:
+    """Write the ``--trace`` / ``--metrics`` files a command requested."""
+    if args.trace:
+        doc = build_trace_doc(tasks, scenario=scenario, audit=audit,
+                              metrics=metrics)
+        dump_trace(doc, args.trace)
+        print(f"trace written to {args.trace}  "
+              f"(inspect: `python -m repro report {args.trace}`)")
+    if args.metrics:
+        with open(args.metrics, "w", encoding="utf-8") as fh:
+            json.dump({"scenario": scenario, "metrics": metrics}, fh,
+                      sort_keys=True, indent=2)
+            fh.write("\n")
+        print(f"metrics written to {args.metrics}")
 
 
 def _overlap_config(args) -> OverlapConfig:
@@ -238,43 +291,67 @@ def cmd_sweep(args) -> int:
     cfg = _overlap_config(args)
     fnset = function_set_for(args.operation)
     cache = ResultCache(args.result_cache) if args.result_cache else None
+    trace_on = bool(args.trace or args.metrics)
     where = f" ({args.jobs} jobs)" if args.jobs > 1 else ""
     print(f"sweeping {len(fnset)} implementations of {cfg.describe()}{where} ...")
     t0 = time.perf_counter()
-    rows = sweep_implementations(cfg, jobs=args.jobs, cache=cache)
+    rows = sweep_implementations(cfg, jobs=args.jobs, cache=cache,
+                                 trace=trace_on)
     wall = time.perf_counter() - t0
     times = {row["name"]: row["mean_iteration"] for row in rows}
     print()
     print(format_bars(times, title="mean iteration time per implementation"))
+    if trace_on:
+        # one Chrome process per implementation, assembled in task order
+        # so serial/parallel/cached sweeps produce byte-identical docs
+        _write_obs_outputs(
+            args, cfg.describe(),
+            [(row["name"], row["trace"], row["worlds"]) for row in rows],
+            audit=None,
+            metrics=merge_snapshots([row["metrics"] for row in rows]),
+        )
     if args.stats:
-        _print_stats(wall, sum(row["events"] for row in rows), cache)
+        engine: dict = {}
+        for row in rows:
+            for k, v in (row.get("engine_stats") or {}).items():
+                engine[k] = engine.get(k, 0) + v
+        _print_stats(wall, sum(row["events"] for row in rows), cache,
+                     engine or None)
     return 0
 
 
 def cmd_tune(args) -> int:
     cfg = _overlap_config(args)
     fnset = function_set_for(args.operation)
+    recorder = prev = None
+    if args.trace or args.metrics:
+        recorder = TraceRecorder()
+        prev = install(recorder)
     t0 = time.perf_counter()
-    if args.resilient:
-        res = run_overlap_resilient(
-            cfg, selector=args.selector, evals_per_function=args.evals,
-            resilience=Resilience(deadline=args.deadline),
-        )
-    elif args.ft:
-        store = None
-        restore_from = None
-        if args.checkpoint is not None:
-            store = CheckpointStore(args.checkpoint)
-            key = f"{cfg.operation}@{cfg.platform}:B{cfg.nbytes}"
-            restore_from = store.load(key)
-        res = run_overlap_ft(
-            cfg, selector=args.selector, evals_per_function=args.evals,
-            checkpoint=store, checkpoint_every=args.checkpoint_every,
-            restore_from=restore_from,
-        )
-    else:
-        res = run_overlap(cfg, selector=args.selector,
-                          evals_per_function=args.evals)
+    try:
+        if args.resilient:
+            res = run_overlap_resilient(
+                cfg, selector=args.selector, evals_per_function=args.evals,
+                resilience=Resilience(deadline=args.deadline),
+            )
+        elif args.ft:
+            store = None
+            restore_from = None
+            if args.checkpoint is not None:
+                store = CheckpointStore(args.checkpoint)
+                key = f"{cfg.operation}@{cfg.platform}:B{cfg.nbytes}"
+                restore_from = store.load(key)
+            res = run_overlap_ft(
+                cfg, selector=args.selector, evals_per_function=args.evals,
+                checkpoint=store, checkpoint_every=args.checkpoint_every,
+                restore_from=restore_from,
+            )
+        else:
+            res = run_overlap(cfg, selector=args.selector,
+                              evals_per_function=args.evals)
+    finally:
+        if recorder is not None:
+            install(prev)
     wall = time.perf_counter() - t0
     mode = ("resilient " if args.resilient
             else "fault-tolerant " if args.ft else "")
@@ -309,8 +386,17 @@ def cmd_tune(args) -> int:
         if res.checkpoints_written:
             print(f"checkpoints written: {res.checkpoints_written} "
                   f"-> {args.checkpoint}")
+    if recorder is not None:
+        _write_obs_outputs(
+            args, cfg.describe(),
+            [(f"tune:{cfg.operation}", recorder.export_events(),
+              recorder.worlds)],
+            audit=recorder.audit.to_json(),
+            metrics=recorder.metrics.snapshot(),
+        )
     if args.stats:
-        _print_stats(wall, res.events, None)
+        _print_stats(wall, res.events, None,
+                     getattr(res, "engine_stats", None))
     if res.winner is None:
         print("\nno decision yet — increase --iterations")
         return 1
@@ -349,6 +435,22 @@ def cmd_fft(args) -> int:
     return 0
 
 
+def cmd_report(args) -> int:
+    doc, errors = validate_or_errors(args.path)
+    if errors:
+        print(f"{args.path}: INVALID trace ({len(errors)} error(s))")
+        for err in errors:
+            print(f"  - {err}")
+        return 2
+    if args.validate:
+        print(f"{args.path}: valid trace "
+              f"(schema {doc['repro']['schema']}, "
+              f"{len(doc.get('traceEvents', []))} events)")
+        return 0
+    print(render_report(doc, timeline=args.timeline, width=args.width))
+    return 0
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "platforms":
@@ -359,4 +461,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_tune(args)
     if args.command == "fft":
         return cmd_fft(args)
+    if args.command == "report":
+        return cmd_report(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

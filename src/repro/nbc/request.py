@@ -156,6 +156,11 @@ class NBCRequest(Waitable):
             if self._round >= nrounds:
                 self.done = True
                 self.complete_time = ctx.now
+                obs = ctx.world._obs
+                if obs is not None:
+                    obs.instant("communication", "nbc.done", ctx.rank,
+                                ctx.now, {"sched": self.schedule.name,
+                                          "rounds": nrounds})
                 notify = self._notify
                 if notify is not None:
                     notify(self, ctx.now)
@@ -164,6 +169,11 @@ class NBCRequest(Waitable):
 
     def _post_round(self, ctx: MPIContext) -> None:
         ops = self.schedule.rounds[self._round]
+        obs = ctx.world._obs
+        if obs is not None:
+            obs.instant("communication", "nbc.round", ctx.rank, ctx.now,
+                        {"sched": self.schedule.name, "round": self._round,
+                         "ops": len(ops)})
         buffers = self.buffers
         comm = self.comm
         tag_base = self.tag_base

@@ -1,0 +1,55 @@
+"""Observability layer: event tracing, metrics, timeline export, audit.
+
+The package is deliberately dependency-free within ``repro`` (it imports
+nothing from ``sim``/``adcl``/``bench``) so every other layer can import
+it without cycles.  The core contract is *zero overhead when disabled*:
+``get_recorder()`` returns a no-op singleton unless a ``TraceRecorder``
+has been installed, and instrumented hot paths cache
+``rec if rec.enabled else None`` at construction time so the disabled
+path costs a single ``is not None`` test.
+
+See DESIGN.md §11 for the architecture and the event taxonomy.
+"""
+
+from .audit import AuditLog
+from .export import (
+    build_trace_doc,
+    dump_trace,
+    render_timeline,
+    trace_to_bytes,
+)
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, merge_snapshots
+from .recorder import (
+    NULL_RECORDER,
+    NullRecorder,
+    TraceRecorder,
+    get_recorder,
+    install,
+    recording,
+    uninstall,
+)
+from .report import render_report
+from .schema import TRACE_SCHEMA_VERSION, validate_trace
+
+__all__ = [
+    "AuditLog",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "NullRecorder",
+    "TRACE_SCHEMA_VERSION",
+    "TraceRecorder",
+    "build_trace_doc",
+    "dump_trace",
+    "get_recorder",
+    "install",
+    "merge_snapshots",
+    "recording",
+    "render_report",
+    "render_timeline",
+    "trace_to_bytes",
+    "uninstall",
+    "validate_trace",
+]

@@ -1,0 +1,172 @@
+"""Chrome trace-event / Perfetto exporter + plain-text timeline renderer.
+
+``build_trace_doc`` turns recorded events (the JSON-able list form from
+``TraceRecorder.export_events``) into a Chrome trace "JSON object
+format" document: one *process* per simulation world (or sweep task),
+one *thread track* per MPI rank, ``X`` complete events for compute /
+communication / progress spans and ``i`` instants for point events.
+Load the file at https://ui.perfetto.dev or ``chrome://tracing``.
+
+Serialisation is deterministic (sorted keys, fixed separators, events
+appended in task order) so the same seed + scenario produces
+byte-identical files across serial and ``--jobs`` parallel runs.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .schema import TRACE_SCHEMA_VERSION, WORLD_TID
+
+__all__ = [
+    "build_trace_doc",
+    "dump_trace",
+    "render_timeline",
+    "trace_to_bytes",
+]
+
+#: one virtual second = 1e6 Chrome microseconds
+_US = 1e6
+
+#: (label, events, worlds) — events in ``TraceRecorder.export_events``
+#: form, worlds in ``TraceRecorder.worlds`` form (may be empty)
+Task = Tuple[str, List[list], List[dict]]
+
+
+def build_trace_doc(tasks: Sequence[Task], *, scenario: str = "",
+                    audit: Optional[list] = None,
+                    metrics: Optional[dict] = None) -> dict:
+    """Build the trace document from one or more recorded tasks.
+
+    Each (task, world) pair becomes a distinct Chrome ``pid`` so that a
+    resilient run's restarts — whose virtual clocks restart at zero —
+    do not overlay each other, and parallel sweep tasks get one process
+    group per implementation.
+    """
+    trace_events: List[dict] = []
+    meta_events: List[dict] = []
+    pid = 0
+    worlds_meta: List[dict] = []
+
+    for label, events, worlds in tasks:
+        nworlds = len(worlds)
+        for ev in events:
+            w = ev[1]
+            if w + 1 > nworlds:
+                nworlds = w + 1
+        pid_of: Dict[int, int] = {}
+        tids_of: Dict[int, set] = {}
+        for w in range(max(nworlds, 1)):
+            pid_of[w] = pid
+            tids_of[w] = set()
+            winfo = worlds[w] if w < len(worlds) else {}
+            name = label
+            if max(nworlds, 1) > 1:
+                name = f"{label} [world {w}]"
+            if winfo.get("label"):
+                name = f"{name} ({winfo['label']})"
+            worlds_meta.append({"pid": pid, "label": name,
+                                "nprocs": winfo.get("nprocs", 0)})
+            meta_events.append({"ph": "M", "name": "process_name",
+                                "pid": pid, "tid": 0,
+                                "args": {"name": name}})
+            pid += 1
+
+        for ph, w, rank, cat, name, ts, dur, args in events:
+            p = pid_of.get(w, pid_of[max(pid_of)])
+            tid = rank if rank >= 0 else WORLD_TID
+            tids_of.setdefault(w, set()).add(tid)
+            out = {"ph": ph, "pid": p, "tid": tid, "cat": cat,
+                   "name": name, "ts": ts * _US}
+            if ph == "X":
+                out["dur"] = dur * _US
+            if args:
+                out["args"] = args
+            trace_events.append(out)
+
+        for w in sorted(tids_of):
+            for tid in sorted(tids_of[w]):
+                tname = "world" if tid == WORLD_TID else f"rank {tid}"
+                meta_events.append({"ph": "M", "name": "thread_name",
+                                    "pid": pid_of[w], "tid": tid,
+                                    "args": {"name": tname}})
+
+    return {
+        "traceEvents": meta_events + trace_events,
+        "displayTimeUnit": "ms",
+        "repro": {
+            "schema": TRACE_SCHEMA_VERSION,
+            "scenario": scenario,
+            "worlds": worlds_meta,
+            "audit": audit if audit is not None else [],
+            "metrics": metrics if metrics is not None else {},
+        },
+    }
+
+
+def trace_to_bytes(doc: dict) -> bytes:
+    """Deterministic serialisation — the byte-identity contract."""
+    return json.dumps(doc, sort_keys=True, separators=(",", ":")).encode("ascii")
+
+
+def dump_trace(doc: dict, path: str) -> None:
+    with open(path, "wb") as fh:
+        fh.write(trace_to_bytes(doc))
+        fh.write(b"\n")
+
+
+# -- plain-text timeline -----------------------------------------------------
+
+#: category -> (symbol, paint priority); higher priority wins a column
+_SYMBOLS = {
+    "fault": ("!", 4),
+    "progress": ("+", 3),
+    "compute": ("#", 2),
+    "communication": ("-", 1),
+}
+
+
+def render_timeline(doc: dict, width: int = 100) -> str:
+    """ASCII per-rank timeline: ``#`` compute, ``+`` progress, ``-``
+    communication/wait, ``!`` fault, ``.`` idle."""
+    events = [e for e in doc.get("traceEvents", []) if e.get("ph") in ("X", "i")]
+    if not events:
+        return "(empty trace)"
+    t0 = min(e["ts"] for e in events)
+    t1 = max(e["ts"] + e.get("dur", 0.0) for e in events)
+    span = max(t1 - t0, 1e-12)
+    scale = width / span
+
+    pid_names = {w["pid"]: w["label"] for w in
+                 doc.get("repro", {}).get("worlds", [])}
+    lanes: Dict[Tuple[int, int], list] = {}
+    prio: Dict[Tuple[int, int], list] = {}
+    for e in events:
+        key = (e["pid"], e["tid"])
+        if key not in lanes:
+            lanes[key] = ["."] * width
+            prio[key] = [0] * width
+        sym, pr = _SYMBOLS.get(e.get("cat", ""), (None, 0))
+        if sym is None:
+            continue
+        lo = int((e["ts"] - t0) * scale)
+        hi = int((e["ts"] + e.get("dur", 0.0) - t0) * scale)
+        lo = min(max(lo, 0), width - 1)
+        hi = min(max(hi, lo), width - 1)
+        lane, lane_pr = lanes[key], prio[key]
+        for col in range(lo, hi + 1):
+            if pr > lane_pr[col]:
+                lane[col] = sym
+                lane_pr[col] = pr
+
+    lines = [f"timeline over {span / _US * 1e3:.3f} ms of virtual time "
+             f"(# compute, + progress, - communication, ! fault, . idle)"]
+    last_pid = None
+    for pid, tid in sorted(lanes):
+        if pid != last_pid:
+            lines.append(f"-- {pid_names.get(pid, f'process {pid}')} --")
+            last_pid = pid
+        label = "world " if tid == WORLD_TID else f"rank {tid:>3} "
+        lines.append(f"{label}|{''.join(lanes[(pid, tid)])}|")
+    return "\n".join(lines)

@@ -1,0 +1,158 @@
+"""Event-trace recorder with a process-wide no-op default.
+
+``get_recorder()`` returns the installed ``TraceRecorder`` or the
+``NULL_RECORDER`` singleton.  Instrumented code follows one pattern::
+
+    rec = get_recorder()
+    self._obs = rec if rec.enabled else None      # cached at __init__
+    ...
+    if self._obs is not None:                     # hot path
+        self._obs.complete("compute", "compute", rank, t0, dur)
+
+so the disabled path is a single attribute load + identity test and the
+PR-3 inline-post fast paths stay hot (see DESIGN.md §11 for the measured
+cost).  Recording is *passive*: no recorder call ever draws from an RNG
+or changes ``busy_until``, so traced and untraced runs produce
+bit-identical results.
+
+Events are stored in virtual time as compact tuples
+``(ph, world, rank, cat, name, ts, dur, args)``:
+
+- ``ph``    ``"X"`` (complete span) or ``"i"`` (instant)
+- ``world`` index from ``begin_world()`` — a fresh simulation (e.g. a
+  resilient restart) gets its own index so its timeline, which restarts
+  at virtual t=0, is not overlaid on the previous one
+- ``rank``  MPI world rank, or ``-1`` for engine/fault-injector events
+- ``cat``   taxonomy category (see ``schema.CATEGORIES``)
+- ``ts``/``dur`` virtual seconds
+- ``args``  optional JSON-able dict
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Tuple
+
+from .audit import AuditLog
+from .metrics import MetricsRegistry
+
+__all__ = [
+    "NULL_RECORDER",
+    "NullRecorder",
+    "TraceRecorder",
+    "get_recorder",
+    "install",
+    "recording",
+    "uninstall",
+]
+
+Event = Tuple[str, int, int, str, str, float, float, Optional[dict]]
+
+
+class NullRecorder:
+    """Disabled recorder: every call is a no-op.
+
+    Instrumentation never actually calls these methods (it guards on
+    ``enabled`` at construction time); they exist so accidental calls
+    are harmless rather than crashes.
+    """
+
+    enabled = False
+    metrics: Optional[MetricsRegistry] = None
+    audit: Optional[AuditLog] = None
+
+    def begin_world(self, nprocs: int, label: str = "") -> int:
+        return -1
+
+    def instant(self, cat: str, name: str, rank: int, ts: float,
+                args: Optional[dict] = None) -> None:
+        pass
+
+    def complete(self, cat: str, name: str, rank: int, ts: float,
+                 dur: float, args: Optional[dict] = None) -> None:
+        pass
+
+
+class TraceRecorder:
+    """Collects typed trace events, metrics and the tuning audit log."""
+
+    enabled = True
+
+    def __init__(self):
+        self.events: List[Event] = []
+        self.metrics = MetricsRegistry()
+        self.audit = AuditLog()
+        self.worlds: List[dict] = []
+        self._world = -1
+        # bound-method aliases so hot sites pay one attribute lookup
+        self._append = self.events.append
+
+    # -- world bookkeeping ---------------------------------------------------
+
+    def begin_world(self, nprocs: int, label: str = "") -> int:
+        """Register a new simulation; subsequent events belong to it."""
+        self._world += 1
+        self.worlds.append({"nprocs": nprocs, "label": label})
+        return self._world
+
+    # -- event emission ------------------------------------------------------
+
+    def instant(self, cat: str, name: str, rank: int, ts: float,
+                args: Optional[dict] = None) -> None:
+        self._append(("i", self._world, rank, cat, name, ts, 0.0, args))
+
+    def complete(self, cat: str, name: str, rank: int, ts: float,
+                 dur: float, args: Optional[dict] = None) -> None:
+        self._append(("X", self._world, rank, cat, name, ts, dur, args))
+
+    # -- export --------------------------------------------------------------
+
+    def export_events(self) -> List[list]:
+        """Events as JSON-able lists (the on-disk / cross-process form)."""
+        return [list(e) for e in self.events]
+
+    def clear(self) -> None:
+        self.events.clear()
+        self._append = self.events.append
+        self.worlds.clear()
+        self._world = -1
+        self.metrics = MetricsRegistry()
+        self.audit = AuditLog()
+
+
+NULL_RECORDER = NullRecorder()
+_current: NullRecorder = NULL_RECORDER
+
+
+def get_recorder():
+    """The process-wide recorder (``NULL_RECORDER`` when disabled)."""
+    return _current
+
+
+def install(recorder: TraceRecorder):
+    """Install ``recorder`` as the process-wide recorder.
+
+    Returns the previously installed recorder so nested scopes (e.g. a
+    per-task recorder inside an in-process sweep worker) can restore it.
+    """
+    global _current
+    prev = _current
+    _current = recorder
+    return prev
+
+
+def uninstall() -> None:
+    """Reset to the disabled ``NULL_RECORDER``."""
+    global _current
+    _current = NULL_RECORDER
+
+
+@contextmanager
+def recording(recorder: Optional[TraceRecorder] = None) -> Iterator[TraceRecorder]:
+    """Context manager: install a recorder, restore the previous on exit."""
+    rec = recorder if recorder is not None else TraceRecorder()
+    prev = install(rec)
+    try:
+        yield rec
+    finally:
+        install(prev)

@@ -1,0 +1,114 @@
+"""Trace-file schema: version constant, event taxonomy, validator.
+
+The on-disk trace is a Chrome trace-event "JSON object format" document
+(https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+a ``traceEvents`` array plus extra top-level keys, which viewers ignore.
+Our extra key is ``repro``:
+
+    {
+      "traceEvents": [...],
+      "displayTimeUnit": "ms",
+      "repro": {
+        "schema": 1,
+        "scenario": "...",            # human-readable config description
+        "worlds": [{"nprocs": N, "label": "..."}, ...],
+        "audit": [...],               # AuditLog.to_json()
+        "metrics": {...}              # MetricsRegistry.snapshot()
+      }
+    }
+
+Timestamps (``ts``) and durations (``dur``) are virtual-time
+**microseconds** (Chrome's native unit).  ``pid`` is the world / sweep
+task index, ``tid`` the MPI rank (engine- and fault-injector-level
+events use the reserved ``WORLD_TID`` track).
+
+Schema versioning: ``schema`` is bumped on any backwards-incompatible
+change to event args or the ``repro`` envelope; ``validate_trace``
+accepts only the current version so stale tooling fails loudly instead
+of misreading fields.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+__all__ = ["CATEGORIES", "TRACE_SCHEMA_VERSION", "WORLD_TID", "validate_trace"]
+
+TRACE_SCHEMA_VERSION = 1
+
+#: tid used for events not attributable to a rank (engine, fault windows)
+WORLD_TID = 1_000_000
+
+#: event taxonomy: category -> event names emitted under it
+CATEGORIES = {
+    "compute": ("compute",),
+    "progress": ("progress",),
+    "communication": ("msg.post", "msg.deliver", "nbc.round", "nbc.done",
+                      "wait"),
+    "tuning": ("iteration", "tune.decide", "tune.reopen", "tune.epoch"),
+    "fault": ("fault.drop", "fault.retransmit", "fault.dead_letter",
+              "fault.crash", "fault.repair", "fault.window"),
+    "engine": ("run",),
+}
+
+_PHASES = {"X", "i", "M"}
+
+
+def validate_trace(doc: object) -> List[str]:
+    """Validate a loaded trace document; return a list of problems.
+
+    An empty list means the document conforms to the current schema.
+    Checks structure, schema version, phase types and per-event field
+    invariants — enough to catch truncated writes, version skew and
+    hand-edited files before ``repro report`` misreads them.
+    """
+    errors: List[str] = []
+    if not isinstance(doc, dict):
+        return ["trace document is not a JSON object"]
+
+    repro = doc.get("repro")
+    if not isinstance(repro, dict):
+        errors.append("missing 'repro' envelope")
+    else:
+        schema = repro.get("schema")
+        if schema != TRACE_SCHEMA_VERSION:
+            errors.append(f"schema version {schema!r} != supported "
+                          f"{TRACE_SCHEMA_VERSION}")
+        if not isinstance(repro.get("audit", []), list):
+            errors.append("'repro.audit' is not a list")
+        if not isinstance(repro.get("metrics", {}), dict):
+            errors.append("'repro.metrics' is not an object")
+
+    events = doc.get("traceEvents")
+    if not isinstance(events, list):
+        errors.append("missing 'traceEvents' array")
+        return errors
+
+    known_cats = set(CATEGORIES)
+    for i, ev in enumerate(events):
+        where = f"traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        ph = ev.get("ph")
+        if ph not in _PHASES:
+            errors.append(f"{where}: bad phase {ph!r}")
+            continue
+        if not isinstance(ev.get("name"), str):
+            errors.append(f"{where}: missing name")
+        if not isinstance(ev.get("pid"), int) or not isinstance(ev.get("tid"), int):
+            errors.append(f"{where}: pid/tid must be integers")
+        if ph == "M":
+            continue
+        if not isinstance(ev.get("ts"), (int, float)) or ev["ts"] < 0:
+            errors.append(f"{where}: bad ts {ev.get('ts')!r}")
+        if ev.get("cat") not in known_cats:
+            errors.append(f"{where}: unknown category {ev.get('cat')!r}")
+        if ph == "X":
+            dur = ev.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                errors.append(f"{where}: bad dur {dur!r}")
+        if len(errors) > 20:
+            errors.append("... (further errors suppressed)")
+            break
+    return errors

@@ -47,6 +47,7 @@ import itertools
 from typing import Any, Callable, Optional
 
 from ..errors import SimulationError
+from ..obs.recorder import get_recorder as _get_recorder
 
 __all__ = ["Simulator", "Event"]
 
@@ -333,4 +334,12 @@ class Simulator:
         finally:
             self._running = False
             self.events_dispatched += dispatched
+        # one instant per run() (not per event): the loop itself stays
+        # recorder-free so the fast path is untouched when disabled
+        rec = _get_recorder()
+        if rec.enabled:
+            rec.instant("engine", "run", -1, self._now,
+                        {"dispatched": dispatched, "pending": self._live,
+                         "heap_size": len(self._heap),
+                         "compactions": self.compactions})
         return self._now

@@ -321,6 +321,11 @@ class FaultInjector:
         #: callback invoked when a crash fires; SimWorld wires this to its
         #: crash handler before calling :meth:`install`
         self.on_rank_crash = None
+        #: trace recorder (or None); SimWorld wires its cached recorder
+        #: here before calling :meth:`install` so window toggles emit
+        #: ``fault.window`` instants
+        self.obs = None
+        self._sim = None
         #: observability counters
         self.messages_dropped = 0
         self.ranks_crashed = 0
@@ -334,6 +339,7 @@ class FaultInjector:
         if self._installed:
             raise FaultError("FaultInjector.install() may only be called once")
         self._installed = True
+        self._sim = sim
         now = sim.now
         for rule in self.plan.drops:
             self._schedule(sim, now, rule.t_start, self._activate_drop, rule)
@@ -356,25 +362,41 @@ class FaultInjector:
         else:
             sim.post(when, fn, arg)
 
+    def _window(self, kind: str, active: bool, args: dict) -> None:
+        """Emit a ``fault.window`` trace instant for a window toggle."""
+        if self.obs is not None and self._sim is not None:
+            args = dict(args)
+            args["kind"] = kind
+            args["active"] = active
+            self.obs.instant("fault", "fault.window", -1, self._sim.now, args)
+
     def _activate_drop(self, rule: DropRule) -> None:
         self._active_drops.append(rule)
+        self._window("drop", True, {"prob": rule.prob})
 
     def _deactivate_drop(self, rule: DropRule) -> None:
         self._active_drops.remove(rule)
+        self._window("drop", False, {"prob": rule.prob})
 
     def _activate_degradation(self, win: LinkDegradation) -> None:
         self._lat_mult *= win.latency_mult
         self._bw_mult *= win.bandwidth_mult
+        self._window("degrade", True, {"latency_mult": win.latency_mult,
+                                       "bandwidth_mult": win.bandwidth_mult})
 
     def _deactivate_degradation(self, win: LinkDegradation) -> None:
         self._lat_mult /= win.latency_mult
         self._bw_mult /= win.bandwidth_mult
+        self._window("degrade", False, {"latency_mult": win.latency_mult,
+                                        "bandwidth_mult": win.bandwidth_mult})
 
     def _fail_rail(self, rf: RailFailure) -> None:
         self._failed_rails.add((rf.node, rf.rail))
+        self._window("rail", True, {"node": rf.node, "rail": rf.rail})
 
     def _restore_rail(self, rf: RailFailure) -> None:
         self._failed_rails.discard((rf.node, rf.rail))
+        self._window("rail", False, {"node": rf.node, "rail": rf.rail})
 
     def _crash(self, crash: RankCrash) -> None:
         if crash.rank in self.dead:

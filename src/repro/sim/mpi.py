@@ -42,6 +42,8 @@ from ..errors import (
     SimulationError,
     WatchdogTimeout,
 )
+from ..obs.metrics import SIZE_BUCKETS
+from ..obs.recorder import get_recorder
 from .engine import Simulator
 from .faults import FaultInjector, FaultPlan, RankCrash
 from .netmodel import MachineParams
@@ -117,6 +119,7 @@ class _RankState:
         "unexpected",
         "open_by_peer",
         "failed_excs",
+        "wait_t0",
         "n_active",
         "finished",
         "finish_time",
@@ -150,6 +153,10 @@ class _RankState:
         #: failure notifications not yet reported to the program; sticky
         #: until thrown into the generator at its next MPI syscall
         self.failed_excs: list[BaseException] = []
+        #: when tracing is enabled, the virtual time this rank entered
+        #: its current Wait block (None otherwise — never written on the
+        #: disabled path)
+        self.wait_t0: Optional[float] = None
         self.n_active = 0
         self.finished = False
         self.finish_time = 0.0
@@ -591,6 +598,24 @@ class SimWorld:
         self.retransmits = 0
         #: messages discarded because their destination was dead
         self.dead_letters = 0
+        # observability: cache the recorder (or None) so every hot-path
+        # guard is a single `is not None` test; the metric instruments
+        # are pre-created here so instrumentation sites skip the
+        # registry lookup.  Recording is passive — it never draws RNG or
+        # moves busy_until — so traced runs stay bit-identical.
+        _rec = get_recorder()
+        self._obs = _rec if _rec.enabled else None
+        if self._obs is not None:
+            self._obs.begin_world(nprocs, platform.name)
+            m = self._obs.metrics
+            self._m_posted = m.counter("sim.messages_posted")
+            self._m_bytes = m.histogram("sim.message_bytes", SIZE_BUCKETS)
+            self._m_delivered = m.counter("sim.messages_delivered")
+            self._m_latency = m.histogram("sim.message_latency_seconds")
+            self._m_progress = m.counter("sim.progress_calls")
+            self._m_drops = m.counter("sim.fault_drops")
+            self._m_retrans = m.counter("sim.retransmits")
+            self._m_dead_letters = m.counter("sim.dead_letters")
         if self._faults is not None:
             for crash in self._faults.plan.crashes:
                 if crash.rank >= nprocs:
@@ -599,6 +624,7 @@ class SimWorld:
                         f"nprocs={nprocs}"
                     )
             self._faults.on_rank_crash = self._on_rank_crash
+            self._faults.obs = self._obs
             self._faults.install(self.sim)
 
     @property
@@ -779,8 +805,11 @@ class SimWorld:
             dur = sec if st.noise_det else st.perturb(sec)
             if self._faults is not None:
                 dur *= self._faults.compute_factor(st.id)
-            busy = st.busy_until + dur
+            t0 = st.busy_until
+            busy = t0 + dur
             st.busy_until = busy
+            if self._obs is not None:
+                self._obs.complete("compute", "compute", st.id, t0, dur)
             # inline-post (see __init__): busy >= now by construction
             _heappush(self._sim_heap,
                       (busy, next(self._sim_seq), self._resume, (st, None)))
@@ -795,9 +824,13 @@ class SimWorld:
             # inlined ctx.charge(params.progress_cost(n_active)); the
             # cost is summed first so the float grouping matches, and
             # busy_until is already clamped to >= now above
-            st.busy_until = st.busy_until + (
-                self._progress_base + self._progress_per_req * st.n_active
-            )
+            t0 = st.busy_until
+            cost = self._progress_base + self._progress_per_req * st.n_active
+            st.busy_until = t0 + cost
+            if self._obs is not None:
+                self._obs.complete("progress", "progress", st.id, t0, cost,
+                                   {"n_active": st.n_active})
+                self._m_progress.inc()
             try:
                 for h in syscall.handles:
                     # progress() on a completed handle is a no-op; the
@@ -828,6 +861,7 @@ class SimWorld:
         if st.dead or st.finished:
             return
         st.waiting = None
+        st.wait_t0 = None
         st.failed_excs.clear()
         st.busy_until = max(st.busy_until, self.sim.now)
         try:
@@ -878,9 +912,12 @@ class SimWorld:
             now = self.sim._now
             if busy < now:
                 busy = now
-            st.busy_until = busy + (
-                self._progress_base + self._progress_per_req * st.n_active
-            )
+            cost = self._progress_base + self._progress_per_req * st.n_active
+            st.busy_until = busy + cost
+            if self._obs is not None:
+                self._obs.complete("progress", "progress", st.id, busy, cost,
+                                   {"n_active": st.n_active})
+                self._m_progress.inc()
             try:
                 for h in sc.handles:
                     if not h.done:
@@ -901,6 +938,10 @@ class SimWorld:
             if st.pending_cts or st.pending_data:
                 self._mpi_entry(st)
             st.waiting = sc.items
+            if self._obs is not None:
+                busy = st.busy_until
+                now = self.sim._now
+                st.wait_t0 = busy if busy > now else now
             self._wait_try(st)
         elif tsc is Barrier:
             if st.pending_cts or st.pending_data:
@@ -913,8 +954,11 @@ class SimWorld:
             dur = sec if st.noise_det else st.perturb(sec)
             if self._faults is not None:
                 dur *= self._faults.compute_factor(st.id)
-            busy = st.busy_until + dur
+            t0 = st.busy_until
+            busy = t0 + dur
             st.busy_until = busy
+            if self._obs is not None:
+                self._obs.complete("compute", "compute", st.id, t0, dur)
             # inline-post (see __init__): busy >= now by construction
             _heappush(self._sim_heap,
                       (busy, next(self._sim_seq), self._resume, (st, None)))
@@ -971,6 +1015,11 @@ class SimWorld:
         now = self.sim._now
         if busy < now:
             busy = now
+        if self._obs is not None and st.wait_t0 is not None:
+            dur = busy - st.wait_t0
+            self._obs.complete("communication", "wait", st.id, st.wait_t0,
+                               dur if dur > 0.0 else 0.0)
+            st.wait_t0 = None
         st.busy_until = busy + (
             self._progress_base + self._progress_per_req * st.n_active
         )
@@ -1046,6 +1095,13 @@ class SimWorld:
         link = self._links[same_node]
         eager = nbytes <= link.eager_threshold
         msg = _Message(st.id, wdst, tag, comm_id, nbytes, data, eager, req)
+        if self._obs is not None:
+            self._obs.instant("communication", "msg.post", st.id,
+                              st.busy_until,
+                              {"dst": wdst, "tag": tag, "nbytes": nbytes,
+                               "eager": eager})
+            self._m_posted.inc()
+            self._m_bytes.observe(nbytes)
         if eager:
             # the library copies the payload into an internal buffer,
             # then the NIC drains it without further CPU help
@@ -1151,7 +1207,7 @@ class SimWorld:
         (shared-memory) transfers are never dropped or degraded.
         """
         if self._dead and msg.dst in self._dead:
-            self.dead_letters += 1
+            self._dead_letter(msg)
             return
         params = self.params
         sim = self.sim
@@ -1250,6 +1306,10 @@ class SimWorld:
         """An injected fault ate one transmission attempt of ``msg``."""
         self._faults.messages_dropped += 1
         msg.attempts += 1
+        if self._obs is not None:
+            self._obs.instant("fault", "fault.drop", msg.src, self.sim._now,
+                              {"dst": msg.dst, "attempt": msg.attempts})
+            self._m_drops.inc()
         if not self._reliable:
             return  # the message silently vanishes: the receiver blocks
         if msg.attempts > self._max_retries:
@@ -1264,7 +1324,25 @@ class SimWorld:
         self._post(retry_at, self._retransmit, msg, same_node)
 
     def _retransmit(self, msg: _Message, same_node: bool) -> None:
+        if self._obs is not None:
+            self._obs.instant("fault", "fault.retransmit", msg.src,
+                              self.sim._now,
+                              {"dst": msg.dst, "attempt": msg.attempts})
+            self._m_retrans.inc()
         self._inject(msg, self.sim.now, same_node)
+
+    def _dead_letter(self, msg: _Message) -> None:
+        """Account a message whose destination rank is dead.
+
+        Single chokepoint for all three discard sites, so observability
+        (and :class:`~repro.sim.trace.Tracer` wrappers) see every one.
+        """
+        self.dead_letters += 1
+        if self._obs is not None:
+            self._obs.instant("fault", "fault.dead_letter", msg.src,
+                              self.sim._now,
+                              {"dst": msg.dst, "nbytes": msg.nbytes})
+            self._m_dead_letters.inc()
 
     @staticmethod
     def _untrack(st: _RankState, req) -> None:
@@ -1302,7 +1380,7 @@ class SimWorld:
     def _on_rts_arrival(self, msg: _Message) -> None:
         st = self._ranks[msg.dst]
         if st.dead:
-            self.dead_letters += 1
+            self._dead_letter(msg)
             return
         key = (msg.src, msg.tag, msg.comm_id)
         queue = st.posted.get(key)
@@ -1340,7 +1418,7 @@ class SimWorld:
         st = self._ranks[msg.dst]
         t = self.sim._now
         if st.dead:
-            self.dead_letters += 1
+            self._dead_letter(msg)
             return
         if msg.recv_req is not None:
             self._complete_recv(st, msg.recv_req, msg, t)
@@ -1360,6 +1438,11 @@ class SimWorld:
                        msg: _Message, t: float) -> None:
         if req.failed is not None:
             return  # failed by a crash/revoke sweep; message is dropped
+        if self._obs is not None:
+            self._obs.instant("communication", "msg.deliver", st.id, t,
+                              {"src": msg.src, "nbytes": msg.nbytes})
+            self._m_delivered.inc()
+            self._m_latency.observe(t - msg.send_req.post_time)
         req.data = msg.data
         req.done = True
         req.complete_time = t
@@ -1420,8 +1503,13 @@ class SimWorld:
         now = self.sim.now
         st.dead = True
         self._dead.add(rank)
+        if self._obs is not None:
+            self._obs.instant("fault", "fault.crash", rank, now,
+                              {"respawn_delay": crash.respawn_delay})
+            self._obs.metrics.counter("sim.ranks_crashed").inc()
         st.finish_time = now
         st.waiting = None
+        st.wait_t0 = None
         st.failed_excs.clear()
         st.pending_cts.clear()
         st.pending_data.clear()

@@ -2,13 +2,22 @@
 
 A :class:`Tracer` attaches to a :class:`~repro.sim.mpi.SimWorld` and
 records every point-to-point message the simulated job moves: sizes,
-protocol (eager/rendezvous), intra- vs inter-node, and per-rank byte
-counters.  It is the observability layer used to sanity-check algorithm
-implementations (e.g. "the Bruck all-to-all really moves
-``~log2(P)/2`` times the linear volume") and to debug schedules.
+protocol (eager/rendezvous), intra- vs inter-node, per-rank byte
+counters, delivery times, and the fault path (dropped attempts,
+retransmissions, dead-lettered messages).  It is the observability
+layer used to sanity-check algorithm implementations (e.g. "the Bruck
+all-to-all really moves ``~log2(P)/2`` times the linear volume") and to
+debug schedules and fault scenarios.
 
-Attachment is non-invasive — the tracer wraps ``SimWorld._post_isend``
-— so production runs pay nothing.
+Attachment is non-invasive — the tracer wraps the world's message-path
+methods (``_post_isend``, ``_complete_recv``, ``_drop``,
+``_retransmit``, ``_dead_letter``) as instance attributes — so
+production runs pay nothing.  Multiple tracers may attach to one world,
+but they nest: each wraps whatever the previous one installed, so they
+**must detach in LIFO order**.  Out-of-order ``detach()`` raises
+:class:`~repro.errors.SimulationError` instead of silently corrupting
+the wrapper chain (restoring a stale method would resurrect an already
+detached tracer and disconnect a live one).
 """
 
 from __future__ import annotations
@@ -16,14 +25,24 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional
 
+from ..errors import SimulationError
 from .mpi import SimWorld
 
 __all__ = ["MessageRecord", "Tracer"]
 
+#: methods a tracer wraps; all live on the world's message path
+_WRAPPED = ("_post_isend", "_complete_recv", "_drop", "_retransmit",
+            "_dead_letter")
 
-@dataclass(frozen=True)
+
+@dataclass
 class MessageRecord:
-    """One posted message."""
+    """One posted message.
+
+    ``deliver_time`` is stamped when the matching receive completes;
+    it stays ``None`` for messages still in flight (or dead-lettered)
+    when the simulation stopped.
+    """
 
     time: float
     src: int
@@ -33,6 +52,14 @@ class MessageRecord:
     nbytes: int
     eager: bool
     intra_node: bool
+    deliver_time: Optional[float] = None
+
+    @property
+    def latency(self) -> Optional[float]:
+        """Post-to-delivery time, or ``None`` if never delivered."""
+        if self.deliver_time is None:
+            return None
+        return self.deliver_time - self.time
 
 
 @dataclass
@@ -48,8 +75,13 @@ class Tracer:
     rendezvous_messages: int = 0
     intra_messages: int = 0
     inter_messages: int = 0
+    delivered_messages: int = 0
+    dropped_attempts: int = 0
+    retransmits: int = 0
+    dead_letters: int = 0
     bytes_by_rank: dict[int, int] = field(default_factory=dict)
-    _original: Optional[object] = field(default=None, repr=False)
+    _saved: Optional[dict] = field(default=None, repr=False)
+    _by_send_req: dict = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
         self.attach()
@@ -57,31 +89,82 @@ class Tracer:
     # ------------------------------------------------------------------
 
     def attach(self) -> None:
-        """Start intercepting message posts (idempotent)."""
-        if self._original is not None:
+        """Start intercepting the world's message path (idempotent)."""
+        if self._saved is not None:
             return
         world = self.world
-        original = world._post_isend
+        # current bindings — possibly another tracer's wrappers; detach
+        # restores exactly these, which is why unwinding must be LIFO
+        saved = {name: getattr(world, name) for name in _WRAPPED}
+        self._saved = saved
         tracer = self
+        post = saved["_post_isend"]
+        complete = saved["_complete_recv"]
+        drop = saved["_drop"]
+        retransmit = saved["_retransmit"]
+        dead_letter = saved["_dead_letter"]
 
-        def wrapped(st, wdst, tag, comm_id, nbytes, data, notify):
-            req = original(st, wdst, tag, comm_id, nbytes, data, notify)
-            tracer._record(world, st.id, wdst, tag, comm_id, nbytes, req.done)
+        def wrapped_post(st, wdst, tag, comm_id, nbytes, data, notify):
+            req = post(st, wdst, tag, comm_id, nbytes, data, notify)
+            tracer._record(world, st.id, wdst, tag, comm_id, nbytes, req)
             return req
 
-        self._original = original
-        world._post_isend = wrapped  # type: ignore[method-assign]
+        def wrapped_complete(st, req, msg, t):
+            complete(st, req, msg, t)
+            if req.failed is None:
+                tracer.delivered_messages += 1
+                idx = tracer._by_send_req.pop(id(msg.send_req), None)
+                if idx is not None:
+                    tracer.records[idx].deliver_time = t
+
+        def wrapped_drop(msg, t_post, same_node):
+            # count before calling: the original raises MessageLostError
+            # once the retry budget is exhausted
+            tracer.dropped_attempts += 1
+            drop(msg, t_post, same_node)
+
+        def wrapped_retransmit(msg, same_node):
+            tracer.retransmits += 1
+            retransmit(msg, same_node)
+
+        def wrapped_dead_letter(msg):
+            tracer.dead_letters += 1
+            dead_letter(msg)
+
+        world._post_isend = wrapped_post  # type: ignore[method-assign]
+        world._complete_recv = wrapped_complete  # type: ignore[method-assign]
+        world._drop = wrapped_drop  # type: ignore[method-assign]
+        world._retransmit = wrapped_retransmit  # type: ignore[method-assign]
+        world._dead_letter = wrapped_dead_letter  # type: ignore[method-assign]
+        stack = getattr(world, "_tracer_stack", None)
+        if stack is None:
+            stack = world._tracer_stack = []
+        stack.append(self)
 
     def detach(self) -> None:
-        """Stop tracing and restore the world's original post path."""
-        if self._original is not None:
-            self.world._post_isend = self._original  # type: ignore[method-assign]
-            self._original = None
+        """Stop tracing and restore the world's previous message path.
+
+        Tracers unwind like a stack: only the most recently attached
+        tracer may detach.  Detaching out of order raises
+        :class:`~repro.errors.SimulationError`.
+        """
+        if self._saved is None:
+            return
+        stack = getattr(self.world, "_tracer_stack", None)
+        if not stack or stack[-1] is not self:
+            raise SimulationError(
+                "tracers must detach in LIFO order: another tracer was "
+                "attached after this one and is still active"
+            )
+        stack.pop()
+        for name, fn in self._saved.items():
+            setattr(self.world, name, fn)
+        self._saved = None
 
     # ------------------------------------------------------------------
 
     def _record(self, world: SimWorld, src: int, dst: int, tag: int,
-                comm_id: int, nbytes: int, completed_eagerly: bool) -> None:
+                comm_id: int, nbytes: int, req) -> None:
         intra = world.topology.same_node(src, dst)
         link = world.params.link(intra)
         eager = nbytes <= link.eager_threshold
@@ -97,6 +180,7 @@ class Tracer:
             self.inter_messages += 1
         self.bytes_by_rank[src] = self.bytes_by_rank.get(src, 0) + nbytes
         if self.keep_records:
+            self._by_send_req[id(req)] = len(self.records)
             self.records.append(MessageRecord(
                 time=world.sim.now, src=src, dst=dst, tag=tag,
                 comm_id=comm_id, nbytes=nbytes, eager=eager,
@@ -112,9 +196,16 @@ class Tracer:
 
     def summary(self) -> str:
         """One-paragraph human-readable digest."""
-        return (
+        s = (
             f"{self.messages} messages, {self.bytes_total} bytes "
             f"(mean {self.mean_message_size:.0f} B); "
             f"{self.eager_messages} eager / {self.rendezvous_messages} rendezvous; "
             f"{self.intra_messages} intra-node / {self.inter_messages} inter-node"
         )
+        if self.dropped_attempts or self.dead_letters:
+            s += (
+                f"; {self.dropped_attempts} dropped attempts, "
+                f"{self.retransmits} retransmits, "
+                f"{self.dead_letters} dead-lettered"
+            )
+        return s

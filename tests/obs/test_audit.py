@@ -1,0 +1,87 @@
+"""Audit log: live hooks, decision evidence, journal replayability."""
+
+from repro.adcl import ADCLRequest, ADCLTimer, CollSpec, ialltoall_function_set
+from repro.obs import recording
+from repro.sim import Compute, Progress, SimWorld, get_platform
+from repro.units import KiB
+
+
+def run_tuning(iterations, evals=2, nprocs=8):
+    world = SimWorld(get_platform("whale"), nprocs)
+    fnset = ialltoall_function_set()
+    spec = CollSpec("alltoall", world.comm_world, 4 * KiB)
+    areq = ADCLRequest(fnset, spec, selector="brute_force",
+                       evals_per_function=evals)
+    timer = ADCLTimer(areq)
+
+    def factory(ctx):
+        for _ in range(iterations):
+            timer.start(ctx)
+            yield from areq.start(ctx)
+            for _ in range(4):
+                yield Compute(0.0005)
+                yield Progress([areq.handle(ctx)])
+            yield from areq.wait(ctx)
+            timer.stop(ctx)
+
+    world.launch(factory)
+    world.run()
+    return areq, fnset
+
+
+def test_live_run_records_selection_measurement_decision():
+    with recording() as rec:
+        areq, fnset = run_tuning(iterations=3 * len(ialltoall_function_set()))
+    assert areq.decided
+    kinds = [e["kind"] for e in rec.audit.entries]
+    assert "selection" in kinds and "measurement" in kinds
+    assert kinds.count("decision") == 1
+    dec = rec.audit.final_decision()
+    assert dec["name"] == areq.winner_name
+    assert dec["it"] == areq.decided_at
+    # evidence covers every measured candidate, flags exactly one winner
+    evidence = dec["evidence"]
+    assert sum(1 for ev in evidence if ev.get("winner")) == 1
+    for ev in evidence:
+        if "kept" in ev:
+            assert ev["kept"] + ev["discarded"] == ev["n"]
+            assert ev["estimate"] > 0
+
+
+def test_measurements_match_timer_feed():
+    with recording() as rec:
+        areq, _ = run_tuning(iterations=5)
+    meas = [e for e in rec.audit.entries if e["kind"] == "measurement"]
+    assert len(meas) == 5
+    assert [m["it"] for m in meas] == list(range(5))
+
+
+def test_no_audit_when_recorder_disabled():
+    areq, _ = run_tuning(iterations=4)
+    assert areq.audit is None  # request never grabbed an audit log
+
+
+def test_narrative_mentions_winner_and_evidence():
+    with recording() as rec:
+        areq, _ = run_tuning(iterations=3 * len(ialltoall_function_set()))
+    text = rec.audit.narrative()
+    assert f"decision at iteration {areq.decided_at}" in text
+    assert repr(areq.winner_name) in text
+    assert "<== winner" in text
+    assert "measurements recorded" in text
+
+
+def test_audit_is_replayable_from_the_journal():
+    """The PR-2 journal alone must reconstruct the same audit trail."""
+    with recording() as rec:
+        areq, fnset = run_tuning(iterations=3 * len(ialltoall_function_set()))
+    live_entries = rec.audit.to_json()
+    journal = areq.journal_events()
+
+    world = SimWorld(get_platform("whale"), 8)
+    spec = CollSpec("alltoall", world.comm_world, 4 * KiB)
+    with recording() as rec2:
+        fresh = ADCLRequest(fnset, spec, selector="brute_force",
+                            evals_per_function=2)
+        fresh.replay(journal)
+    assert rec2.audit.to_json() == live_entries

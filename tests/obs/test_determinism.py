@@ -1,0 +1,37 @@
+"""Trace determinism: serial == parallel == cache-replayed, byte for byte."""
+
+from repro.bench.overlap import OverlapConfig
+from repro.bench.parallel import ResultCache, sweep_implementations
+from repro.obs import build_trace_doc, merge_snapshots, trace_to_bytes, validate_trace
+
+CFG = OverlapConfig(platform="whale", nprocs=8, operation="bcast",
+                    nbytes=4096, iterations=4, noise_sigma=0.02, seed=11)
+
+
+def sweep_bytes(jobs, cache=None):
+    rows = sweep_implementations(CFG, jobs=jobs, cache=cache, trace=True)
+    tasks = [(row["name"], row["trace"], row["worlds"]) for row in rows]
+    metrics = merge_snapshots([row["metrics"] for row in rows])
+    doc = build_trace_doc(tasks, scenario="det-test", metrics=metrics)
+    assert validate_trace(doc) == []
+    return trace_to_bytes(doc)
+
+
+def test_serial_and_parallel_sweeps_trace_identically():
+    assert sweep_bytes(jobs=1) == sweep_bytes(jobs=2)
+
+
+def test_cache_replay_traces_identically(tmp_path):
+    cache = ResultCache(str(tmp_path))
+    first = sweep_bytes(jobs=2, cache=cache)
+    # second run is served entirely from the cache
+    assert sweep_bytes(jobs=1, cache=cache) == first
+
+
+def test_tracing_does_not_perturb_measurements():
+    plain = sweep_implementations(CFG, jobs=1)
+    traced = sweep_implementations(CFG, jobs=1, trace=True)
+    for p, t in zip(plain, traced):
+        assert p["name"] == t["name"]
+        assert p["record_hex"] == t["record_hex"]
+        assert p["makespan_hex"] == t["makespan_hex"]

@@ -1,0 +1,120 @@
+"""Trace-doc assembly, schema validation, determinism, timeline."""
+
+import json
+
+from repro.obs import (
+    TraceRecorder,
+    build_trace_doc,
+    render_timeline,
+    trace_to_bytes,
+    validate_trace,
+)
+from repro.obs.schema import CATEGORIES, WORLD_TID
+
+
+def tiny_recorder():
+    rec = TraceRecorder()
+    rec.begin_world(2, "whale")
+    rec.complete("compute", "compute", 0, 0.0, 1e-3)
+    rec.complete("progress", "progress", 1, 1e-3, 1e-5, {"n_active": 1})
+    rec.instant("communication", "msg.post", 0, 5e-4, {"dst": 1})
+    rec.instant("engine", "run", -1, 2e-3, {"dispatched": 10})
+    return rec
+
+
+def test_build_doc_structure_and_units():
+    rec = tiny_recorder()
+    doc = build_trace_doc([("t", rec.export_events(), rec.worlds)],
+                          scenario="s")
+    assert validate_trace(doc) == []
+    assert doc["repro"]["scenario"] == "s"
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    # virtual seconds became Chrome microseconds
+    assert xs[0]["ts"] == 0.0 and xs[0]["dur"] == 1e-3 * 1e6
+    engine = [e for e in doc["traceEvents"] if e.get("cat") == "engine"]
+    assert engine[0]["tid"] == WORLD_TID
+
+
+def test_metadata_names_processes_and_threads():
+    rec = tiny_recorder()
+    doc = build_trace_doc([("mytask", rec.export_events(), rec.worlds)])
+    metas = [e for e in doc["traceEvents"] if e["ph"] == "M"]
+    pnames = [e["args"]["name"] for e in metas if e["name"] == "process_name"]
+    assert pnames == ["mytask (whale)"]
+    tnames = {e["tid"]: e["args"]["name"]
+              for e in metas if e["name"] == "thread_name"}
+    assert tnames[0] == "rank 0" and tnames[1] == "rank 1"
+    assert tnames[WORLD_TID] == "world"
+
+
+def test_each_world_gets_its_own_pid():
+    rec = TraceRecorder()
+    rec.begin_world(2, "run 1")
+    rec.complete("compute", "compute", 0, 0.0, 1.0)
+    rec.begin_world(2, "run 2")  # a resilient restart: clock back at 0
+    rec.complete("compute", "compute", 0, 0.0, 1.0)
+    doc = build_trace_doc([("tune", rec.export_events(), rec.worlds)])
+    xs = [e for e in doc["traceEvents"] if e["ph"] == "X"]
+    assert xs[0]["pid"] != xs[1]["pid"]
+    labels = [w["label"] for w in doc["repro"]["worlds"]]
+    assert labels == ["tune [world 0] (run 1)", "tune [world 1] (run 2)"]
+
+
+def test_multiple_tasks_get_disjoint_pids():
+    a, b = tiny_recorder(), tiny_recorder()
+    doc = build_trace_doc([
+        ("impl_a", a.export_events(), a.worlds),
+        ("impl_b", b.export_events(), b.worlds),
+    ])
+    pids = {w["pid"] for w in doc["repro"]["worlds"]}
+    assert len(pids) == 2
+
+
+def test_trace_to_bytes_is_deterministic_and_ascii():
+    rec = tiny_recorder()
+    doc1 = build_trace_doc([("t", rec.export_events(), rec.worlds)])
+    doc2 = build_trace_doc([("t", rec.export_events(), rec.worlds)])
+    b1, b2 = trace_to_bytes(doc1), trace_to_bytes(doc2)
+    assert b1 == b2
+    # survives a JSON round trip (the cross-process form)
+    assert trace_to_bytes(json.loads(b1.decode("ascii"))) == b1
+
+
+def test_validate_trace_rejects_garbage():
+    assert validate_trace([]) == ["trace document is not a JSON object"]
+    errs = validate_trace({"traceEvents": [{"ph": "Q"}]})
+    assert any("bad phase" in e for e in errs)
+    assert any("repro" in e for e in errs)
+
+
+def test_validate_trace_rejects_version_skew():
+    rec = tiny_recorder()
+    doc = build_trace_doc([("t", rec.export_events(), rec.worlds)])
+    doc["repro"]["schema"] = 999
+    assert any("schema version" in e for e in validate_trace(doc))
+
+
+def test_validate_trace_rejects_unknown_category():
+    rec = tiny_recorder()
+    doc = build_trace_doc([("t", rec.export_events(), rec.worlds)])
+    doc["traceEvents"][-1]["cat"] = "mystery"
+    assert any("unknown category" in e for e in validate_trace(doc))
+
+
+def test_taxonomy_covers_every_emitted_event_name():
+    # every (cat, name) the instrumentation can emit must be declared
+    names = {n for ns in CATEGORIES.values() for n in ns}
+    for required in ("compute", "progress", "msg.post", "msg.deliver",
+                     "wait", "nbc.round", "nbc.done", "iteration",
+                     "tune.decide", "tune.reopen", "tune.epoch",
+                     "fault.drop", "fault.retransmit", "fault.dead_letter",
+                     "fault.crash", "fault.window", "run"):
+        assert required in names
+
+
+def test_render_timeline_draws_lanes():
+    rec = tiny_recorder()
+    doc = build_trace_doc([("t", rec.export_events(), rec.worlds)])
+    text = render_timeline(doc, width=40)
+    assert "rank   0" in text and "#" in text and "+" in text
+    assert render_timeline({"traceEvents": []}) == "(empty trace)"

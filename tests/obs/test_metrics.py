@@ -1,0 +1,113 @@
+"""Tests for the metrics registry (counters, gauges, histograms)."""
+
+import pytest
+
+from repro.obs.metrics import (
+    LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    merge_snapshots,
+)
+
+
+def test_counter_increments():
+    c = Counter("c")
+    c.inc()
+    c.inc(5)
+    assert c.snapshot() == {"type": "counter", "value": 6}
+
+
+def test_gauge_last_write_wins():
+    g = Gauge("g")
+    g.set(3.5)
+    g.set(-1.0)
+    assert g.snapshot() == {"type": "gauge", "value": -1.0}
+
+
+def test_histogram_bucketing_and_overflow():
+    h = Histogram("h", [1.0, 10.0, 100.0])
+    for v in (0.5, 5.0, 5.0, 50.0, 1e6):
+        h.observe(v)
+    snap = h.snapshot()
+    assert snap["counts"] == [1, 2, 1, 1]  # last bucket is the overflow
+    assert snap["total"] == 5
+    assert snap["sum"] == pytest.approx(0.5 + 10.0 + 50.0 + 1e6)
+
+
+def test_histogram_boundary_goes_to_lower_bucket():
+    h = Histogram("h", [1.0, 10.0])
+    h.observe(1.0)  # exactly on an edge: belongs to the <=1.0 bucket
+    assert h.snapshot()["counts"] == [1, 0, 0]
+
+
+def test_registry_create_on_first_use_returns_same_instrument():
+    reg = MetricsRegistry()
+    a = reg.counter("x")
+    b = reg.counter("x")
+    assert a is b
+    a.inc()
+    assert reg.snapshot()["x"]["value"] == 1
+
+
+def test_registry_snapshot_sorted():
+    reg = MetricsRegistry()
+    reg.counter("zeta").inc()
+    reg.gauge("alpha").set(1.0)
+    assert list(reg.snapshot()) == ["alpha", "zeta"]
+
+
+def test_latency_buckets_are_increasing():
+    assert list(LATENCY_BUCKETS) == sorted(LATENCY_BUCKETS)
+    assert len(set(LATENCY_BUCKETS)) == len(LATENCY_BUCKETS)
+
+
+def _snap(build):
+    reg = MetricsRegistry()
+    build(reg)
+    return reg.snapshot()
+
+
+def test_merge_snapshots_adds_counters_and_histograms():
+    def one(reg):
+        reg.counter("n").inc(2)
+        h = reg.histogram("h", [1.0, 2.0])
+        h.observe(0.5)
+
+    def two(reg):
+        reg.counter("n").inc(3)
+        h = reg.histogram("h", [1.0, 2.0])
+        h.observe(1.5)
+        reg.gauge("g").set(7.0)
+
+    merged = merge_snapshots([_snap(one), _snap(two)])
+    assert merged["n"]["value"] == 5
+    assert merged["h"]["counts"] == [1, 1, 0]
+    assert merged["h"]["total"] == 2
+    assert merged["g"]["value"] == 7.0
+
+
+def test_merge_snapshots_gauge_last_wins():
+    def one(reg):
+        reg.gauge("g").set(1.0)
+
+    def two(reg):
+        reg.gauge("g").set(2.0)
+
+    assert merge_snapshots([_snap(one), _snap(two)])["g"]["value"] == 2.0
+
+
+def test_merge_snapshots_rejects_mismatched_bounds():
+    def one(reg):
+        reg.histogram("h", [1.0]).observe(0.5)
+
+    def two(reg):
+        reg.histogram("h", [2.0]).observe(0.5)
+
+    with pytest.raises(ValueError):
+        merge_snapshots([_snap(one), _snap(two)])
+
+
+def test_merge_snapshots_empty():
+    assert merge_snapshots([]) == {}

@@ -1,0 +1,88 @@
+"""Recorder lifecycle: install / uninstall / recording scope."""
+
+from repro.obs import (
+    NULL_RECORDER,
+    TraceRecorder,
+    get_recorder,
+    install,
+    recording,
+    uninstall,
+)
+
+
+def test_default_is_null_recorder():
+    uninstall()
+    rec = get_recorder()
+    assert rec is NULL_RECORDER
+    assert rec.enabled is False
+    # null calls are harmless no-ops
+    assert rec.begin_world(4) == -1
+    rec.instant("compute", "compute", 0, 0.0)
+    rec.complete("compute", "compute", 0, 0.0, 1.0)
+
+
+def test_install_returns_previous_and_uninstall_resets():
+    uninstall()
+    rec = TraceRecorder()
+    prev = install(rec)
+    try:
+        assert prev is NULL_RECORDER
+        assert get_recorder() is rec
+        nested = TraceRecorder()
+        prev2 = install(nested)
+        assert prev2 is rec
+        install(prev2)
+        assert get_recorder() is rec
+    finally:
+        uninstall()
+    assert get_recorder() is NULL_RECORDER
+
+
+def test_recording_context_restores_previous():
+    uninstall()
+    with recording() as rec:
+        assert get_recorder() is rec
+        assert rec.enabled
+        with recording() as inner:
+            assert get_recorder() is inner
+        assert get_recorder() is rec
+    assert get_recorder() is NULL_RECORDER
+
+
+def test_events_are_tagged_with_the_current_world():
+    rec = TraceRecorder()
+    assert rec.begin_world(4, "whale") == 0
+    rec.instant("engine", "run", -1, 1.0)
+    assert rec.begin_world(4, "whale") == 1
+    rec.complete("compute", "compute", 2, 0.5, 0.25, {"k": 1})
+    worlds = [e[1] for e in rec.events]
+    assert worlds == [0, 1]
+    assert rec.worlds == [{"nprocs": 4, "label": "whale"}] * 2
+
+
+def test_export_events_is_json_able_lists():
+    rec = TraceRecorder()
+    rec.begin_world(2)
+    rec.instant("engine", "run", -1, 0.0, {"a": 1})
+    out = rec.export_events()
+    assert out == [["i", 0, -1, "engine", "run", 0.0, 0.0, {"a": 1}]]
+    # a copy, not aliases into the live event list
+    out[0][0] = "X"
+    assert rec.events[0][0] == "i"
+
+
+def test_clear_resets_everything():
+    rec = TraceRecorder()
+    rec.begin_world(2)
+    rec.instant("engine", "run", -1, 0.0)
+    rec.metrics.counter("c").inc()
+    rec.audit.retune(3)
+    rec.clear()
+    assert rec.events == []
+    assert rec.worlds == []
+    assert len(rec.metrics.snapshot()) == 0
+    assert len(rec.audit) == 0
+    # the rebound append still feeds the (new) event list
+    rec.begin_world(2)
+    rec.instant("engine", "run", -1, 0.0)
+    assert len(rec.events) == 1 and rec.events[0][1] == 0

@@ -104,3 +104,86 @@ def test_mean_size_empty_world():
     world = SimWorld(get_platform("whale"), 2)
     tracer = Tracer(world)
     assert tracer.mean_message_size == 0.0
+
+def run_faulty(nprocs=16, prob=0.4, seed=3, keep_records=False):
+    from repro.sim import FaultPlan
+    from repro.sim.faults import DropRule
+
+    plan = FaultPlan(drops=(DropRule(prob),), seed=seed)
+    world = SimWorld(get_platform("whale"), nprocs, faults=plan,
+                     reliable=True)
+    tracer = Tracer(world, keep_records=keep_records)
+
+    def prog(ctx):
+        req = nbc.start_ialltoall(ctx, 1024, algorithm="linear")
+        yield Wait(req)
+
+    world.launch(prog)
+    world.run()
+    return tracer, world
+
+
+def test_delivery_times_recorded():
+    tr = run_alltoall(4, 128, "linear", keep_records=True)
+    assert all(r.deliver_time is not None for r in tr.records)
+    assert all(r.deliver_time >= r.time for r in tr.records)
+    assert all(r.latency == r.deliver_time - r.time for r in tr.records)
+    assert tr.delivered_messages == tr.messages
+
+
+def test_fault_counters_agree_with_injector():
+    tr, world = run_faulty()
+    assert tr.dropped_attempts == world.faults.messages_dropped > 0
+    assert tr.retransmits == world.retransmits > 0
+    # reliable transport: every posted message is eventually delivered
+    assert tr.delivered_messages == tr.messages
+    assert tr.dead_letters == world.dead_letters == 0
+
+
+def test_faulty_run_latency_includes_retransmit_delay():
+    clean = run_alltoall(16, 1024, "linear", keep_records=True)
+    faulty, _ = run_faulty(keep_records=True)
+    mean = lambda rs: sum(r.latency for r in rs) / len(rs)  # noqa: E731
+    assert mean(faulty.records) > mean(clean.records)
+
+
+def test_summary_mentions_fault_counts():
+    tr, _ = run_faulty()
+    s = tr.summary()
+    assert "dropped attempts" in s and "retransmits" in s
+
+
+def test_detach_requires_lifo_order():
+    from repro.sim.engine import SimulationError
+
+    world = SimWorld(get_platform("whale"), 4)
+    a = Tracer(world)
+    b = Tracer(world)
+    with pytest.raises(SimulationError, match="LIFO"):
+        a.detach()
+    b.detach()
+    a.detach()  # now legal: a is on top
+
+    # the original uninstrumented bindings are restored
+    def prog(ctx):
+        req = nbc.start_ialltoall(ctx, 128, algorithm="linear")
+        yield Wait(req)
+
+    world.launch(prog)
+    world.run()
+    assert a.messages == 0 and b.messages == 0
+
+
+def test_stacked_tracers_both_count():
+    world = SimWorld(get_platform("whale"), 4)
+    a = Tracer(world)
+    b = Tracer(world)
+
+    def prog(ctx):
+        req = nbc.start_ialltoall(ctx, 128, algorithm="linear")
+        yield Wait(req)
+
+    world.launch(prog)
+    world.run()
+    assert a.messages == b.messages == 12
+    assert a.delivered_messages == b.delivered_messages == 12

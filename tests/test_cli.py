@@ -92,3 +92,73 @@ def test_tune_with_stats(capsys):
     out = capsys.readouterr().out
     assert "decision at iteration" in out
     assert "events/sec" in out
+    assert "engine loop" in out and "dispatched" in out
+
+
+def test_tune_with_trace_metrics_and_report(capsys, tmp_path):
+    import json
+
+    trace = str(tmp_path / "trace.json")
+    metrics = str(tmp_path / "metrics.json")
+    rc = main([
+        "tune", "--platform", "whale", "--nprocs", "8",
+        "--nbytes", "1KB", "--iterations", "44", "--evals", "2",
+        "--operation", "bcast", "--trace", trace, "--metrics", metrics,
+    ])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert f"trace written to {trace}" in out
+    assert f"metrics written to {metrics}" in out
+
+    with open(trace, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    from repro.obs import validate_trace
+    assert validate_trace(doc) == []
+    assert doc["repro"]["audit"], "trace must embed the decision audit"
+    with open(metrics, encoding="utf-8") as fh:
+        snap = json.load(fh)["metrics"]
+    assert snap["sim.messages_posted"]["value"] > 0
+
+    # the report subcommand renders the trace
+    assert main(["report", trace]) == 0
+    report = capsys.readouterr().out
+    assert "overlap" in report
+    assert "decision at iteration" in report
+    assert "busy" in report
+
+    # --validate succeeds on the fresh trace ...
+    assert main(["report", trace, "--validate"]) == 0
+    assert "valid trace" in capsys.readouterr().out
+
+    # ... and rejects a corrupted one with rc 2
+    doc["repro"]["schema"] = 999
+    bad = tmp_path / "bad.json"
+    bad.write_text(json.dumps(doc))
+    assert main(["report", str(bad), "--validate"]) == 2
+    assert "schema version" in capsys.readouterr().out
+
+
+def test_report_on_missing_file(capsys, tmp_path):
+    assert main(["report", str(tmp_path / "nope.json")]) == 2
+    assert "cannot load" in capsys.readouterr().out
+
+
+def test_sweep_with_trace(capsys, tmp_path):
+    import json
+
+    trace = str(tmp_path / "sweep_trace.json")
+    rc = main([
+        "sweep", "--platform", "whale", "--nprocs", "4",
+        "--nbytes", "1KB", "--iterations", "4", "--operation", "bcast",
+        "--trace", trace,
+    ])
+    assert rc == 0
+    assert f"trace written to {trace}" in capsys.readouterr().out
+    with open(trace, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    from repro.obs import validate_trace
+    assert validate_trace(doc) == []
+    # one trace process group per implementation
+    labels = [w["label"] for w in doc["repro"]["worlds"]]
+    assert len(labels) == len({lbl for lbl in labels})
+    assert any("binomial" in lbl for lbl in labels)

@@ -1,0 +1,154 @@
+#!/usr/bin/env python
+"""CI chaos smoke for the sweep fabric (run from the repo root).
+
+Proves the fabric's headline guarantee end to end with real processes:
+
+1. run the reference sweep serially and fingerprint every result;
+2. run the same sweep on the fabric while SIGKILLing ``--kills``
+   random workers mid-flight — every fingerprint must match serially;
+3. start the sweep as a real ``repro sweep`` subprocess, SIGKILL the
+   whole thing (master included) once the checkpoint holds some tasks,
+   re-run with ``--resume`` — the resumed cache must again match the
+   serial fingerprints exactly;
+4. write the fabric's telemetry to ``benchmarks/out/chaos_fabric.json``
+   for the CI artifact.
+
+Exit status is non-zero on any divergence, so the CI job fails loudly.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/chaos_harness.py [--kills 3]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import subprocess
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, "src")
+
+from repro.bench.fabric import FabricConfig, result_fingerprint  # noqa: E402
+from repro.bench.fabric.master import fork_available  # noqa: E402
+from repro.bench.overlap import OverlapConfig, function_set_for  # noqa: E402
+from repro.bench.parallel import (  # noqa: E402
+    ResultCache,
+    sweep_implementations,
+    task_key,
+)
+
+OUT_DIR = os.path.join("benchmarks", "out")
+
+#: mirrors the `repro sweep` invocation in stage 3 exactly
+CFG = OverlapConfig(platform="whale", nprocs=4, operation="bcast",
+                    nbytes=8 * 1024, compute_total=10.0,
+                    iterations=4, nprogress=2)
+SWEEP_ARGS = ["--platform", "whale", "--nprocs", "4",
+              "--operation", "bcast", "--nbytes", "8KB",
+              "--iterations", "4", "--nprogress", "2"]
+
+
+def fail(msg: str) -> None:
+    print(f"chaos-harness: FAIL: {msg}", file=sys.stderr)
+    sys.exit(1)
+
+
+def serial_fingerprints() -> list:
+    rows = sweep_implementations(CFG, jobs=1)
+    return [result_fingerprint(r) for r in rows]
+
+
+def stage_worker_chaos(expected: list, kills: int) -> dict:
+    fabric = FabricConfig(chaos_kills=kills, chaos_seed=20260807)
+    rows = sweep_implementations(CFG, jobs=3, fabric=fabric)
+    got = [result_fingerprint(r) for r in rows]
+    if got != expected:
+        bad = [i for i, (a, b) in enumerate(zip(expected, got)) if a != b]
+        fail(f"worker-chaos run diverged from serial at tasks {bad}")
+    stats = fabric.stats()
+    if stats.get("fabric.chaos.kills", 0) != kills:
+        fail(f"chaos hook fired {stats.get('fabric.chaos.kills')} times, "
+             f"wanted {kills}")
+    print(f"chaos-harness: stage 1 OK — {kills} worker SIGKILLs, "
+          f"{len(got)} fingerprints identical to serial")
+    return stats
+
+
+def stage_master_kill_resume(expected: list) -> None:
+    tmp = tempfile.mkdtemp(prefix="chaos-resume-")
+    cache_dir = os.path.join(tmp, "cache")
+    env = dict(os.environ)
+    env["PYTHONPATH"] = "src"
+    base = [sys.executable, "-m", "repro", "sweep", *SWEEP_ARGS,
+            "--result-cache", cache_dir, "--jobs", "2"]
+    try:
+        victim = subprocess.Popen(base, env=env,
+                                  stdout=subprocess.DEVNULL,
+                                  stderr=subprocess.DEVNULL)
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if os.path.isdir(cache_dir) and len(ResultCache(cache_dir)) >= 2:
+                break
+            if victim.poll() is not None:
+                break
+            time.sleep(0.05)
+        victim.kill()
+        victim.wait()
+        partial = len(ResultCache(cache_dir))
+        if partial < 1:
+            fail("master was killed before any task checkpointed")
+
+        resumed = subprocess.run(base + ["--resume"], env=env,
+                                 capture_output=True, text=True,
+                                 timeout=600)
+        if resumed.returncode != 0:
+            fail(f"--resume run failed:\n{resumed.stderr}")
+
+        cache = ResultCache(cache_dir)
+        fnset = function_set_for(CFG.operation)
+        for i, fn in enumerate(fnset):
+            key = task_key("sweep", config=CFG, fn_index=i,
+                           fn_name=fn.name)
+            entry = cache.get(key)
+            if entry is None:
+                fail(f"task {i} ({fn.name}) missing after --resume")
+            if result_fingerprint(entry) != expected[i]:
+                fail(f"task {i} ({fn.name}) fingerprint diverged "
+                     "after master kill + resume")
+        print(f"chaos-harness: stage 2 OK — master SIGKILLed at "
+              f"{partial}/{len(fnset)} tasks, resume bit-identical")
+    finally:
+        shutil.rmtree(tmp, ignore_errors=True)
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--kills", type=int, default=3,
+                        help="random worker SIGKILLs in stage 1")
+    args = parser.parse_args()
+    if not fork_available():
+        print("chaos-harness: SKIP (no fork start method)")
+        return 0
+
+    expected = serial_fingerprints()
+    stats = stage_worker_chaos(expected, args.kills)
+    stage_master_kill_resume(expected)
+
+    os.makedirs(OUT_DIR, exist_ok=True)
+    artifact = os.path.join(OUT_DIR, "chaos_fabric.json")
+    with open(artifact, "w", encoding="utf-8") as fh:
+        json.dump({"scope": "chaos-smoke", "kills": args.kills,
+                   "tasks": len(expected), "fabric": stats}, fh,
+                  indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"chaos-harness: PASS — fabric telemetry in {artifact}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

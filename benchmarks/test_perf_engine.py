@@ -249,15 +249,23 @@ def test_engine_events_per_sec():
 
 def test_parallel_sweep_determinism_and_scaling():
     """jobs=2 is bitwise-equal to jobs=1; near-linear on 2+ cores."""
+    from repro.bench.fabric import FabricConfig
+
     t = time.perf_counter()
     serial = sweep_implementations(SWEEP_CFG, jobs=1)
     t_serial = time.perf_counter() - t
 
+    fabric = FabricConfig()
     t = time.perf_counter()
-    parallel = sweep_implementations(SWEEP_CFG, jobs=2)
+    parallel = sweep_implementations(SWEEP_CFG, jobs=2, fabric=fabric)
     t_parallel = time.perf_counter() - t
 
-    assert serial == parallel, "parallel sweep diverged from serial sweep"
+    assert serial == parallel, "fabric sweep diverged from serial sweep"
+    fstats = fabric.stats()
+    # a healthy run: no quarantines, no determinism defects, no fallback
+    assert fstats.get("fabric.tasks.quarantined", 0) == 0
+    assert fstats.get("fabric.defects.determinism", 0) == 0
+    assert fstats.get("fabric.fallback.serial", 0) == 0
 
     cores = os.cpu_count() or 1
     scaling = t_serial / t_parallel
@@ -269,9 +277,10 @@ def test_parallel_sweep_determinism_and_scaling():
         "jobs2_s": t_parallel,
         "scaling_jobs2": scaling,
         "identical_results": True,
+        "fabric": fstats,
     })
     if cores >= 2:
-        # "near-linear": 2 workers over 21 ~equal tasks; allow pool
+        # "near-linear": 2 workers over 21 ~equal tasks; allow worker
         # startup + imbalance overheads
         assert scaling >= 1.5, (
             f"parallel executor scaled only {scaling:.2f}x on {cores} cores"

@@ -9,9 +9,18 @@
 * :mod:`repro.bench.report` — paper-style text tables and bar charts;
 * :mod:`repro.bench.runner` — fast-vs-paper-scale knobs;
 * :mod:`repro.bench.parallel` — the parallel sweep executor
-  (multiprocessing fan-out + keyed on-disk result cache).
+  (keyed on-disk result cache + serial fallback);
+* :mod:`repro.bench.fabric` — the resilient master/worker fabric that
+  ``--jobs N`` sweeps actually run on: long-lived workers, leases,
+  heartbeats, respawn, work stealing, chaos hooks.
 """
 
+from .fabric import (
+    FabricConfig,
+    FabricError,
+    result_fingerprint,
+    run_tasks_fabric,
+)
 from .ft import FTOverlapResult, run_overlap_ft
 from .overlap import (
     OverlapConfig,
@@ -40,6 +49,8 @@ from .verification import (
 __all__ = [
     "CORRECTNESS_TOLERANCE",
     "FTOverlapResult",
+    "FabricConfig",
+    "FabricError",
     "OverlapConfig",
     "OverlapResult",
     "ResilientOverlapResult",
@@ -54,10 +65,12 @@ __all__ = [
     "format_table",
     "function_set_for",
     "paper_scale",
+    "result_fingerprint",
     "run_overlap",
     "run_overlap_ft",
     "run_overlap_resilient",
     "run_tasks",
+    "run_tasks_fabric",
     "run_verification",
     "scaled",
     "sweep_implementations",

@@ -1,0 +1,185 @@
+"""Wire protocol between the fabric master and its workers.
+
+Frames are length-prefixed pickles over a ``socket.socketpair()``: a
+4-byte big-endian payload length followed by the pickled message.
+Pickle (not JSON) because task payloads are arbitrary picklable Python
+objects (dataclass configs); the channel is a private same-machine
+socketpair between a parent and its forked child, never a network
+endpoint.
+
+Messages are plain tuples whose first element is the type:
+
+========== ================================================= =========
+type       remaining fields                                  direction
+========== ================================================= =========
+``hello``  worker_id, pid                                    w -> m
+``hb``     worker_id, seq                                    w -> m
+``result`` task_index, key, fingerprint, result              w -> m
+``error``  task_index, key, traceback_text                   w -> m
+``task``   task_index, key, payload                          m -> w
+``shutdown`` (none)                                          m -> w
+========== ================================================= =========
+
+``result`` frames carry a :func:`result_fingerprint` so the master can
+verify that a duplicate execution (a stolen or re-leased task) returned
+the bit-identical answer the first execution did — the fabric's
+determinism contract, checked on every dedupe, not assumed.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import pickle
+import socket
+import struct
+from typing import Any, Iterator, List, Optional, Tuple
+
+__all__ = [
+    "FrameReader",
+    "ProtocolError",
+    "recv_frame",
+    "result_fingerprint",
+    "send_frame",
+]
+
+#: 4-byte big-endian unsigned length prefix
+_HEADER = struct.Struct(">I")
+
+#: sanity cap on a single frame (a traced sweep task can be tens of MB;
+#: anything past this is a corrupt length prefix, not a real frame)
+MAX_FRAME = 1 << 30
+
+
+class ProtocolError(RuntimeError):
+    """A malformed frame (bad length prefix, unpicklable body)."""
+
+
+def result_fingerprint(result: Any) -> str:
+    """SHA-256 of the canonical JSON form of a task result.
+
+    Task results are JSON-able dicts (the PR-3 contract: float fields
+    carry ``float.hex()`` twins), so canonical JSON — sorted keys, no
+    whitespace — is a stable bit-exact identity usable across
+    processes, sessions, and the serial/fabric/resume comparison the
+    chaos harness performs.
+    """
+    body = json.dumps(result, sort_keys=True, separators=(",", ":"),
+                      default=str)
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def send_frame(sock: socket.socket, message: tuple) -> None:
+    """Serialize and send one message (blocking, whole frame)."""
+    body = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_HEADER.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
+    """Read exactly ``n`` bytes; None on clean EOF at a frame boundary.
+
+    A ``socket.timeout`` with zero bytes read propagates (the caller's
+    idle tick); mid-frame timeouts keep reading — once a peer started a
+    frame it is actively writing it, so a mid-frame wait is bounded.
+    """
+    chunks: List[bytes] = []
+    got = 0
+    while got < n:
+        try:
+            chunk = sock.recv(n - got)
+        except socket.timeout:
+            if not chunks:
+                raise
+            continue
+        if not chunk:
+            if chunks:
+                raise ProtocolError("EOF inside a frame")
+            return None
+        chunks.append(chunk)
+        got += len(chunk)
+    return b"".join(chunks)
+
+
+def recv_frame(sock: socket.socket) -> Optional[tuple]:
+    """Blocking receive of one frame; None on clean EOF.
+
+    Raises ``socket.timeout`` if the socket has a timeout and no frame
+    has started, and :class:`ProtocolError` on a torn or oversized
+    frame.
+    """
+    header = _recv_exact(sock, _HEADER.size)
+    if header is None:
+        return None
+    (length,) = _HEADER.unpack(header)
+    if length > MAX_FRAME:
+        raise ProtocolError(f"frame length {length} exceeds cap {MAX_FRAME}")
+    body = _recv_exact(sock, length)
+    if body is None:
+        raise ProtocolError("EOF between header and body")
+    try:
+        return pickle.loads(body)
+    except Exception as exc:
+        raise ProtocolError(f"unpicklable frame: {exc}") from exc
+
+
+class FrameReader:
+    """Incremental frame parser for the master's non-blocking sockets.
+
+    ``feed()`` raw bytes as they arrive; ``frames()`` yields every
+    complete message, leaving partial frames buffered for the next
+    feed.  One reader per worker connection.
+    """
+
+    def __init__(self):
+        self._buf = bytearray()
+
+    def feed(self, data: bytes) -> None:
+        self._buf.extend(data)
+
+    def frames(self) -> Iterator[tuple]:
+        while True:
+            if len(self._buf) < _HEADER.size:
+                return
+            (length,) = _HEADER.unpack(self._buf[:_HEADER.size])
+            if length > MAX_FRAME:
+                raise ProtocolError(
+                    f"frame length {length} exceeds cap {MAX_FRAME}")
+            end = _HEADER.size + length
+            if len(self._buf) < end:
+                return
+            body = bytes(self._buf[_HEADER.size:end])
+            del self._buf[:end]
+            try:
+                yield pickle.loads(body)
+            except Exception as exc:
+                raise ProtocolError(f"unpicklable frame: {exc}") from exc
+
+    def pending_bytes(self) -> int:
+        return len(self._buf)
+
+
+def drain_socket(sock: socket.socket, reader: FrameReader,
+                 chunk: int = 65536) -> Tuple[bool, List[tuple]]:
+    """Read whatever is available into ``reader``.
+
+    Returns ``(alive, frames)`` — ``alive`` is False once the peer
+    closed (EOF) or the connection errored; ``frames`` is every
+    complete message the read produced.  Non-blocking: returns
+    immediately when the socket would block.
+    """
+    alive = True
+    while True:
+        try:
+            data = sock.recv(chunk)
+        except (BlockingIOError, InterruptedError):
+            break
+        except OSError:
+            alive = False
+            break
+        if not data:
+            alive = False
+            break
+        reader.feed(data)
+        if len(data) < chunk:
+            break
+    return alive, list(reader.frames())

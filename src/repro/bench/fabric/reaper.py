@@ -1,0 +1,107 @@
+"""Orphan-worker cleanup: never leak children, however the sweep dies.
+
+The PR-3 fork pool could leak live children when the parent took a
+``KeyboardInterrupt`` (or any exception) at the wrong moment — the
+pool's context manager never ran, the workers kept spinning.  The
+fabric closes that hole with three layers:
+
+1. every spawned worker process is registered here; an ``atexit`` hook
+   terminates-then-kills anything still alive at interpreter exit
+   (covers exceptions, ``KeyboardInterrupt``, normal exit);
+2. a chained SIGTERM handler reaps children before re-delivering the
+   signal (covers ``kill <master>``);
+3. the workers themselves poll ``os.getppid()`` and exit when the
+   master vanishes (covers SIGKILL of the master, which no handler can
+   see) — see :mod:`repro.bench.fabric.worker`.
+
+Registration is idempotent and cheap; ``unregister`` after a clean
+join keeps the registry small.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import signal
+import threading
+from typing import Dict
+
+__all__ = ["install", "register", "unregister", "reap_all", "alive_pids"]
+
+_lock = threading.Lock()
+_children: Dict[int, object] = {}  # pid -> multiprocessing.Process
+_installed = False
+_prev_sigterm = None
+
+
+def register(proc) -> None:
+    """Track a spawned worker process (must have .pid/.is_alive/...)."""
+    install()
+    with _lock:
+        if proc.pid is not None:
+            _children[proc.pid] = proc
+
+
+def unregister(proc) -> None:
+    with _lock:
+        _children.pop(proc.pid, None)
+
+
+def alive_pids() -> list:
+    with _lock:
+        return [pid for pid, p in _children.items() if p.is_alive()]
+
+
+def reap_all(grace: float = 0.5) -> int:
+    """Terminate (then kill) every registered live child.  Returns the
+    number of children that needed reaping."""
+    with _lock:
+        procs = list(_children.values())
+        _children.clear()
+    reaped = 0
+    for proc in procs:
+        try:
+            if not proc.is_alive():
+                continue
+            reaped += 1
+            proc.terminate()
+        except Exception:
+            pass
+    for proc in procs:
+        try:
+            proc.join(grace)
+            if proc.is_alive():
+                proc.kill()
+                proc.join(grace)
+        except Exception:
+            pass
+    return reaped
+
+
+def _on_sigterm(signum, frame):
+    reap_all()
+    # restore whoever was there before us and re-deliver, so the
+    # process still dies with the conventional SIGTERM disposition
+    prev = _prev_sigterm
+    if callable(prev):
+        prev(signum, frame)
+        return
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    os.kill(os.getpid(), signal.SIGTERM)
+
+
+def install() -> None:
+    """Idempotently install the atexit hook and SIGTERM chain.
+
+    Signal installation only works from the main thread; elsewhere the
+    atexit + ppid-poll layers still cover cleanup.
+    """
+    global _installed, _prev_sigterm
+    if _installed:
+        return
+    _installed = True
+    atexit.register(reap_all)
+    try:
+        _prev_sigterm = signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:  # not the main thread
+        _prev_sigterm = None

@@ -1,0 +1,111 @@
+"""The long-lived worker process: run tasks, stream results, heartbeat.
+
+One worker = one forked process holding its end of a socketpair.  The
+main loop blocks on ``task`` frames and answers each with a ``result``
+frame carrying the task's :func:`~repro.bench.fabric.protocol.
+result_fingerprint`; a daemon thread emits ``hb`` frames every
+``heartbeat_interval`` seconds so the master can distinguish *busy*
+from *dead* without killing long tasks.
+
+Self-termination: both the loop and the heartbeat thread poll
+``os.getppid()`` — if the master vanishes (even by SIGKILL, which runs
+no cleanup on the master side) the worker exits instead of orphaning
+itself.  ``REPRO_FABRIC_WORKER=1`` is exported inside the worker so
+task code (and chaos tests) can tell worker execution from the
+master's inline fallback execution.
+
+A task that raises is answered with an ``error`` frame (the exception
+is deterministic — it would fail the serial executor too, so the
+master propagates it rather than retrying); a task that *kills* the
+worker (segfault, OOM, chaos SIGKILL) is the master's problem: the
+heartbeat stops, the lease is torn down, the task is requeued or
+quarantined.
+"""
+
+from __future__ import annotations
+
+import os
+import socket
+import threading
+import traceback
+from typing import Any, Callable
+
+from .protocol import ProtocolError, recv_frame, send_frame
+
+__all__ = ["worker_main"]
+
+#: seconds the blocking recv waits before re-checking the parent pid
+_RECV_TICK = 0.25
+
+
+def worker_main(worker_id: int, sock: socket.socket,
+                worker_fn: Callable[[Any], Any],
+                heartbeat_interval: float, parent_pid: int) -> None:
+    """Entry point of the forked worker process (never returns to the
+    caller's code; exits the loop on shutdown/EOF/orphaning)."""
+    os.environ["REPRO_FABRIC_WORKER"] = "1"
+    send_lock = threading.Lock()
+    stop = threading.Event()
+
+    def _send(message: tuple) -> bool:
+        with send_lock:
+            try:
+                send_frame(sock, message)
+                return True
+            except OSError:
+                stop.set()
+                return False
+
+    def _orphaned() -> bool:
+        return os.getppid() != parent_pid
+
+    def _heartbeat() -> None:
+        seq = 0
+        while not stop.wait(heartbeat_interval):
+            if _orphaned():
+                # the master is gone; the main thread may be deep in a
+                # task and there is nobody left to send the result to.
+                # A flag is not enough — hard-exit the whole process.
+                os._exit(2)
+            seq += 1
+            if not _send(("hb", worker_id, seq)):
+                break
+
+    _send(("hello", worker_id, os.getpid()))
+    thread = threading.Thread(target=_heartbeat, name="fabric-hb",
+                              daemon=True)
+    thread.start()
+
+    sock.settimeout(_RECV_TICK)
+    try:
+        while not stop.is_set():
+            if _orphaned():
+                break
+            try:
+                frame = recv_frame(sock)
+            except socket.timeout:
+                continue
+            except (OSError, ProtocolError):
+                break
+            if frame is None or frame[0] == "shutdown":
+                break
+            if frame[0] != "task":
+                continue  # unknown frame: ignore, stay alive
+            _, index, key, payload = frame
+            try:
+                result = worker_fn(payload)
+            except BaseException:
+                if not _send(("error", index, key,
+                              traceback.format_exc())):
+                    break
+                continue
+            from .protocol import result_fingerprint
+            if not _send(("result", index, key,
+                          result_fingerprint(result), result)):
+                break
+    finally:
+        stop.set()
+        try:
+            sock.close()
+        except OSError:
+            pass

@@ -6,9 +6,9 @@ per method.  Each simulation is a self-contained deterministic world,
 so the set parallelizes embarrassingly:
 
 * :func:`run_tasks` — the generic executor: a list of ``(key,
-  payload)`` tasks, a picklable module-level worker, a
-  ``multiprocessing`` pool (``fork`` start method where available), and
-  an optional on-disk :class:`ResultCache`;
+  payload)`` tasks, a picklable module-level worker, the resilient
+  master/worker fabric (:mod:`repro.bench.fabric`) for ``jobs > 1``,
+  and an optional on-disk :class:`ResultCache`;
 * :func:`sweep_implementations` / :func:`fft_methods` — the two
   concrete sweeps behind the ``sweep`` and ``fft`` CLI commands;
 * :func:`derive_seed` — deterministic per-task seed derivation, so a
@@ -16,16 +16,25 @@ so the set parallelizes embarrassingly:
   order, worker count, or which other tasks run alongside it).
 
 Determinism contract: for the same task list, serial execution
-(``jobs=1``), parallel execution (``jobs=N``), and a cache replay all
-return bit-identical summaries.  Workers reduce each simulation to a
+(``jobs=1``), fabric execution (``jobs=N``), a chaos-interrupted
+fabric run, a ``--resume`` continuation, and a cache replay all return
+bit-identical summaries.  Workers reduce each simulation to a
 JSON-able dict whose float fields carry ``float.hex()`` twins
 (``*_hex`` keys), so the contract survives a JSON round-trip through
 the cache exactly.
 
+Robustness: the fabric survives worker SIGKILLs, hangs and OOM kills
+(leases + heartbeats + respawn); on *fabric* failure — respawn budget
+exhausted, fork unavailable — ``run_tasks`` degrades gracefully to the
+serial executor and still finishes the sweep.  Every completed task is
+checkpointed to the cache immediately, so a killed sweep (master
+included) continues from the last completed task.
+
 The cache reuses :func:`repro.adcl.history.atomic_write_json`: one
 file per task, named by the SHA-256 of the task key, written
-crash-safely so concurrent workers (or concurrent sweeps sharing a
-cache directory) never tear each other's entries.
+crash-safely behind an ``O_EXCL`` lock file so concurrent sweeps
+sharing a cache directory never tear or duplicate each other's
+entries.
 """
 
 from __future__ import annotations
@@ -33,8 +42,8 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
-import multiprocessing
 import os
+import time
 from typing import Any, Callable, Optional, Sequence
 
 from ..adcl.history import atomic_write_json
@@ -94,11 +103,22 @@ class ResultCache:
 
     One JSON file per task under ``directory``, named by the SHA-256 of
     the key and written with ``atomic_write_json`` (unique temp file +
-    fsync + atomic rename), so concurrent writers are safe.  Each file
-    stores ``{"key": ..., "result": ...}``; the stored key is verified
-    on read so a (vanishingly unlikely) digest collision degrades to a
-    miss, never a wrong answer.
+    fsync + atomic rename), so a reader never sees a torn entry.  Each
+    file stores ``{"key": ..., "result": ...}``; the stored key is
+    verified on read so a (vanishingly unlikely) digest collision
+    degrades to a miss, never a wrong answer.
+
+    Concurrent writers — two sweeps sharing ``--result-cache`` — are
+    serialized per key by an ``O_EXCL`` lock file.  A writer that loses
+    the race simply skips its write (``lock_skips``): results are a
+    pure function of the key, so first-writer-wins loses nothing.  A
+    lock whose holder pid is dead — or, when no pid is readable, one
+    older than ``STALE_LOCK_S`` — belonged to a crashed writer and is
+    broken.
     """
+
+    #: a lock file older than this is a crashed writer's leftovers
+    STALE_LOCK_S = 30.0
 
     def __init__(self, directory: str):
         self.directory = directory
@@ -106,6 +126,7 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.lock_skips = 0
 
     def path_for(self, key: str) -> str:
         digest = hashlib.sha256(key.encode("utf-8")).hexdigest()
@@ -125,9 +146,66 @@ class ResultCache:
         self.hits += 1
         return entry.get("result")
 
+    def _acquire_lock(self, path: str) -> Optional[int]:
+        """Try the per-key ``O_EXCL`` lock; None when another live
+        writer holds it.  Breaks locks left by crashed writers: a lock
+        whose recorded holder pid is dead (e.g. a SIGKILLed sweep that
+        ``--resume`` is now continuing) is broken immediately; one with
+        no readable pid only after ``STALE_LOCK_S``."""
+        lock = path + ".lock"
+        for attempt in (0, 1):
+            try:
+                return os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY,
+                               0o644)
+            except FileExistsError:
+                if attempt:
+                    return None
+                if not self._lock_is_stale(lock):
+                    return None
+                try:
+                    os.unlink(lock)  # crashed writer: break the lock
+                except OSError:
+                    return None
+        return None
+
+    def _lock_is_stale(self, lock: str) -> bool:
+        try:
+            with open(lock, encoding="ascii") as fh:
+                holder = int(fh.read().strip() or "0")
+        except (OSError, ValueError):
+            holder = 0
+        if holder > 0 and holder != os.getpid():
+            try:
+                os.kill(holder, 0)
+            except ProcessLookupError:
+                return True  # the holder died without releasing
+            except PermissionError:
+                pass  # alive, just not ours to signal
+        try:
+            age = time.time() - os.stat(lock).st_mtime
+        except OSError:
+            return False  # holder just released; caller retries the open
+        return age >= self.STALE_LOCK_S
+
     def put(self, key: str, result: Any) -> None:
-        atomic_write_json(self.path_for(key), {"key": key, "result": result})
-        self.stores += 1
+        path = self.path_for(key)
+        fd = self._acquire_lock(path)
+        if fd is None:
+            # another sweep is writing this key right now; its result
+            # is bit-identical by the determinism contract, so losing
+            # the race is free
+            self.lock_skips += 1
+            return
+        try:
+            os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+            os.close(fd)
+            atomic_write_json(path, {"key": key, "result": result})
+            self.stores += 1
+        finally:
+            try:
+                os.unlink(path + ".lock")
+            except OSError:
+                pass
 
     def __len__(self) -> int:
         return sum(1 for name in os.listdir(self.directory)
@@ -144,6 +222,7 @@ class ResultCache:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "lock_skips": self.lock_skips,
             "entries": len(self),
             "hit_rate": round(self.hit_rate, 4),
         }
@@ -154,29 +233,36 @@ class ResultCache:
 # ---------------------------------------------------------------------------
 
 
-def _pool_context() -> multiprocessing.context.BaseContext:
-    # fork keeps workers cheap (no re-import) and lets them inherit the
-    # warm schedule cache; fall back to the platform default elsewhere
-    if "fork" in multiprocessing.get_all_start_methods():
-        return multiprocessing.get_context("fork")
-    return multiprocessing.get_context()
-
-
 def run_tasks(
     tasks: Sequence[tuple[str, Any]],
     worker: Callable[[Any], Any],
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    fabric: Optional["FabricConfig"] = None,
 ) -> list:
     """Run ``worker(payload)`` for every ``(key, payload)`` task.
 
     Results come back in task order.  Cached tasks are served from
-    ``cache`` without running; computed results are written back to it.
-    With ``jobs > 1`` the non-cached tasks run on a process pool —
-    ``worker`` must be a picklable module-level callable and payloads
-    must be picklable.  ``pool.map`` preserves order, so parallel
-    execution is observationally identical to serial execution.
+    ``cache`` without running (this is also the ``--resume`` path: the
+    cache *is* the sweep checkpoint); computed results are written
+    back to it as each task completes.
+
+    With ``jobs > 1`` the non-cached tasks run on the resilient
+    master/worker fabric (:mod:`repro.bench.fabric`) — long-lived
+    forked workers, leases, heartbeats, respawn, work stealing.
+    ``worker`` must be a module-level callable and payloads picklable.
+    Results commit keyed by task identity, so fabric execution is
+    observationally identical to serial execution.  ``fabric``
+    optionally supplies a tuned :class:`~repro.bench.fabric.
+    FabricConfig` (its metrics registry collects the run's telemetry).
+
+    Graceful degradation: if the fabric cannot keep workers alive
+    (respawn budget exhausted, ``fork`` unavailable), the remaining
+    tasks finish on the in-process serial executor — a sweep never
+    dies of fabric trouble.
     """
+    from .fabric.master import FabricConfig, FabricError, run_tasks_fabric
+
     results: list = [None] * len(tasks)
     todo: list[int] = []
     for i, (key, _payload) in enumerate(tasks):
@@ -187,18 +273,37 @@ def run_tasks(
                 continue
         todo.append(i)
 
-    if todo:
-        payloads = [tasks[i][1] for i in todo]
-        if jobs > 1 and len(todo) > 1:
-            ctx = _pool_context()
-            with ctx.Pool(processes=min(jobs, len(todo))) as pool:
-                computed = pool.map(worker, payloads)
-        else:
-            computed = [worker(payload) for payload in payloads]
-        for i, result in zip(todo, computed):
-            results[i] = result
-            if cache is not None:
-                cache.put(tasks[i][0], result)
+    if fabric is not None:
+        fabric.metrics.counter("fabric.resume.hits").inc(
+            len(tasks) - len(todo))
+        fabric.metrics.counter("fabric.tasks.total").inc(len(tasks))
+
+    if not todo:
+        return results
+
+    sub = [tasks[i] for i in todo]
+    done: dict[int, Any] = {}
+    if jobs > 1 and len(sub) > 1:
+        config = fabric if fabric is not None else FabricConfig()
+        try:
+            computed = run_tasks_fabric(sub, worker, jobs, cache=cache,
+                                        config=config)
+            for j, result in enumerate(computed):
+                done[j] = result
+        except FabricError as exc:
+            # the fabric is gone; keep its partial results (already
+            # checkpointed) and finish the rest serially
+            config.metrics.counter("fabric.fallback.serial").inc()
+            done.update(exc.partial)
+    for j in range(len(sub)):
+        if j in done:
+            results[todo[j]] = done[j]
+            continue
+        result = worker(sub[j][1])
+        results[todo[j]] = result
+        done[j] = result
+        if cache is not None:
+            cache.put(sub[j][0], result)
     return results
 
 
@@ -257,6 +362,7 @@ def sweep_implementations(
     cache: Optional[ResultCache] = None,
     derive_seeds: bool = True,
     trace: bool = False,
+    fabric: Optional["FabricConfig"] = None,
 ) -> list[dict]:
     """Time every implementation of ``config.operation`` (the ``sweep``
     command), optionally in parallel and/or against a result cache.
@@ -284,7 +390,8 @@ def sweep_implementations(
             if trace else key
         )
         tasks.append((cache_key, (cfg, i, fn.name, trace)))
-    return run_tasks(tasks, _sweep_worker, jobs=jobs, cache=cache)
+    return run_tasks(tasks, _sweep_worker, jobs=jobs, cache=cache,
+                     fabric=fabric)
 
 
 def _fft_worker(payload) -> dict:
@@ -308,6 +415,7 @@ def fft_methods(
     methods: Sequence[str],
     jobs: int = 1,
     cache: Optional[ResultCache] = None,
+    fabric: Optional["FabricConfig"] = None,
 ) -> list[dict]:
     """Run the FFT kernel once per method (the ``fft`` command)."""
     tasks = []
@@ -315,4 +423,5 @@ def fft_methods(
         cfg = dataclasses.replace(config, method=method)
         key = task_key("fft", config=cfg)
         tasks.append((key, (cfg, method)))
-    return run_tasks(tasks, _fft_worker, jobs=jobs, cache=cache)
+    return run_tasks(tasks, _fft_worker, jobs=jobs, cache=cache,
+                     fabric=fabric)

@@ -27,6 +27,8 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
+import sys
 import time
 from typing import Optional, Sequence
 
@@ -126,15 +128,38 @@ def build_parser() -> argparse.ArgumentParser:
     def perf_flags(p, parallel: bool = True):
         if parallel:
             p.add_argument("--jobs", type=int, default=1, metavar="N",
-                           help="worker processes to fan simulations out "
-                                "over (1 = serial; results are bit-identical "
-                                "either way)")
+                           help="fabric worker processes to fan simulations "
+                                "out over (1 = serial; results are "
+                                "bit-identical either way)")
             p.add_argument("--result-cache", default=None, metavar="DIR",
                            help="keyed on-disk result cache directory; "
-                                "repeated runs reuse finished simulations")
+                                "repeated runs reuse finished simulations "
+                                "and every completed task is checkpointed "
+                                "to it immediately")
+            p.add_argument("--resume", action="store_true",
+                           help="continue a killed sweep from the last "
+                                "completed task in --result-cache "
+                                "(requires --result-cache)")
+            p.add_argument("--task-timeout", type=float, default=60.0,
+                           metavar="S",
+                           help="fabric lease deadline per task in wall "
+                                "seconds; an expired lease is reassigned "
+                                "to another worker (default 60)")
+            p.add_argument("--fabric-metrics", default=None, metavar="PATH",
+                           help="write the sweep fabric's telemetry "
+                                "(spawns, respawns, lease expiries, "
+                                "steals) as a JSON metrics snapshot")
+            p.add_argument("--chaos-kill-workers", type=int, default=0,
+                           metavar="N",
+                           help="chaos harness: SIGKILL N random fabric "
+                                "workers mid-sweep (results must stay "
+                                "bit-identical; used by CI)")
+            p.add_argument("--chaos-seed", type=int, default=0,
+                           help="seed for the chaos worker-killer RNG")
         p.add_argument("--stats", action="store_true",
                        help="print wall-clock time, events dispatched, "
-                            "events/sec and schedule-cache hit rate")
+                            "events/sec, schedule-cache hit rate and "
+                            "fabric counters")
 
     def obs_flags(p):
         p.add_argument("--trace", default=None, metavar="PATH",
@@ -211,8 +236,10 @@ def build_parser() -> argparse.ArgumentParser:
 
 
 def _print_stats(wall: float, events: int, cache: Optional[ResultCache],
-                 engine: Optional[dict] = None) -> None:
-    """The ``--stats`` footer: wall-clock + throughput + cache efficacy."""
+                 engine: Optional[dict] = None,
+                 fabric=None) -> None:
+    """The ``--stats`` footer: wall-clock + throughput + cache efficacy
+    + (for fabric runs) the PR-4 metrics-registry fabric counters."""
     rate = events / wall if wall > 0 else float("inf")
     print(f"\nwall-clock            {wall:.3f} s")
     print(f"events dispatched     {events}")
@@ -230,6 +257,24 @@ def _print_stats(wall: float, events: int, cache: Optional[ResultCache],
         print(f"result cache          hit rate {cstats['hit_rate']:.1%} "
               f"({cstats['hits']} hits / {cstats['misses']} misses) "
               f"-> {cstats['directory']}")
+    if fabric is not None:
+        f = fabric.stats()
+
+        def c(name):
+            return f.get(f"fabric.{name}", 0)
+
+        total = c("tasks.total") or 1
+        print(f"sweep fabric          {c('workers.spawned')} workers "
+              f"spawned ({c('workers.respawned')} respawned, "
+              f"{c('workers.died')} died), "
+              f"{c('leases.expired')} leases expired, "
+              f"{c('tasks.stolen')} tasks stolen, "
+              f"{c('tasks.quarantined')} quarantined")
+        print(f"fabric resume         {c('resume.hits')}/{total} tasks "
+              f"served from the checkpoint "
+              f"({c('resume.hits') / total:.1%} hit rate)"
+              + (", serial fallback engaged"
+                 if c("fallback.serial") else ""))
 
 
 def _write_obs_outputs(args, scenario: str, tasks, audit, metrics) -> None:
@@ -287,17 +332,53 @@ def cmd_platforms() -> int:
     return 0
 
 
+def _fabric_config(args, cache):
+    """Build the sweep-fabric configuration for a parallel command.
+
+    Returns ``None`` for serial runs.  ``--resume`` is only meaningful
+    against a checkpoint, so it demands ``--result-cache``.
+    """
+    from .bench.fabric import FabricConfig
+
+    if getattr(args, "resume", False) and cache is None:
+        print("error: --resume continues a sweep from its checkpoint; "
+              "pass the sweep's --result-cache DIR as well",
+              file=sys.stderr)
+        raise SystemExit(2)  # argparse's usage-error convention
+    if args.jobs <= 1:
+        return None
+    defects = (os.path.join(args.result_cache, "fabric_defects.json")
+               if args.result_cache else None)
+    return FabricConfig(
+        task_timeout=args.task_timeout,
+        chaos_kills=getattr(args, "chaos_kill_workers", 0),
+        chaos_seed=getattr(args, "chaos_seed", 0),
+        defects_path=defects,
+    )
+
+
+def _finish_fabric(args, fabric) -> None:
+    """Post-run fabric outputs: the --fabric-metrics snapshot."""
+    if fabric is not None and getattr(args, "fabric_metrics", None):
+        fabric.metrics.dump(args.fabric_metrics, scope="sweep-fabric")
+        print(f"fabric metrics written to {args.fabric_metrics}")
+
+
 def cmd_sweep(args) -> int:
     cfg = _overlap_config(args)
     fnset = function_set_for(args.operation)
     cache = ResultCache(args.result_cache) if args.result_cache else None
+    fabric = _fabric_config(args, cache)
     trace_on = bool(args.trace or args.metrics)
-    where = f" ({args.jobs} jobs)" if args.jobs > 1 else ""
+    where = f" ({args.jobs} fabric workers)" if args.jobs > 1 else ""
     print(f"sweeping {len(fnset)} implementations of {cfg.describe()}{where} ...")
     t0 = time.perf_counter()
     rows = sweep_implementations(cfg, jobs=args.jobs, cache=cache,
-                                 trace=trace_on)
+                                 trace=trace_on, fabric=fabric)
     wall = time.perf_counter() - t0
+    if args.resume and cache is not None:
+        print(f"resumed: {cache.hits}/{len(rows)} tasks served from the "
+              f"checkpoint in {cache.directory}")
     times = {row["name"]: row["mean_iteration"] for row in rows}
     print()
     print(format_bars(times, title="mean iteration time per implementation"))
@@ -316,7 +397,8 @@ def cmd_sweep(args) -> int:
             for k, v in (row.get("engine_stats") or {}).items():
                 engine[k] = engine.get(k, 0) + v
         _print_stats(wall, sum(row["events"] for row in rows), cache,
-                     engine or None)
+                     engine or None, fabric=fabric)
+    _finish_fabric(args, fabric)
     return 0
 
 
@@ -414,9 +496,14 @@ def cmd_fft(args) -> int:
         evals_per_function=2,
     )
     cache = ResultCache(args.result_cache) if args.result_cache else None
+    fabric = _fabric_config(args, cache)
     t0 = time.perf_counter()
-    summaries = fft_methods(cfg, args.methods, jobs=args.jobs, cache=cache)
+    summaries = fft_methods(cfg, args.methods, jobs=args.jobs, cache=cache,
+                            fabric=fabric)
     wall = time.perf_counter() - t0
+    if args.resume and cache is not None:
+        print(f"resumed: {cache.hits}/{len(summaries)} tasks served from "
+              f"the checkpoint in {cache.directory}")
     rows = [
         [
             row["method"],
@@ -431,7 +518,9 @@ def cmd_fft(args) -> int:
         rows,
     ))
     if args.stats:
-        _print_stats(wall, sum(row["events"] for row in summaries), cache)
+        _print_stats(wall, sum(row["events"] for row in summaries), cache,
+                     fabric=fabric)
+    _finish_fabric(args, fabric)
     return 0
 
 

@@ -58,6 +58,23 @@ class AuditLog:
             "name": fn_name, "evidence": evidence,
         })
 
+    def defect(self, component: str, key: str, reason: str,
+               **extra) -> None:
+        """Record a machine-readable defect report.
+
+        Used by subsystems outside the tuner proper — e.g. the sweep
+        fabric quarantining a poison task (a task that killed several
+        workers) or flagging a determinism violation between duplicate
+        executions.  ``extra`` fields must be JSON-able.
+        """
+        entry = {"kind": "defect", "component": component, "key": key,
+                 "reason": reason}
+        entry.update(extra)
+        self.entries.append(entry)
+
+    def defects(self) -> List[dict]:
+        return [e for e in self.entries if e["kind"] == "defect"]
+
     # -- accessors ----------------------------------------------------------
 
     def __len__(self) -> int:
@@ -102,6 +119,9 @@ class AuditLog:
                 continue  # implied by the measurement feed
             if kind == "quarantine":
                 lines.append(f"quarantined {e['name']!r}: {e['reason']}")
+            elif kind == "defect":
+                lines.append(f"defect [{e.get('component', '?')}] "
+                             f"{e.get('key', '?')}: {e['reason']}")
             elif kind == "retune":
                 lines.append(f"drift detected at iteration {e['it']}: "
                              f"tuning re-opened")

@@ -144,6 +144,17 @@ class MetricsRegistry:
         return {name: self._metrics[name].snapshot()  # type: ignore[attr-defined]
                 for name in sorted(self._metrics)}
 
+    def dump(self, path: str, scope: str = "") -> None:
+        """Write the snapshot as a JSON document (sorted, trailing
+        newline) — the on-disk form CI archives as an artifact, e.g.
+        the sweep fabric's telemetry after a chaos run."""
+        import json
+
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"scope": scope, "metrics": self.snapshot()}, fh,
+                      sort_keys=True, indent=2)
+            fh.write("\n")
+
 
 def merge_snapshots(snapshots: Sequence[dict]) -> dict:
     """Merge metric snapshots from several runs/workers into one.

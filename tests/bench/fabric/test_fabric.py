@@ -1,0 +1,150 @@
+"""End-to-end fabric tests with real forked worker processes.
+
+Worker callables are module-level so the forked children (which
+inherit this module) can run them; the poison task distinguishes
+worker execution from the master's inline fallback via the
+``REPRO_FABRIC_WORKER`` env var the worker loop exports.
+"""
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.bench.fabric import FabricConfig, run_tasks_fabric
+from repro.bench.fabric.master import FabricTaskError, fork_available
+from repro.bench.parallel import run_tasks
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="fabric needs the fork start method")
+
+
+def _square(payload):
+    return {"task": payload, "value": payload * payload}
+
+
+def _sleepy(payload):
+    time.sleep(payload)
+    return {"slept": payload, "slept_hex": float(payload).hex()}
+
+
+def _die_on_poison(payload):
+    if payload == "poison" and os.environ.get("REPRO_FABRIC_WORKER"):
+        os.kill(os.getpid(), signal.SIGKILL)
+    return {"payload": payload}
+
+
+def _boom(payload):
+    raise ValueError(f"task {payload} is broken")
+
+
+def _tasks(n):
+    return [(f"k{i}", i) for i in range(n)]
+
+
+def test_fabric_matches_serial():
+    tasks = _tasks(12)
+    serial = [_square(p) for _k, p in tasks]
+    cfg = FabricConfig(task_timeout=30.0)
+    assert run_tasks_fabric(tasks, _square, jobs=3, config=cfg) == serial
+    stats = cfg.stats()
+    assert stats["fabric.tasks.completed"] == 12
+    assert stats["fabric.workers.spawned"] == 3
+
+
+def test_fabric_empty_task_list():
+    assert run_tasks_fabric([], _square, jobs=2) == []
+
+
+def test_poison_task_is_quarantined_and_completed_inline(tmp_path):
+    defects_path = str(tmp_path / "defects.json")
+    tasks = [("p", "poison"), ("a", "a"), ("b", "b")]
+    cfg = FabricConfig(task_timeout=30.0, poison_worker_kills=2,
+                       max_respawns=16, defects_path=defects_path)
+    out = run_tasks_fabric(tasks, _die_on_poison, jobs=2, config=cfg)
+    assert out == [{"payload": "poison"}, {"payload": "a"},
+                   {"payload": "b"}]
+    stats = cfg.stats()
+    assert stats["fabric.tasks.quarantined"] == 1
+    assert stats["fabric.workers.died"] >= 2
+    # the defect is machine-readable in the PR-4 audit-log schema
+    defects = cfg.audit.defects()
+    assert len(defects) == 1
+    assert defects[0]["kind"] == "defect"
+    assert defects[0]["component"] == "fabric"
+    assert defects[0]["key"] == "p"
+    assert defects[0]["worker_kills"] == 2
+    import json
+    with open(defects_path, encoding="utf-8") as fh:
+        on_disk = json.load(fh)
+    assert on_disk["defects"] == defects
+
+
+def test_worker_death_respawns_and_sweep_completes():
+    tasks = _tasks(8)
+    serial = [_square(p) for _k, p in tasks]
+    cfg = FabricConfig(task_timeout=30.0, chaos_kills=2, chaos_seed=7)
+    assert run_tasks_fabric(tasks, _square, jobs=2, config=cfg) == serial
+    stats = cfg.stats()
+    assert stats["fabric.chaos.kills"] == 2
+    assert stats["fabric.workers.died"] >= 1
+
+
+def test_work_stealing_rescues_a_straggler():
+    # one 0.8s straggler plus fast tasks on 2 workers: once the fast
+    # ones drain, the idle worker steals the straggler's lease
+    tasks = [("slow", 0.8)] + [(f"f{i}", 0.01) for i in range(5)]
+    expected = [{"slept": p, "slept_hex": float(p).hex()}
+                for _k, p in tasks]
+    cfg = FabricConfig(task_timeout=30.0, steal_min_age=0.1)
+    out = run_tasks_fabric(tasks, _sleepy, jobs=2, config=cfg)
+    assert out == expected
+    stats = cfg.stats()
+    assert stats.get("fabric.tasks.stolen", 0) >= 1
+    # exactly one execution won; the other was deduped by fingerprint
+    assert stats.get("fabric.defects.determinism", 0) == 0
+
+
+def test_lease_expiry_reassigns_the_task():
+    tasks = [("slow", 0.9), ("fast", 0.01)]
+    cfg = FabricConfig(task_timeout=0.3, steal_min_age=10.0,
+                       heartbeat_timeout=5.0)
+    out = run_tasks_fabric(tasks, _sleepy, jobs=2, config=cfg)
+    assert out == [{"slept": p, "slept_hex": float(p).hex()}
+                   for _k, p in tasks]
+    assert cfg.stats().get("fabric.leases.expired", 0) >= 1
+
+
+def test_task_exception_propagates_not_retried():
+    with pytest.raises(FabricTaskError) as excinfo:
+        run_tasks_fabric(_tasks(3), _boom, jobs=2,
+                         config=FabricConfig(task_timeout=30.0))
+    assert "is broken" in str(excinfo.value)
+
+
+def test_run_tasks_falls_back_to_serial_on_fabric_failure():
+    # kill every worker on commit with a zero respawn budget: the
+    # fabric aborts and run_tasks must still finish the sweep serially
+    tasks = _tasks(10)
+    serial = [_square(p) for _k, p in tasks]
+    cfg = FabricConfig(task_timeout=30.0, max_respawns=0,
+                       chaos_kills=50, chaos_seed=3)
+    out = run_tasks(tasks, _square, jobs=2, fabric=cfg)
+    assert out == serial
+    assert cfg.stats().get("fabric.fallback.serial") == 1
+
+
+def test_run_tasks_fabric_checkpoints_to_cache(tmp_path):
+    from repro.bench.parallel import ResultCache
+
+    cache = ResultCache(str(tmp_path / "ck"))
+    tasks = _tasks(6)
+    cfg = FabricConfig(task_timeout=30.0)
+    first = run_tasks(tasks, _square, jobs=2, cache=cache, fabric=cfg)
+    assert cache.stores == len(tasks)
+    # a 'resumed' run is served entirely from the checkpoint
+    cfg2 = FabricConfig()
+    again = run_tasks(tasks, _square, jobs=2, cache=cache, fabric=cfg2)
+    assert again == first
+    assert cfg2.stats()["fabric.resume.hits"] == len(tasks)

@@ -1,0 +1,181 @@
+"""Lease state machine: unit behaviour + the hypothesis property that
+any interleaving of deaths/expiries/steals/completions commits exactly
+the serial executor's task→result map."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench.fabric.leases import LeaseTable, TaskState
+
+
+def _result(task: int) -> dict:
+    """The 'serial executor' answer for a task: a pure function of the
+    task identity, like every real sweep task."""
+    return {"task": task, "value": task * task}
+
+
+# ---------------------------------------------------------------------------
+# unit behaviour
+# ---------------------------------------------------------------------------
+
+
+def test_assign_complete_happy_path():
+    table = LeaseTable(3, task_timeout=10.0)
+    leases = [table.next_task(worker=w, now=0.0) for w in range(3)]
+    assert [l.task for l in leases] == [0, 1, 2]
+    assert table.state(0) is TaskState.LEASED
+    for lease in leases:
+        assert table.complete(lease.task, lease.worker, _result(lease.task))
+    assert table.done()
+    assert table.results() == {i: _result(i) for i in range(3)}
+
+
+def test_worker_death_requeues_and_eventually_poisons():
+    table = LeaseTable(1, task_timeout=10.0, poison_worker_kills=2)
+    lease = table.next_task(worker=0, now=0.0)
+    requeued, poisoned = table.worker_died(0)
+    assert requeued == [lease.task] and poisoned == []
+    assert table.state(0) is TaskState.PENDING
+
+    lease = table.next_task(worker=1, now=1.0)
+    requeued, poisoned = table.worker_died(1)
+    assert requeued == [] and poisoned == [0]
+    assert table.state(0) is TaskState.POISONED
+    assert table.done()  # poisoned counts toward done()
+    # the master's inline fallback still commits the answer
+    table.commit_inline(0, _result(0))
+    assert table.results() == {0: _result(0)}
+    assert table.state(0) is TaskState.DONE
+
+
+def test_lease_expiry_requeues_without_counting_a_kill():
+    table = LeaseTable(1, task_timeout=1.0, poison_worker_kills=2)
+    table.next_task(worker=0, now=0.0)
+    expired = table.expire(now=2.0)
+    assert [l.task for l in expired] == [0]
+    assert table.kills(0) == 0
+    assert table.state(0) is TaskState.PENDING
+    assert table.leases_expired == 1
+    # the original worker's late result still commits (first wins)
+    assert table.complete(0, 0, _result(0))
+
+
+def test_steal_only_when_pending_drained_and_clones_bounded():
+    table = LeaseTable(2, task_timeout=10.0, max_clones=2,
+                       steal_min_age=0.0)
+    l0 = table.next_task(worker=0, now=0.0)
+    table.next_task(worker=1, now=0.5)
+    # worker 2 idle, pending empty -> steals the *oldest* lease (task 0)
+    steal = table.next_task(worker=2, now=1.0)
+    assert steal.stolen and steal.task == l0.task
+    # clones capped at 2: no third lease on task 0; worker 3 clones task 1
+    steal2 = table.next_task(worker=3, now=1.1)
+    assert steal2.stolen and steal2.task == 1
+    assert table.next_task(worker=4, now=1.2) is None
+    # the loser of the race is a duplicate
+    assert table.complete(0, 2, _result(0)) is True
+    assert table.complete(0, 0, _result(0)) is False
+    assert table.duplicate_results == 1
+
+
+def test_steal_respects_min_age():
+    table = LeaseTable(1, task_timeout=10.0, steal_min_age=5.0)
+    table.next_task(worker=0, now=0.0)
+    assert table.next_task(worker=1, now=1.0) is None  # too young
+    steal = table.next_task(worker=1, now=6.0)
+    assert steal is not None and steal.stolen
+
+
+def test_worker_never_steals_its_own_lease():
+    table = LeaseTable(1, task_timeout=10.0, steal_min_age=0.0)
+    table.next_task(worker=0, now=0.0)
+    assert table.next_task(worker=0, now=9.0) is None
+
+
+# ---------------------------------------------------------------------------
+# the property: interleavings never change the committed map
+# ---------------------------------------------------------------------------
+
+
+@settings(deadline=None, max_examples=60)
+@given(st.data())
+def test_any_interleaving_commits_the_serial_map(data):
+    """Drive the table through an arbitrary interleaving of assigns,
+    completions, worker deaths and mass lease expiries; afterwards the
+    committed task→result map must equal the serial executor's, with
+    every task committed exactly once."""
+    n_tasks = data.draw(st.integers(1, 6), label="n_tasks")
+    table = LeaseTable(n_tasks, task_timeout=5.0, poison_worker_kills=3,
+                       steal_min_age=0.0)
+    expected = {i: _result(i) for i in range(n_tasks)}
+
+    now = 0.0
+    free = [0, 1, 2]
+    busy = {}  # worker -> task it believes it is running
+    next_wid = 3
+    first_commits = []
+
+    def commit(task, worker):
+        if table.complete(task, worker, _result(task)):
+            first_commits.append(task)
+
+    for _ in range(data.draw(st.integers(5, 50), label="steps")):
+        if table.done():
+            break
+        now += data.draw(
+            st.floats(0.01, 2.0, allow_nan=False), label="dt")
+        actions = []
+        if free:
+            actions.append("assign")
+        if busy:
+            actions.extend(["complete", "die", "expire"])
+        action = data.draw(st.sampled_from(actions), label="action")
+        if action == "assign":
+            worker = free.pop(0)
+            lease = table.next_task(worker, now)
+            if lease is None:
+                free.append(worker)
+            else:
+                busy[worker] = lease.task
+        elif action == "complete":
+            worker = data.draw(
+                st.sampled_from(sorted(busy)), label="who")
+            commit(busy.pop(worker), worker)
+            free.append(worker)
+        elif action == "die":
+            worker = data.draw(
+                st.sampled_from(sorted(busy)), label="victim")
+            busy.pop(worker)
+            _requeued, poisoned = table.worker_died(worker)
+            for task in poisoned:  # the master's inline fallback
+                table.commit_inline(task, _result(task))
+                first_commits.append(task)
+            free.append(next_wid)  # replacement worker (fresh id)
+            next_wid += 1
+        else:  # expire every outstanding lease; holders keep running
+            table.expire(now + table.task_timeout + 1.0)
+            now += table.task_timeout + 1.0
+
+    # deterministic drain: finish every queued and in-flight task
+    guard = 0
+    while not table.done():
+        guard += 1
+        assert guard < 10 * n_tasks + 20, "drain failed to make progress"
+        now += 1.0
+        while free:
+            worker = free.pop(0)
+            lease = table.next_task(worker, now)
+            if lease is None:
+                free.append(worker)
+                break
+            busy[worker] = lease.task
+        if busy:
+            worker = sorted(busy)[0]
+            commit(busy.pop(worker), worker)
+            free.append(worker)
+        for task in table.poisoned():
+            table.commit_inline(task, _result(task))
+            first_commits.append(task)
+
+    assert table.results() == expected
+    assert sorted(first_commits) == sorted(expected)  # exactly once each

@@ -1,0 +1,81 @@
+"""Unit tests for the fabric wire protocol (framing + fingerprints)."""
+
+import socket
+
+import pytest
+
+from repro.bench.fabric.protocol import (
+    FrameReader,
+    ProtocolError,
+    recv_frame,
+    result_fingerprint,
+    send_frame,
+)
+
+
+def test_send_recv_roundtrip():
+    a, b = socket.socketpair()
+    try:
+        msg = ("task", 3, "key:x", {"payload": [1, 2.5, "s"]})
+        send_frame(a, msg)
+        assert recv_frame(b) == msg
+    finally:
+        a.close()
+        b.close()
+
+
+def test_recv_returns_none_on_clean_eof():
+    a, b = socket.socketpair()
+    a.close()
+    try:
+        assert recv_frame(b) is None
+    finally:
+        b.close()
+
+
+def test_recv_raises_on_eof_inside_frame():
+    a, b = socket.socketpair()
+    try:
+        a.sendall(b"\x00\x00\x00\x10partial")  # promises 16 bytes, sends 7
+        a.close()
+        with pytest.raises(ProtocolError):
+            recv_frame(b)
+    finally:
+        b.close()
+
+
+def test_frame_reader_handles_byte_at_a_time_delivery():
+    import pickle
+    import struct
+
+    messages = [("hb", 1, i) for i in range(3)] + [
+        ("result", 0, "k", "fp", {"x": 1.5})]
+    wire = b""
+    for msg in messages:
+        body = pickle.dumps(msg)
+        wire += struct.pack(">I", len(body)) + body
+
+    reader = FrameReader()
+    seen = []
+    for i in range(len(wire)):
+        reader.feed(wire[i:i + 1])
+        seen.extend(reader.frames())
+    assert seen == messages
+    assert reader.pending_bytes() == 0
+
+
+def test_frame_reader_rejects_oversized_length():
+    reader = FrameReader()
+    reader.feed(b"\xff\xff\xff\xff")
+    with pytest.raises(ProtocolError):
+        list(reader.frames())
+
+
+def test_result_fingerprint_is_canonical():
+    a = result_fingerprint({"x": 1.5, "y": [1, 2]})
+    b = result_fingerprint({"y": [1, 2], "x": 1.5})  # key order irrelevant
+    assert a == b
+    assert result_fingerprint({"x": 1.5, "y": [1, 3]}) != a
+    # hex twins make the fingerprint bit-exact for floats
+    assert result_fingerprint({"t": (0.1 + 0.2)}) != result_fingerprint(
+        {"t": 0.3})

@@ -1,6 +1,11 @@
 """Unit tests for the parallel sweep executor and its determinism contract."""
 
 import json
+import os
+import random
+import subprocess
+import sys
+import time
 
 import pytest
 
@@ -78,6 +83,104 @@ def test_result_cache_corrupt_file_degrades_to_miss(tmp_path):
     with open(cache.path_for("k"), "w", encoding="utf-8") as fh:
         fh.write("{not json")
     assert cache.get("k") is None
+
+
+# ---------------------------------------------------------------------------
+# concurrent writers (two sweeps sharing one --result-cache)
+# ---------------------------------------------------------------------------
+
+
+def test_result_cache_held_lock_skips_the_write(tmp_path):
+    cache = ResultCache(str(tmp_path / "c"))
+    lock = cache.path_for("k") + ".lock"
+    with open(lock, "w", encoding="utf-8") as fh:
+        fh.write(f"{os.getpid()}\n")  # a live writer holds the lock
+    cache.put("k", {"x": 1})
+    assert cache.lock_skips == 1
+    assert cache.stores == 0
+    assert cache.get("k") is None
+    assert os.path.exists(lock)  # not ours to remove
+
+
+def test_result_cache_breaks_lock_of_dead_holder(tmp_path):
+    """A --resume run must not be blocked by the lock a SIGKILLed
+    sweep left behind seconds earlier: the holder pid is dead, so the
+    lock is broken immediately (no 30 s stale wait)."""
+    import subprocess as sp
+
+    holder = sp.Popen([sys.executable, "-c", "pass"])
+    holder.wait()  # pid is now guaranteed dead (and reaped)
+    cache = ResultCache(str(tmp_path / "c"))
+    lock = cache.path_for("k") + ".lock"
+    with open(lock, "w", encoding="utf-8") as fh:
+        fh.write(f"{holder.pid}\n")
+    cache.put("k", {"x": 1})
+    assert cache.stores == 1
+    assert cache.get("k") == {"x": 1}
+    assert not os.path.exists(lock)
+
+
+def test_result_cache_breaks_stale_lock(tmp_path):
+    cache = ResultCache(str(tmp_path / "c"))
+    lock = cache.path_for("k") + ".lock"
+    with open(lock, "w", encoding="utf-8") as fh:
+        fh.write("666\n")
+    old = time.time() - ResultCache.STALE_LOCK_S - 5.0
+    os.utime(lock, (old, old))  # the holder crashed long ago
+    cache.put("k", {"x": 1})
+    assert cache.stores == 1
+    assert cache.get("k") == {"x": 1}
+    assert not os.path.exists(lock)
+
+
+def _hammer_cache(directory, worker_seed, n_keys, out_path):
+    """Subprocess body: race puts/gets against a sibling process."""
+    cache = ResultCache(directory)
+    rng = random.Random(worker_seed)
+    for _ in range(300):
+        k = f"key{rng.randrange(n_keys)}"
+        if rng.random() < 0.6:
+            cache.put(k, {"key": k, "payload": [1, 2.5, k]})
+        else:
+            got = cache.get(k)
+            assert got is None or got == {"key": k, "payload": [1, 2.5, k]}
+    with open(out_path, "w", encoding="utf-8") as fh:
+        json.dump(cache.stats(), fh)
+
+
+def test_result_cache_two_process_hammer(tmp_path):
+    """Two real processes hammering the same keys: every surviving
+    entry is complete and correct, and no lock files are left behind."""
+    directory = str(tmp_path / "shared")
+    n_keys = 8
+    procs = []
+    for seed in (1, 2):
+        out = str(tmp_path / f"stats{seed}.json")
+        code = (
+            "import sys; sys.path.insert(0, 'src'); "
+            "sys.path.insert(0, 'tests/bench'); "
+            "from test_parallel import _hammer_cache; "
+            f"_hammer_cache({directory!r}, {seed}, {n_keys}, {out!r})"
+        )
+        procs.append(subprocess.Popen(
+            [sys.executable, "-c", code], cwd="/root/repo"))
+    for proc in procs:
+        assert proc.wait(timeout=120) == 0
+    cache = ResultCache(directory)
+    for i in range(n_keys):
+        k = f"key{i}"
+        got = cache.get(k)
+        if got is not None:
+            assert got == {"key": k, "payload": [1, 2.5, k]}
+    leftovers = [f for f in os.listdir(directory) if f.endswith(".lock")]
+    assert leftovers == []
+    stores = skips = 0
+    for seed in (1, 2):
+        with open(tmp_path / f"stats{seed}.json", encoding="utf-8") as fh:
+            st = json.load(fh)
+        stores += st["stores"]
+        skips += st["lock_skips"]
+    assert stores > 0  # the hammer actually wrote
 
 
 # ---------------------------------------------------------------------------

@@ -32,6 +32,7 @@ import os
 from typing import Optional
 
 from ..errors import AdclError, CheckpointError
+from ..util.locks import FileLock
 from .history import atomic_write_json
 from .request import ADCLRequest
 
@@ -128,12 +129,40 @@ class CheckpointStore:
             ) from exc
         self._snaps = data
 
+    #: seconds a writer waits for the cross-process lock before falling
+    #: back to an unmerged write
+    LOCK_TIMEOUT_S = 5.0
+
     def save(self, key: str, snap: dict) -> None:
-        """Store (and persist) one snapshot under ``key``."""
+        """Store (and persist) one snapshot under ``key``.
+
+        Writers sharing one checkpoint file serialize on a
+        :class:`~repro.util.locks.FileLock` and merge the on-disk state
+        for keys they do not hold, so two tuners checkpointing
+        different problems into the same store never drop each other's
+        snapshots (the same fix as ``HistoryStore._save``).
+        """
         self._snaps[key] = snap
         self.writes += 1
-        if self.path is not None:
+        if self.path is None:
+            return
+        lock = FileLock(self.path)
+        locked = lock.acquire(timeout=self.LOCK_TIMEOUT_S)
+        try:
+            if locked and os.path.exists(self.path):
+                try:
+                    with open(self.path, "r", encoding="utf-8") as fh:
+                        disk = json.load(fh)
+                except (OSError, json.JSONDecodeError):
+                    disk = None
+                if isinstance(disk, dict):
+                    for other, osnap in disk.items():
+                        if other != key and other not in self._snaps:
+                            self._snaps[other] = osnap
             atomic_write_json(self.path, self._snaps)
+        finally:
+            if locked:
+                lock.release()
 
     def load(self, key: str) -> Optional[dict]:
         """The stored snapshot for ``key``, or ``None``."""

@@ -17,11 +17,31 @@ from __future__ import annotations
 
 import json
 import os
-from typing import Optional
+from typing import Optional, Protocol, runtime_checkable
 
 from ..errors import HistoryError
+from ..util.locks import FileLock
 
-__all__ = ["HistoryStore", "atomic_write_json"]
+__all__ = ["HistoryLike", "HistoryStore", "atomic_write_json"]
+
+
+@runtime_checkable
+class HistoryLike(Protocol):
+    """The duck interface :class:`~repro.adcl.request.ADCLRequest`
+    expects of its ``history`` argument.
+
+    Anything that answers ``lookup``/``record``/``forget`` works — the
+    local JSON :class:`HistoryStore`, or the tuning daemon's
+    :class:`~repro.serve.client.ServiceHistory` adapter, which turns
+    every request into a stateless worker over the shared knowledge
+    base.
+    """
+
+    def lookup(self, key: str) -> Optional[str]: ...
+
+    def record(self, key: str, winner: str, decided_at: int) -> None: ...
+
+    def forget(self, key: str) -> None: ...
 
 
 def atomic_write_json(path: str, obj) -> None:
@@ -113,10 +133,51 @@ class HistoryStore:
             return
         self._records = data
 
-    def _save(self) -> None:
+    #: seconds a writer waits for the cross-process lock before falling
+    #: back to an unmerged write (the pre-lock last-writer-wins behavior)
+    LOCK_TIMEOUT_S = 5.0
+
+    def _save(self, touched: str, removed: bool = False) -> None:
+        """Persist under the cross-process lock, merging the on-disk
+        state first.
+
+        Two tuners sharing one history file used to lose records: each
+        held its own in-memory copy and the last ``atomic_write_json``
+        won, silently dropping the other's decisions.  Writers now
+        serialize on a :class:`~repro.util.locks.FileLock` (dead-holder
+        and stale locks are broken) and replay the *current* file
+        contents before applying their own change, so concurrent
+        processes interleave instead of clobbering.  Only the touched
+        key is forced to this writer's view — foreign keys on disk are
+        preserved verbatim.
+        """
         if self.path is None:
             return
-        atomic_write_json(self.path, self._records)
+        lock = FileLock(self.path)
+        locked = lock.acquire(timeout=self.LOCK_TIMEOUT_S)
+        try:
+            if locked:
+                disk = self._read_disk()
+                if disk is not None:
+                    for key, rec in disk.items():
+                        if key != touched and key not in self._records:
+                            self._records[key] = rec
+            merged = dict(self._records)
+            if removed:
+                merged.pop(touched, None)
+            atomic_write_json(self.path, merged)
+        finally:
+            if locked:
+                lock.release()
+
+    def _read_disk(self) -> Optional[dict]:
+        """Best-effort read of the current file (None when unreadable)."""
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            return None
+        return data if isinstance(data, dict) else None
 
     # ------------------------------------------------------------------
 
@@ -128,12 +189,12 @@ class HistoryStore:
     def record(self, key: str, winner: str, decided_at: int) -> None:
         """Store (and persist) a tuning decision."""
         self._records[key] = {"winner": winner, "decided_at": decided_at}
-        self._save()
+        self._save(key)
 
     def forget(self, key: str) -> None:
         """Drop one record (no-op when absent)."""
         if self._records.pop(key, None) is not None:
-            self._save()
+            self._save(key, removed=True)
 
     def __len__(self) -> int:
         return len(self._records)

@@ -37,7 +37,7 @@ from ..obs.recorder import get_recorder
 from ..sim.mpi import MPIContext
 from ..sim.process import Wait, Waitable
 from .function import CollSpec, FunctionSet
-from .history import HistoryStore
+from .history import HistoryLike
 from .resilience import Resilience
 from .selection.base import FixedSelector, Selector
 from .statistics import DriftDetector, filter_outliers
@@ -82,9 +82,13 @@ class ADCLRequest:
         selector: Union[str, Selector] = "brute_force",
         evals_per_function: int = 5,
         filter_method: str = "cluster",
-        history: Optional[HistoryStore] = None,
+        history: Optional[HistoryLike] = None,
         resilience: Optional[Resilience] = None,
     ):
+        # ``history`` is duck-typed (lookup/record/forget): a local
+        # JSON HistoryStore, or repro.serve.client.ServiceHistory to
+        # run this request as a stateless worker over the tuning
+        # daemon's shared knowledge base.
         self.fnset = fnset
         self.spec = spec
         self.history = history

@@ -1,11 +1,17 @@
 """Wire protocol between the fabric master and its workers.
 
-Frames are length-prefixed pickles over a ``socket.socketpair()``: a
-4-byte big-endian payload length followed by the pickled message.
-Pickle (not JSON) because task payloads are arbitrary picklable Python
-objects (dataclass configs); the channel is a private same-machine
-socketpair between a parent and its forked child, never a network
-endpoint.
+Frames are length-prefixed messages: a 4-byte big-endian payload
+length followed by the encoded message.  Two codecs share the framing:
+
+* ``pickle`` (the default) — the fabric's private channel.  Task
+  payloads are arbitrary picklable Python objects (dataclass configs);
+  the channel is a same-machine socketpair between a parent and its
+  forked child, never a network endpoint.
+* ``json`` — the tuning daemon's channel (:mod:`repro.serve`).  A
+  unix/TCP socket is a real endpoint that untrusted bytes can reach,
+  so the service never unpickles: messages are canonical JSON (sorted
+  keys, no whitespace), decoded with the top-level array coerced back
+  to the tuple convention.
 
 Messages are plain tuples whose first element is the type:
 
@@ -52,7 +58,34 @@ MAX_FRAME = 1 << 30
 
 
 class ProtocolError(RuntimeError):
-    """A malformed frame (bad length prefix, unpicklable body)."""
+    """A malformed frame (bad length prefix, undecodable body)."""
+
+
+def _encode(message: tuple, codec: str) -> bytes:
+    if codec == "pickle":
+        return pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    if codec == "json":
+        return json.dumps(message, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+    raise ValueError(f"unknown frame codec {codec!r}")
+
+
+def _decode(body: bytes, codec: str) -> tuple:
+    if codec == "pickle":
+        try:
+            return pickle.loads(body)
+        except Exception as exc:
+            raise ProtocolError(f"unpicklable frame: {exc}") from exc
+    if codec == "json":
+        try:
+            message = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise ProtocolError(f"undecodable JSON frame: {exc}") from exc
+        if not isinstance(message, list):
+            raise ProtocolError(
+                f"JSON frame is not an array: {type(message).__name__}")
+        return tuple(message)
+    raise ValueError(f"unknown frame codec {codec!r}")
 
 
 def result_fingerprint(result: Any) -> str:
@@ -69,9 +102,10 @@ def result_fingerprint(result: Any) -> str:
     return hashlib.sha256(body.encode("utf-8")).hexdigest()
 
 
-def send_frame(sock: socket.socket, message: tuple) -> None:
+def send_frame(sock: socket.socket, message: tuple,
+               codec: str = "pickle") -> None:
     """Serialize and send one message (blocking, whole frame)."""
-    body = pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
+    body = _encode(message, codec)
     sock.sendall(_HEADER.pack(len(body)) + body)
 
 
@@ -100,26 +134,26 @@ def _recv_exact(sock: socket.socket, n: int) -> Optional[bytes]:
     return b"".join(chunks)
 
 
-def recv_frame(sock: socket.socket) -> Optional[tuple]:
+def recv_frame(sock: socket.socket, codec: str = "pickle",
+               max_frame: int = MAX_FRAME) -> Optional[tuple]:
     """Blocking receive of one frame; None on clean EOF.
 
     Raises ``socket.timeout`` if the socket has a timeout and no frame
-    has started, and :class:`ProtocolError` on a torn or oversized
-    frame.
+    has started, and :class:`ProtocolError` on a torn, oversized or
+    undecodable frame.  ``max_frame`` lets an endpoint enforce a cap
+    tighter than the fabric-wide :data:`MAX_FRAME` (the tuning daemon
+    rejects megabyte frames that a sweep task would legitimately send).
     """
     header = _recv_exact(sock, _HEADER.size)
     if header is None:
         return None
     (length,) = _HEADER.unpack(header)
-    if length > MAX_FRAME:
-        raise ProtocolError(f"frame length {length} exceeds cap {MAX_FRAME}")
+    if length > max_frame:
+        raise ProtocolError(f"frame length {length} exceeds cap {max_frame}")
     body = _recv_exact(sock, length)
     if body is None:
         raise ProtocolError("EOF between header and body")
-    try:
-        return pickle.loads(body)
-    except Exception as exc:
-        raise ProtocolError(f"unpicklable frame: {exc}") from exc
+    return _decode(body, codec)
 
 
 class FrameReader:
@@ -130,8 +164,10 @@ class FrameReader:
     feed.  One reader per worker connection.
     """
 
-    def __init__(self):
+    def __init__(self, codec: str = "pickle", max_frame: int = MAX_FRAME):
         self._buf = bytearray()
+        self._codec = codec
+        self._max_frame = max_frame
 
     def feed(self, data: bytes) -> None:
         self._buf.extend(data)
@@ -141,18 +177,15 @@ class FrameReader:
             if len(self._buf) < _HEADER.size:
                 return
             (length,) = _HEADER.unpack(self._buf[:_HEADER.size])
-            if length > MAX_FRAME:
+            if length > self._max_frame:
                 raise ProtocolError(
-                    f"frame length {length} exceeds cap {MAX_FRAME}")
+                    f"frame length {length} exceeds cap {self._max_frame}")
             end = _HEADER.size + length
             if len(self._buf) < end:
                 return
             body = bytes(self._buf[_HEADER.size:end])
             del self._buf[:end]
-            try:
-                yield pickle.loads(body)
-            except Exception as exc:
-                raise ProtocolError(f"unpicklable frame: {exc}") from exc
+            yield _decode(body, self._codec)
 
     def pending_bytes(self) -> int:
         return len(self._buf)

@@ -43,10 +43,10 @@ import dataclasses
 import hashlib
 import json
 import os
-import time
 from typing import Any, Callable, Optional, Sequence
 
 from ..adcl.history import atomic_write_json
+from ..util.locks import FileLock
 from .overlap import OverlapConfig, function_set_for, run_overlap
 
 __all__ = [
@@ -109,16 +109,16 @@ class ResultCache:
     degrades to a miss, never a wrong answer.
 
     Concurrent writers — two sweeps sharing ``--result-cache`` — are
-    serialized per key by an ``O_EXCL`` lock file.  A writer that loses
-    the race simply skips its write (``lock_skips``): results are a
-    pure function of the key, so first-writer-wins loses nothing.  A
-    lock whose holder pid is dead — or, when no pid is readable, one
-    older than ``STALE_LOCK_S`` — belonged to a crashed writer and is
-    broken.
+    serialized per key by a :class:`~repro.util.locks.FileLock`.  A
+    writer that loses the race simply skips its write (``lock_skips``):
+    results are a pure function of the key, so first-writer-wins loses
+    nothing.  A lock whose holder pid is dead — or, when no pid is
+    readable, one older than ``STALE_LOCK_S`` — belonged to a crashed
+    writer and is broken.
     """
 
     #: a lock file older than this is a crashed writer's leftovers
-    STALE_LOCK_S = 30.0
+    STALE_LOCK_S = FileLock.STALE_S
 
     def __init__(self, directory: str):
         self.directory = directory
@@ -146,66 +146,20 @@ class ResultCache:
         self.hits += 1
         return entry.get("result")
 
-    def _acquire_lock(self, path: str) -> Optional[int]:
-        """Try the per-key ``O_EXCL`` lock; None when another live
-        writer holds it.  Breaks locks left by crashed writers: a lock
-        whose recorded holder pid is dead (e.g. a SIGKILLed sweep that
-        ``--resume`` is now continuing) is broken immediately; one with
-        no readable pid only after ``STALE_LOCK_S``."""
-        lock = path + ".lock"
-        for attempt in (0, 1):
-            try:
-                return os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY,
-                               0o644)
-            except FileExistsError:
-                if attempt:
-                    return None
-                if not self._lock_is_stale(lock):
-                    return None
-                try:
-                    os.unlink(lock)  # crashed writer: break the lock
-                except OSError:
-                    return None
-        return None
-
-    def _lock_is_stale(self, lock: str) -> bool:
-        try:
-            with open(lock, encoding="ascii") as fh:
-                holder = int(fh.read().strip() or "0")
-        except (OSError, ValueError):
-            holder = 0
-        if holder > 0 and holder != os.getpid():
-            try:
-                os.kill(holder, 0)
-            except ProcessLookupError:
-                return True  # the holder died without releasing
-            except PermissionError:
-                pass  # alive, just not ours to signal
-        try:
-            age = time.time() - os.stat(lock).st_mtime
-        except OSError:
-            return False  # holder just released; caller retries the open
-        return age >= self.STALE_LOCK_S
-
     def put(self, key: str, result: Any) -> None:
         path = self.path_for(key)
-        fd = self._acquire_lock(path)
-        if fd is None:
+        lock = FileLock(path, stale_s=self.STALE_LOCK_S)
+        if not lock.try_acquire():
             # another sweep is writing this key right now; its result
             # is bit-identical by the determinism contract, so losing
             # the race is free
             self.lock_skips += 1
             return
         try:
-            os.write(fd, f"{os.getpid()}\n".encode("ascii"))
-            os.close(fd)
             atomic_write_json(path, {"key": key, "result": result})
             self.stores += 1
         finally:
-            try:
-                os.unlink(path + ".lock")
-            except OSError:
-                pass
+            lock.release()
 
     def __len__(self) -> int:
         return sum(1 for name in os.listdir(self.directory)

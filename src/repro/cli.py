@@ -11,6 +11,9 @@ Commands
     Run ADCL on one scenario and print the learning trace + decision.
 ``fft``
     Run the 3-D FFT application kernel and compare methods.
+``serve``
+    Run the tuning knowledge daemon (crash-safe shared decision store;
+    ``tune --serve`` / ``sweep --serve`` consult it).
 
 Examples
 --------
@@ -20,6 +23,8 @@ Examples
     python -m repro sweep --platform whale_tcp --nprocs 32 --nbytes 128KB
     python -m repro tune --selector heuristic --operation bcast
     python -m repro fft --platform crill --nprocs 48 --n 480
+    python -m repro serve --socket /tmp/tuning.sock --data-dir /tmp/kb
+    python -m repro tune --serve unix:/tmp/tuning.sock
 """
 
 from __future__ import annotations
@@ -170,11 +175,23 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write a metrics-registry snapshot (counters, "
                             "gauges, histograms) as JSON")
 
+    def serve_flags(p):
+        p.add_argument("--serve", default=None, metavar="ENDPOINT",
+                       help="consult the tuning daemon at ENDPOINT "
+                            "(unix:/path or tcp:HOST:PORT); when the "
+                            "daemon is unreachable the client degrades "
+                            "to a bit-identical local computation")
+        p.add_argument("--serve-timeout", type=float, default=2.0,
+                       metavar="S",
+                       help="per-RPC socket timeout for --serve "
+                            "(default 2.0)")
+
     p_sweep = sub.add_parser(
         "sweep", help="time every implementation of an operation")
     common(p_sweep)
     perf_flags(p_sweep)
     obs_flags(p_sweep)
+    serve_flags(p_sweep)
 
     p_tune = sub.add_parser("tune", help="run the ADCL selection logic")
     common(p_tune)
@@ -209,6 +226,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_tune.add_argument("--deadline", type=float, default=None,
                         help="virtual-time watchdog deadline per simulation "
                              "(seconds; only with --resilient)")
+    serve_flags(p_tune)
 
     p_fft = sub.add_parser("fft", help="run the 3-D FFT application kernel")
     p_fft.add_argument("--platform", default="whale")
@@ -221,6 +239,44 @@ def build_parser() -> argparse.ArgumentParser:
                        default=["libnbc", "adcl", "mpi"],
                        choices=["libnbc", "adcl", "adcl_ext", "mpi"])
     perf_flags(p_fft)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the tuning knowledge daemon")
+    listen = p_serve.add_mutually_exclusive_group(required=True)
+    listen.add_argument("--socket", metavar="PATH",
+                        help="listen on a unix socket at PATH")
+    listen.add_argument("--host", metavar="HOST",
+                        help="listen on TCP HOST (with --port)")
+    p_serve.add_argument("--port", type=int, default=7453,
+                         help="TCP port for --host (default 7453)")
+    p_serve.add_argument("--data-dir", required=True, metavar="DIR",
+                         help="knowledge-base directory (shard snapshots "
+                              "+ write-ahead logs; survives SIGKILL)")
+    p_serve.add_argument("--shards", type=int, default=4,
+                         help="shard count (pinned in DIR/meta.json on "
+                              "first use)")
+    p_serve.add_argument("--workers", type=int, default=2,
+                         help="compute threads running tuning simulations")
+    p_serve.add_argument("--queue-capacity", type=int, default=16,
+                         help="bounded admission queue; a full queue sheds "
+                              "requests with an explicit busy reply")
+    p_serve.add_argument("--request-timeout", type=float, default=30.0,
+                         metavar="S",
+                         help="server-side cap on one request's wait for "
+                              "its computation")
+    p_serve.add_argument("--cache-size", type=int, default=256,
+                         help="LRU decision-cache entries")
+    p_serve.add_argument("--checkpoint-every", type=int, default=32,
+                         metavar="N",
+                         help="committed decisions between automatic shard "
+                              "checkpoints (0 = only on shutdown)")
+    p_serve.add_argument("--metrics", default=None, metavar="PATH",
+                         help="write the service metrics snapshot here on "
+                              "shutdown")
+    p_serve.add_argument("--audit", default=None, metavar="PATH",
+                         help="write the service audit log (WAL "
+                              "truncations, re-tune failures) here on "
+                              "shutdown")
 
     p_report = sub.add_parser(
         "report", help="summarize a trace recorded with --trace")
@@ -364,6 +420,101 @@ def _finish_fabric(args, fabric) -> None:
         print(f"fabric metrics written to {args.fabric_metrics}")
 
 
+def _serve_request(args) -> dict:
+    """The tuning-service request the scenario flags describe."""
+    return {
+        "platform": args.platform,
+        "operation": args.operation,
+        "nprocs": args.nprocs,
+        "nbytes": args.nbytes,
+        "compute_total": args.compute,
+        "paper_iterations": args.loop_iterations,
+        "iterations": args.iterations,
+        "nprogress": args.nprogress,
+        "selector": getattr(args, "selector", "brute_force"),
+        "evals": getattr(args, "evals", 3),
+    }
+
+
+def cmd_serve(args) -> int:
+    from .serve import ServeConfig, TuningServer
+
+    endpoint = (f"unix:{args.socket}" if args.socket
+                else f"tcp:{args.host}:{args.port}")
+    server = TuningServer(ServeConfig(
+        endpoint=endpoint,
+        data_dir=args.data_dir,
+        shards=args.shards,
+        workers=args.workers,
+        queue_capacity=args.queue_capacity,
+        request_timeout=args.request_timeout,
+        cache_size=args.cache_size,
+        checkpoint_every=args.checkpoint_every,
+        metrics_path=args.metrics,
+        audit_path=args.audit,
+    ))
+    stats = server.kb.stats()
+    print(f"tuning daemon on {endpoint}")
+    print(f"knowledge base: {args.data_dir} "
+          f"({stats['nshards']} shards, {stats['records']} records)")
+    if stats["replayed_records"] or stats["truncated_bytes"]:
+        print(f"crash recovery: replayed {stats['replayed_records']} WAL "
+              f"records, truncated {stats['truncated_bytes']} torn bytes")
+    print("serving until SIGTERM/SIGINT ...")
+    server.serve_forever()
+    print(f"drained and checkpointed; {len(server.kb)} records on disk")
+    return 0
+
+
+def cmd_tune_serve(args) -> int:
+    """``tune --serve``: ask the daemon, degrade locally if it is gone."""
+    from .serve import TuningClient
+    from .serve.core import history_key, normalize_request
+
+    for flag in ("resilient", "ft"):
+        if getattr(args, flag):
+            print(f"error: --serve cannot be combined with --{flag} "
+                  f"(the service computes plain scenarios only)",
+                  file=sys.stderr)
+            raise SystemExit(2)
+    if args.crash or args.faults or args.trace or args.metrics:
+        print("error: --serve cannot be combined with --crash/--faults/"
+              "--trace/--metrics (the computation may happen in the "
+              "daemon's process)", file=sys.stderr)
+        raise SystemExit(2)
+    cfg = _overlap_config(args)
+    req = normalize_request(_serve_request(args))
+    client = TuningClient(args.serve, timeout=args.serve_timeout)
+    print(f"tuning {cfg.describe()} via the tuning service at {args.serve}")
+    print(f"network budget before degrading: {client.budget():.1f}s")
+    warm = client.warm(req)
+    if warm is not None and warm.get("decision"):
+        geo = warm.get("request") or {}
+        print(f"warm hint: nearest geometry P{geo.get('nprocs')}"
+              f":B{geo.get('nbytes')} decided "
+              f"{warm['decision'].get('winner')!r}")
+    t0 = time.perf_counter()
+    record = client.decide(req)
+    wall = time.perf_counter() - t0
+    decision = record["decision"]
+    if record["source"] == "service":
+        print(f"answered by the service in {wall:.2f}s "
+              f"(origin: {record.get('service_source')}, "
+              f"version {record.get('version')})")
+        # feed the drift detector a baseline-consistent measurement so
+        # the daemon has a report stream to compare future runs against
+        client.report(req, decision["mean_after_learning"])
+    else:
+        print(f"service unavailable — computed locally in {wall:.2f}s "
+              f"(bit-identical to the daemon's answer)")
+    print(f"history key: {history_key(req)}")
+    print(f"\ndecision at iteration {decision['decided_at']}: "
+          f"{decision['winner']!r}")
+    print(f"steady-state iteration time "
+          f"{fmt_time(decision['mean_after_learning'])}")
+    return 0
+
+
 def cmd_sweep(args) -> int:
     cfg = _overlap_config(args)
     fnset = function_set_for(args.operation)
@@ -371,11 +522,32 @@ def cmd_sweep(args) -> int:
     fabric = _fabric_config(args, cache)
     trace_on = bool(args.trace or args.metrics)
     where = f" ({args.jobs} fabric workers)" if args.jobs > 1 else ""
+    serve_client = serve_key = None
+    if args.serve:
+        from .serve import TuningClient
+        from .serve.core import history_key, normalize_request
+
+        req = normalize_request(_serve_request(args))
+        serve_client = TuningClient(args.serve, timeout=args.serve_timeout)
+        serve_key = f"adcl:{history_key(req)}"
+        prior = serve_client.lookup(serve_key)
+        if prior is not None and prior.get("decision"):
+            print(f"knowledge base already holds "
+                  f"{prior['decision'].get('winner')!r} for this scenario "
+                  f"(version {prior.get('version')}); sweeping anyway")
     print(f"sweeping {len(fnset)} implementations of {cfg.describe()}{where} ...")
     t0 = time.perf_counter()
     rows = sweep_implementations(cfg, jobs=args.jobs, cache=cache,
                                  trace=trace_on, fabric=fabric)
     wall = time.perf_counter() - t0
+    if serve_client is not None:
+        best = min(rows, key=lambda row: row["mean_iteration"])
+        pushed = serve_client.record(
+            serve_key, {"winner": best["name"], "decided_at": 0})
+        print(f"winner {best['name']!r} "
+              + (f"recorded in the knowledge base as {serve_key}"
+                 if pushed else
+                 "NOT recorded (tuning service unreachable)"))
     if args.resume and cache is not None:
         print(f"resumed: {cache.hits}/{len(rows)} tasks served from the "
               f"checkpoint in {cache.directory}")
@@ -403,6 +575,8 @@ def cmd_sweep(args) -> int:
 
 
 def cmd_tune(args) -> int:
+    if args.serve:
+        return cmd_tune_serve(args)
     cfg = _overlap_config(args)
     fnset = function_set_for(args.operation)
     recorder = prev = None
@@ -550,6 +724,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_tune(args)
     if args.command == "fft":
         return cmd_fft(args)
+    if args.command == "serve":
+        return cmd_serve(args)
     if args.command == "report":
         return cmd_report(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

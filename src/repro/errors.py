@@ -110,3 +110,26 @@ class CheckpointError(AdclError):
     restored into the request it is offered to (different function-set,
     different candidate list, malformed journal).
     """
+
+
+class ServeError(ReproError):
+    """The tuning service (:mod:`repro.serve`) was misused or failed.
+
+    Base class for daemon-side configuration problems (incompatible
+    shard layout, bad endpoint) and for typed request failures the
+    daemon reports back to clients (a scenario that cannot reach a
+    decision).  A *transport* failure — daemon unreachable, request
+    shed — is :class:`ServiceUnavailable` instead, because the client
+    is expected to degrade, not die, on those.
+    """
+
+
+class ServiceUnavailable(ServeError):
+    """The daemon could not be reached (or shed the request) within the
+    client's retry budget.
+
+    Raised by :class:`repro.serve.client.TuningClient` only when local
+    fallback is disabled; with fallback enabled (the default, and the
+    mandatory configuration for production clients) the client degrades
+    to in-process tuning instead of raising.
+    """

@@ -18,7 +18,10 @@ __all__ = [
     "Counter",
     "Gauge",
     "Histogram",
+    "LATENCY_BUCKETS",
     "MetricsRegistry",
+    "SERVICE_BUCKETS",
+    "SIZE_BUCKETS",
     "merge_snapshots",
 ]
 
@@ -30,6 +33,14 @@ LATENCY_BUCKETS = (
 
 #: default bucket upper bounds for message-size histograms (bytes)
 SIZE_BUCKETS = (64, 256, 1024, 4096, 16384, 65536, 262144, 1048576, 4194304)
+
+#: bucket upper bounds (seconds) for the tuning *service*'s request
+#: latencies — the one sanctioned wall-clock exception to the
+#: virtual-time rule above: service telemetry describes the daemon
+#: process, never a simulation trace, and is kept out of trace docs
+SERVICE_BUCKETS = (
+    1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1, 1.0, 3.0, 10.0, 30.0,
+)
 
 
 class Counter:

@@ -1,0 +1,153 @@
+"""Circuit breaker and the drift re-tune scheduler.
+
+:class:`CircuitBreaker` is the textbook three-state machine —
+
+* **closed**: traffic flows; consecutive failures are counted and
+  ``failure_threshold`` of them open the breaker;
+* **open**: traffic is refused outright (the caller degrades
+  immediately, paying nothing) until ``cooldown`` seconds pass;
+* **half-open**: exactly one probe is admitted; its success closes the
+  breaker, its failure re-opens it for another full cooldown.
+
+The clock is injected so the state machine is testable without
+sleeping (the hypothesis suite drives it with a virtual clock).  Both
+sides of the service use it: the client wraps its endpoint (an
+unreachable daemon costs one connect timeout per cooldown, not per
+request), and the daemon wraps background re-tuning (a scenario whose
+re-tunes keep failing stops burning compute).
+
+:class:`RetuneScheduler` layers the one rule the drift path needs on
+top: **a re-tune never runs concurrently for the same key**.  Drift
+reports may arrive from many connections at once; only the first
+``try_begin`` per key wins until its ``finish``.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Set
+
+__all__ = ["CircuitBreaker", "RetuneScheduler"]
+
+
+class CircuitBreaker:
+    """Thread-safe closed / open / half-open breaker with injected clock."""
+
+    def __init__(self, failure_threshold: int = 3, cooldown: float = 5.0,
+                 clock: Callable[[], float] = time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure threshold must be >= 1, got {failure_threshold}")
+        if cooldown < 0:
+            raise ValueError(f"cooldown must be >= 0, got {cooldown}")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._opened_at = 0.0
+        self._probing = False
+        #: times the breaker tripped open (telemetry)
+        self.trips = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._effective_state()
+
+    def _effective_state(self) -> str:
+        """State with the open->half-open clock transition applied."""
+        if self._state == "open" and \
+                self._clock() - self._opened_at >= self.cooldown:
+            self._state = "half_open"
+            self._probing = False
+        return self._state
+
+    def allow(self) -> bool:
+        """May a call proceed right now?
+
+        In half-open state this *claims* the single probe slot: the
+        caller that got True must report back via ``record_success`` /
+        ``record_failure``.
+        """
+        with self._lock:
+            state = self._effective_state()
+            if state == "closed":
+                return True
+            if state == "open":
+                return False
+            if self._probing:
+                return False  # someone else already holds the probe slot
+            self._probing = True
+            return True
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = "closed"
+            self._failures = 0
+            self._probing = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            state = self._effective_state()
+            if state == "half_open":
+                self._trip()
+                return
+            self._failures += 1
+            if state == "closed" and self._failures >= self.failure_threshold:
+                self._trip()
+
+    def _trip(self) -> None:
+        self._state = "open"
+        self._opened_at = self._clock()
+        self._failures = 0
+        self._probing = False
+        self.trips += 1
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<CircuitBreaker {self.state} trips={self.trips}>"
+
+
+class RetuneScheduler:
+    """Admission control for drift-triggered background re-tunes.
+
+    ``try_begin(key)`` is the only gate a re-tune passes: it refuses
+    while the same key is already re-tuning (the non-concurrency
+    invariant) and while the breaker is open (re-tunes that keep
+    failing must stop consuming the compute pool).  ``finish`` reports
+    the outcome, feeding the breaker.
+    """
+
+    def __init__(self, breaker: CircuitBreaker):
+        self.breaker = breaker
+        self._lock = threading.Lock()
+        self._inflight: Set[str] = set()
+        self.started = 0
+        self.refused_inflight = 0
+        self.refused_breaker = 0
+
+    def try_begin(self, key: str) -> bool:
+        with self._lock:
+            if key in self._inflight:
+                self.refused_inflight += 1
+                return False
+            if not self.breaker.allow():
+                self.refused_breaker += 1
+                return False
+            self._inflight.add(key)
+            self.started += 1
+            return True
+
+    def finish(self, key: str, ok: bool) -> None:
+        with self._lock:
+            self._inflight.discard(key)
+        if ok:
+            self.breaker.record_success()
+        else:
+            self.breaker.record_failure()
+
+    def inflight(self) -> int:
+        with self._lock:
+            return len(self._inflight)

@@ -1,0 +1,294 @@
+"""Sharded, versioned, WAL-backed knowledge base.
+
+The daemon's persistent state: one :class:`Shard` per hash bucket of
+the key space, each holding
+
+* an atomically-written JSON **snapshot** (``shard-NN.json``) — the
+  state as of the last checkpoint, plus the highest WAL sequence
+  number it covers;
+* a **write-ahead log** (``shard-NN.wal``, :mod:`repro.serve.wal`) —
+  every mutation since, fsync'd before it is acknowledged.
+
+Recovery is ``snapshot + replay(WAL)``: torn WAL tails are truncated
+by the replay (never propagated), and records whose sequence number
+the snapshot already covers are skipped — so a crash between "write
+snapshot" and "truncate WAL" merely replays no-ops.  Every record is
+**versioned**; a re-tune or a client-reported update bumps the version
+rather than silently rewriting history, and replay applies records in
+sequence order so the latest committed version wins deterministically.
+
+Lookup is exact-hit by key; :meth:`KnowledgeBase.nearest` additionally
+answers *warm starts*: the committed decision whose scenario geometry
+(process count x message size, compared on a log scale) is closest to
+the probe's — the survey's "persistent tuning database" feature that
+lets a new geometry start from its neighbor's winner instead of cold.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from typing import Dict, List, Optional
+
+from ..adcl.history import atomic_write_json
+from ..errors import ServeError
+from .core import geometry_distance
+from .wal import WriteAheadLog, replay_wal
+
+__all__ = ["KnowledgeBase", "Shard"]
+
+#: snapshot format version (bump on incompatible layout changes)
+SNAPSHOT_FORMAT = 1
+
+
+class Shard:
+    """One bucket of the knowledge base: in-memory dict + snapshot + WAL.
+
+    Thread-safe: every public method takes the shard lock.  Records are
+    plain dicts::
+
+        {"key": str, "version": int, "seq": int, "source": str,
+         "request": dict | None, "decision": dict | None,
+         "deleted": bool}
+
+    ``request`` is present for daemon-computed decisions (it carries
+    the geometry used by nearest-neighbor lookup); client-reported
+    history records store ``decision`` only.  Deletion writes a
+    tombstone so a ``forget`` survives crash-recovery too.
+    """
+
+    def __init__(self, directory: str, index: int):
+        self.index = index
+        self.snapshot_path = os.path.join(directory, f"shard-{index:02d}.json")
+        self.wal_path = os.path.join(directory, f"shard-{index:02d}.wal")
+        self._lock = threading.Lock()
+        self._records: Dict[str, dict] = {}
+        self._seq = 0
+        #: recovery telemetry, filled by :meth:`load`
+        self.replayed_records = 0
+        self.truncated_bytes = 0
+        self._load()
+        self._wal = WriteAheadLog(self.wal_path)
+
+    # -- recovery -----------------------------------------------------------
+
+    def _load(self) -> None:
+        snap_seq = 0
+        if os.path.exists(self.snapshot_path):
+            try:
+                with open(self.snapshot_path, "r", encoding="utf-8") as fh:
+                    snap = json.load(fh)
+            except (OSError, json.JSONDecodeError) as exc:
+                # snapshots are atomically renamed, so a corrupt one is
+                # operator-level damage, not a crash artifact: refuse to
+                # silently discard knowledge
+                raise ServeError(
+                    f"corrupt shard snapshot {self.snapshot_path!r}: {exc}"
+                ) from exc
+            if snap.get("format") != SNAPSHOT_FORMAT:
+                raise ServeError(
+                    f"unsupported shard snapshot format "
+                    f"{snap.get('format')!r} in {self.snapshot_path!r}")
+            self._records = dict(snap.get("records", {}))
+            snap_seq = int(snap.get("seq", 0))
+        self._seq = snap_seq
+        records, self.truncated_bytes = replay_wal(self.wal_path)
+        for seq, payload in records:
+            if seq <= snap_seq:
+                continue  # the snapshot already covers this mutation
+            self._apply(payload)
+            self._seq = max(self._seq, seq)
+            self.replayed_records += 1
+
+    def _apply(self, record: dict) -> None:
+        key = record.get("key")
+        if not isinstance(key, str):
+            return  # unknown record shape from a future version: skip
+        current = self._records.get(key)
+        if current is not None and current.get("version", 0) >= \
+                record.get("version", 0):
+            return  # replay idempotence: older versions never regress
+        self._records[key] = record
+
+    # -- mutation -----------------------------------------------------------
+
+    def put(self, key: str, decision: Optional[dict], source: str,
+            request: Optional[dict] = None) -> dict:
+        """Commit a new version of ``key`` (WAL first, memory second)."""
+        with self._lock:
+            current = self._records.get(key)
+            record = {
+                "key": key,
+                "version": (current.get("version", 0) + 1) if current else 1,
+                "seq": self._seq + 1,
+                "source": source,
+                "request": request,
+                "decision": decision,
+                "deleted": False,
+            }
+            self._seq += 1
+            self._wal.append(self._seq, record)
+            self._records[key] = record
+            return record
+
+    def forget(self, key: str) -> bool:
+        """Tombstone ``key``; False when it was absent already."""
+        with self._lock:
+            current = self._records.get(key)
+            if current is None or current.get("deleted"):
+                return False
+            record = {
+                "key": key,
+                "version": current.get("version", 0) + 1,
+                "seq": self._seq + 1,
+                "source": "forget",
+                "request": None,
+                "decision": None,
+                "deleted": True,
+            }
+            self._seq += 1
+            self._wal.append(self._seq, record)
+            self._records[key] = record
+            return True
+
+    # -- lookup -------------------------------------------------------------
+
+    def get(self, key: str) -> Optional[dict]:
+        with self._lock:
+            record = self._records.get(key)
+            if record is None or record.get("deleted"):
+                return None
+            return record
+
+    def live_records(self) -> List[dict]:
+        with self._lock:
+            return [r for r in self._records.values() if not r.get("deleted")]
+
+    # -- checkpoint ---------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Snapshot the shard and drop the now-redundant WAL.
+
+        Crash-safe in either half: the snapshot is an atomic rename, and
+        a crash before the truncate leaves WAL records whose sequence
+        numbers the snapshot covers — replay skips them.
+        """
+        with self._lock:
+            atomic_write_json(self.snapshot_path, {
+                "format": SNAPSHOT_FORMAT,
+                "seq": self._seq,
+                "records": self._records,
+            })
+            self._wal.truncate()
+
+    def close(self) -> None:
+        self._wal.close()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return sum(1 for r in self._records.values()
+                       if not r.get("deleted"))
+
+
+class KnowledgeBase:
+    """Hash-sharded record store with exact and nearest-geometry lookup.
+
+    The shard count is pinned in ``meta.json`` on first use; reopening
+    a data directory with a different ``--shards`` value is refused
+    (records would silently land in the wrong bucket).
+    """
+
+    def __init__(self, directory: str, nshards: int = 4):
+        if nshards < 1:
+            raise ServeError(f"shard count must be >= 1, got {nshards}")
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        meta_path = os.path.join(directory, "meta.json")
+        if os.path.exists(meta_path):
+            try:
+                with open(meta_path, "r", encoding="utf-8") as fh:
+                    meta = json.load(fh)
+            except (OSError, json.JSONDecodeError) as exc:
+                raise ServeError(
+                    f"corrupt knowledge-base meta {meta_path!r}: {exc}"
+                ) from exc
+            existing = int(meta.get("nshards", 0))
+            if existing != nshards:
+                raise ServeError(
+                    f"knowledge base at {directory!r} was created with "
+                    f"{existing} shards; refusing to reopen with {nshards}")
+        else:
+            atomic_write_json(meta_path, {"nshards": nshards})
+        self.nshards = nshards
+        self.shards = [Shard(directory, i) for i in range(nshards)]
+
+    def shard_for(self, key: str) -> Shard:
+        digest = hashlib.sha256(key.encode("utf-8")).digest()
+        return self.shards[int.from_bytes(digest[:4], "big") % self.nshards]
+
+    # -- delegation ---------------------------------------------------------
+
+    def get(self, key: str) -> Optional[dict]:
+        return self.shard_for(key).get(key)
+
+    def put(self, key: str, decision: Optional[dict], source: str,
+            request: Optional[dict] = None) -> dict:
+        return self.shard_for(key).put(key, decision, source, request)
+
+    def forget(self, key: str) -> bool:
+        return self.shard_for(key).forget(key)
+
+    def checkpoint_all(self) -> None:
+        for shard in self.shards:
+            shard.checkpoint()
+
+    def close(self) -> None:
+        for shard in self.shards:
+            shard.close()
+
+    # -- nearest-geometry warm starts --------------------------------------
+
+    def nearest(self, req: dict) -> Optional[dict]:
+        """The committed decision geometrically closest to ``req``.
+
+        Candidates must match the probe's platform, operation, selector
+        and evals (a warm start across those would be meaningless); the
+        probe's own exact key is excluded by definition of "warm".
+        Ties break on (distance, key) so the answer is deterministic
+        across shard iteration orders.
+        """
+        best: Optional[dict] = None
+        best_rank: Optional[tuple] = None
+        for shard in self.shards:
+            for record in shard.live_records():
+                other = record.get("request")
+                if not other:
+                    continue  # client-history record: no geometry
+                if any(other.get(f) != req[f] for f in
+                       ("platform", "operation", "selector", "evals")):
+                    continue
+                if (other["nprocs"], other["nbytes"]) == \
+                        (req["nprocs"], req["nbytes"]):
+                    continue
+                rank = (geometry_distance(other, req), record["key"])
+                if best_rank is None or rank < best_rank:
+                    best, best_rank = record, rank
+        return best
+
+    # -- telemetry ----------------------------------------------------------
+
+    def stats(self) -> dict:
+        return {
+            "nshards": self.nshards,
+            "records": sum(len(s) for s in self.shards),
+            "replayed_records": sum(s.replayed_records for s in self.shards),
+            "truncated_bytes": sum(s.truncated_bytes for s in self.shards),
+        }
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self.shards)
+
+    def __contains__(self, key: str) -> bool:
+        return self.get(key) is not None

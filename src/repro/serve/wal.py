@@ -1,0 +1,144 @@
+"""Write-ahead log for the knowledge shards: append, fsync, replay.
+
+Every mutation of a shard is appended here *before* it is applied in
+memory, so a daemon killed at any instant loses at most the record it
+was mid-write — never a committed one.  The on-disk format is built
+for exactly that failure:
+
+    record := magic(2) | seq(8 BE) | length(4 BE) | crc32(4 BE) | payload
+
+``payload`` is canonical JSON.  Replay walks records sequentially and
+stops at the first anomaly — short header, wrong magic, absurd length,
+short payload, CRC mismatch, undecodable JSON — **truncating the file
+at the last good record** so the torn tail can never be propagated,
+re-read, or confused for data by a later append.  A torn tail is the
+expected debris of a SIGKILL mid-``write``; corrupt *middles* (bit
+rot) also stop replay there, sacrificing the tail for the invariant
+that everything returned was intact and in order.
+
+Sequence numbers are assigned by the shard and strictly increase;
+replay after a checkpoint skips records the snapshot already covers,
+making the (checkpoint, truncate-WAL) pair crash-safe in either order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import struct
+import zlib
+from typing import List, Optional, Tuple
+
+from ..errors import ServeError
+
+__all__ = ["WriteAheadLog", "replay_wal"]
+
+#: record header: magic, sequence number, payload length, payload crc32
+_MAGIC = b"WL"
+_HEADER = struct.Struct(">2sQII")
+
+#: sanity cap on one record's payload; a longer length field is a torn
+#: or corrupt header, not a real record
+MAX_RECORD = 1 << 24
+
+
+class WriteAheadLog:
+    """Append-only writer (one per shard; the shard serializes calls)."""
+
+    def __init__(self, path: str):
+        self.path = path
+        self._fh = open(path, "ab")
+        #: records appended through this handle (telemetry)
+        self.appended = 0
+
+    def append(self, seq: int, payload: dict) -> None:
+        """Durably append one record (written, flushed, fsync'd)."""
+        body = json.dumps(payload, sort_keys=True,
+                          separators=(",", ":")).encode("utf-8")
+        if len(body) > MAX_RECORD:
+            raise ServeError(
+                f"WAL record of {len(body)} bytes exceeds cap {MAX_RECORD}")
+        header = _HEADER.pack(_MAGIC, seq, len(body), zlib.crc32(body))
+        self._fh.write(header + body)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.appended += 1
+
+    def truncate(self) -> None:
+        """Drop every record (after a checkpoint made them redundant)."""
+        self._fh.truncate(0)
+        self._fh.seek(0)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        try:
+            self._fh.close()
+        except OSError:
+            pass
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def replay_wal(path: str) -> Tuple[List[Tuple[int, dict]], int]:
+    """Read every committed record; detect and truncate a torn tail.
+
+    Returns ``(records, truncated_bytes)`` where ``records`` is the
+    ordered list of ``(seq, payload)`` pairs that were fully and
+    correctly written, and ``truncated_bytes`` is how many trailing
+    bytes were cut off because they did not form a complete, checksummed
+    record.  A missing file is an empty log.  The truncation is applied
+    to the file itself (best-effort) so subsequent appends start at a
+    record boundary.
+    """
+    try:
+        with open(path, "rb") as fh:
+            data = fh.read()
+    except FileNotFoundError:
+        return [], 0
+
+    records: List[Tuple[int, dict]] = []
+    offset = 0
+    good_end = 0
+    while True:
+        header = data[offset:offset + _HEADER.size]
+        if len(header) < _HEADER.size:
+            break  # torn header (or clean EOF when empty)
+        magic, seq, length, crc = _HEADER.unpack(header)
+        if magic != _MAGIC or length > MAX_RECORD:
+            break  # corrupt header
+        body = data[offset + _HEADER.size:offset + _HEADER.size + length]
+        if len(body) < length:
+            break  # torn payload
+        if zlib.crc32(body) != crc:
+            break  # corrupt payload
+        try:
+            payload = json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError):
+            break  # CRC collision on garbage: still never propagate it
+        if not isinstance(payload, dict):
+            break
+        offset += _HEADER.size + length
+        good_end = offset
+        records.append((seq, payload))
+
+    truncated = len(data) - good_end
+    if truncated:
+        try:
+            with open(path, "r+b") as fh:
+                fh.truncate(good_end)
+        except OSError:
+            pass  # read-only medium: callers still only see good records
+    return records, truncated
+
+
+def wal_size(path: str) -> Optional[int]:
+    """Current byte size of a WAL file (None when absent)."""
+    try:
+        return os.stat(path).st_size
+    except OSError:
+        return None

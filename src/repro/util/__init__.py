@@ -1,0 +1,5 @@
+"""Small shared utilities with no dependencies on the rest of ``repro``."""
+
+from .locks import FileLock
+
+__all__ = ["FileLock"]

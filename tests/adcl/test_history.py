@@ -80,3 +80,54 @@ def test_nonstrict_leaves_healthy_store_alone(tmp_path):
     store = HistoryStore(str(path), strict=False)
     assert store.recovered_from is None
     assert store.lookup("k") == "linear"
+
+
+# ---------------------------------------------------------------------------
+# shared-file concurrency: locked read-merge-write
+# ---------------------------------------------------------------------------
+
+
+def test_two_stores_sharing_a_file_lose_no_records(tmp_path):
+    """Regression: two tuners writing disjoint keys through one history
+    file used to last-writer-wins each other's records away.  The
+    locked read-merge-write keeps both."""
+    path = str(tmp_path / "shared.json")
+    a = HistoryStore(path)
+    b = HistoryStore(path)
+    a.record("scenario-a", "linear", 3)
+    b.record("scenario-b", "pairwise", 5)  # b never saw a's write
+    a.record("scenario-a2", "dissemination", 7)
+    fresh = HistoryStore(path)
+    assert fresh.lookup("scenario-a") == "linear"
+    assert fresh.lookup("scenario-b") == "pairwise"
+    assert fresh.lookup("scenario-a2") == "dissemination"
+    assert len(fresh) == 3
+
+
+def test_forget_is_not_resurrected_by_own_merge(tmp_path):
+    """The disk-merge on save must not undo this store's own forget —
+    the forgotten key is gone from disk and stays out of memory on
+    subsequent saves."""
+    path = str(tmp_path / "shared.json")
+    a = HistoryStore(path)
+    a.record("k", "linear", 3)
+    a.record("keep", "pairwise", 5)
+    a.forget("k")
+    assert HistoryStore(path).lookup("k") is None
+    a.record("third", "linear", 9)  # save merges disk: k must stay gone
+    final = HistoryStore(path)
+    assert final.lookup("k") is None
+    assert final.lookup("keep") == "pairwise"
+    assert final.lookup("third") == "linear"
+
+
+def test_concurrent_writers_many_keys(tmp_path):
+    """Interleaved writers on one file: every record survives."""
+    path = str(tmp_path / "shared.json")
+    stores = [HistoryStore(path) for _ in range(3)]
+    for i in range(12):
+        stores[i % 3].record(f"key-{i}", f"winner-{i}", i)
+    fresh = HistoryStore(path)
+    for i in range(12):
+        assert fresh.lookup(f"key-{i}") == f"winner-{i}"
+    assert len(fresh) == 12

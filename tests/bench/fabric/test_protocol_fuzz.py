@@ -1,0 +1,248 @@
+"""Fuzz tests for the frame layer: truncated, oversized and garbage
+frames must produce clean typed errors within a bounded time — a
+malformed peer may never hang a reader (regression cover for
+``FrameReader`` and both codecs)."""
+
+import json
+import random
+import socket
+import struct
+import threading
+
+import pytest
+
+from repro.bench.fabric.protocol import (
+    MAX_FRAME,
+    FrameReader,
+    ProtocolError,
+    recv_frame,
+    send_frame,
+)
+
+_HEADER = struct.Struct(">I")
+
+
+def _pair():
+    a, b = socket.socketpair()
+    a.settimeout(5.0)
+    b.settimeout(5.0)
+    return a, b
+
+
+def _frame(body: bytes) -> bytes:
+    return _HEADER.pack(len(body)) + body
+
+
+# -- codec roundtrips --------------------------------------------------------
+
+@pytest.mark.parametrize("codec", ["pickle", "json"])
+def test_roundtrip_both_codecs(codec):
+    a, b = _pair()
+    try:
+        msg = ("op", 1, {"k": [1, 2.5, "s"]})
+        send_frame(a, msg, codec=codec)
+        out = recv_frame(b, codec=codec)
+        if codec == "json":
+            assert out == ("op", 1, {"k": [1, 2.5, "s"]})
+        else:
+            assert out == msg
+    finally:
+        a.close()
+        b.close()
+
+
+def test_json_codec_never_unpickles():
+    """A pickle bomb sent to a JSON endpoint is rejected as undecodable
+    — the service-side guarantee that untrusted bytes are never
+    unpickled."""
+    import pickle
+
+    a, b = _pair()
+    try:
+        evil = pickle.dumps(("innocent",), protocol=pickle.HIGHEST_PROTOCOL)
+        a.sendall(_frame(evil))
+        with pytest.raises(ProtocolError, match="undecodable JSON"):
+            recv_frame(b, codec="json")
+    finally:
+        a.close()
+        b.close()
+
+
+# -- truncated frames --------------------------------------------------------
+
+@pytest.mark.parametrize("codec", ["pickle", "json"])
+def test_truncated_body_then_eof_raises(codec):
+    a, b = _pair()
+    try:
+        a.sendall(_HEADER.pack(100) + b"only-20-bytes-here!!")
+        a.close()
+        with pytest.raises(ProtocolError, match="EOF inside a frame"):
+            recv_frame(b, codec=codec)
+    finally:
+        b.close()
+
+
+def test_truncated_header_then_eof_is_protocol_error():
+    a, b = _pair()
+    try:
+        a.sendall(b"\x00\x00")  # half a length prefix
+        a.close()
+        with pytest.raises(ProtocolError):
+            recv_frame(b)
+    finally:
+        b.close()
+
+
+def test_header_only_then_eof_raises():
+    a, b = _pair()
+    try:
+        a.sendall(_HEADER.pack(64))
+        a.close()
+        with pytest.raises(ProtocolError, match="EOF"):
+            recv_frame(b)
+    finally:
+        b.close()
+
+
+# -- oversized frames --------------------------------------------------------
+
+def test_oversized_length_prefix_rejected_without_allocation():
+    a, b = _pair()
+    try:
+        a.sendall(_HEADER.pack(MAX_FRAME + 1))
+        with pytest.raises(ProtocolError, match="exceeds cap"):
+            recv_frame(b)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_per_endpoint_max_frame_cap():
+    a, b = _pair()
+    try:
+        body = json.dumps(["x" * 4096]).encode()
+        a.sendall(_frame(body))
+        with pytest.raises(ProtocolError, match="exceeds cap"):
+            recv_frame(b, codec="json", max_frame=1024)
+    finally:
+        a.close()
+        b.close()
+
+
+# -- garbage bodies ----------------------------------------------------------
+
+@pytest.mark.parametrize("codec,match", [
+    ("pickle", "unpicklable"),
+    ("json", "undecodable JSON"),
+])
+def test_garbage_body_raises_typed_error(codec, match):
+    a, b = _pair()
+    try:
+        a.sendall(_frame(b"\xde\xad\xbe\xef" * 8))
+        with pytest.raises(ProtocolError, match=match):
+            recv_frame(b, codec=codec)
+    finally:
+        a.close()
+        b.close()
+
+
+def test_json_non_array_top_level_rejected():
+    a, b = _pair()
+    try:
+        a.sendall(_frame(b'{"an": "object"}'))
+        with pytest.raises(ProtocolError, match="not an array"):
+            recv_frame(b, codec="json")
+    finally:
+        a.close()
+        b.close()
+
+
+# -- FrameReader (incremental parser) ---------------------------------------
+
+def test_frame_reader_oversized_frame():
+    reader = FrameReader(codec="json", max_frame=256)
+    reader.feed(_HEADER.pack(512))
+    with pytest.raises(ProtocolError, match="exceeds cap"):
+        list(reader.frames())
+
+
+def test_frame_reader_garbage_body():
+    reader = FrameReader(codec="json")
+    reader.feed(_frame(b"not json at all"))
+    with pytest.raises(ProtocolError, match="undecodable JSON"):
+        list(reader.frames())
+
+
+def test_frame_reader_byte_by_byte_delivery():
+    """Partial frames stay buffered; nothing is yielded early and the
+    message arrives intact once complete."""
+    reader = FrameReader(codec="json")
+    blob = _frame(json.dumps(["hello", 7]).encode())
+    for i, byte in enumerate(blob):
+        reader.feed(bytes([byte]))
+        frames = list(reader.frames())
+        if i < len(blob) - 1:
+            assert frames == []
+        else:
+            assert frames == [("hello", 7)]
+    assert reader.pending_bytes() == 0
+
+
+def test_frame_reader_random_chunking_fuzz():
+    """Seeded fuzz: any chunking of a valid stream yields the same
+    messages; appending garbage after valid frames errors cleanly."""
+    rng = random.Random(1234)
+    messages = [("m", i, {"payload": "x" * rng.randrange(0, 200)})
+                for i in range(10)]
+    stream = b"".join(
+        _frame(json.dumps(m, separators=(",", ":")).encode())
+        for m in messages)
+    for _ in range(25):
+        reader = FrameReader(codec="json")
+        got = []
+        offset = 0
+        while offset < len(stream):
+            step = rng.randrange(1, 64)
+            reader.feed(stream[offset:offset + step])
+            got.extend(reader.frames())
+            offset += step
+        assert [tuple(g) for g in got] == \
+            [(m[0], m[1], m[2]) for m in messages]
+        assert reader.pending_bytes() == 0
+    # garbage tail after valid frames: valid ones parse, tail errors
+    reader = FrameReader(codec="json")
+    reader.feed(stream + _frame(b"\xff\xfegarbage"))
+    collected = []
+    with pytest.raises(ProtocolError):
+        for frame in reader.frames():
+            collected.append(frame)
+    assert len(collected) == len(messages)
+
+
+# -- no-hang guarantee -------------------------------------------------------
+
+def test_malformed_peer_cannot_hang_a_reader():
+    """A peer that sends a header then goes silent costs the reader at
+    most its socket timeout, never an unbounded block."""
+    a, b = _pair()
+    b.settimeout(0.5)
+    result = {}
+
+    def reader():
+        try:
+            recv_frame(b, codec="json")
+        except socket.timeout:
+            result["outcome"] = "timeout"
+        except ProtocolError:
+            result["outcome"] = "protocol-error"
+
+    t = threading.Thread(target=reader)
+    t.start()
+    a.sendall(_HEADER.pack(1000))  # promise 1000 bytes, send none
+    t.join(timeout=10.0)
+    try:
+        assert not t.is_alive(), "reader hung on a silent malformed peer"
+        assert result["outcome"] in ("timeout", "protocol-error")
+    finally:
+        a.close()
+        b.close()

@@ -1,0 +1,176 @@
+"""Hypothesis state-machine tests for the circuit breaker and the
+drift re-tune scheduler.
+
+The breaker is driven with a virtual clock against an independently
+written reference model of the closed -> open -> half-open contract;
+the scheduler machine checks the one invariant the drift path lives
+by: a re-tune never runs concurrently for the same key.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    invariant,
+    precondition,
+    rule,
+)
+
+from repro.serve.breaker import CircuitBreaker, RetuneScheduler
+
+THRESHOLD = 3
+COOLDOWN = 5.0
+
+
+class BreakerMachine(RuleBasedStateMachine):
+    """Virtual-clock breaker vs. a reference model of its contract."""
+
+    def __init__(self):
+        super().__init__()
+        self.now = 0.0
+        self.breaker = CircuitBreaker(failure_threshold=THRESHOLD,
+                                      cooldown=COOLDOWN,
+                                      clock=lambda: self.now)
+        # reference model
+        self.m_state = "closed"
+        self.m_failures = 0
+        self.m_opened_at = 0.0
+        self.m_probing = False
+
+    def _m_tick(self):
+        if self.m_state == "open" and \
+                self.now - self.m_opened_at >= COOLDOWN:
+            self.m_state = "half_open"
+            self.m_probing = False
+
+    def _m_trip(self):
+        self.m_state = "open"
+        self.m_opened_at = self.now
+        self.m_failures = 0
+        self.m_probing = False
+
+    @rule(dt=st.floats(min_value=0.0, max_value=12.0,
+                       allow_nan=False, allow_infinity=False))
+    def advance(self, dt):
+        self.now += dt
+
+    @rule()
+    def allow(self):
+        self._m_tick()
+        if self.m_state == "closed":
+            expected = True
+        elif self.m_state == "open":
+            expected = False
+        elif self.m_probing:
+            expected = False  # the single probe slot is taken
+        else:
+            expected = True
+            self.m_probing = True
+        assert self.breaker.allow() is expected
+
+    @rule()
+    def success(self):
+        self.breaker.record_success()
+        self.m_state = "closed"
+        self.m_failures = 0
+        self.m_probing = False
+
+    @rule()
+    def failure(self):
+        self.breaker.record_failure()
+        self._m_tick()
+        if self.m_state == "half_open":
+            self._m_trip()
+        else:
+            self.m_failures += 1
+            if self.m_state == "closed" and self.m_failures >= THRESHOLD:
+                self._m_trip()
+
+    @invariant()
+    def states_agree(self):
+        self._m_tick()
+        assert self.breaker.state == self.m_state
+
+    @invariant()
+    def open_state_always_refuses_before_cooldown(self):
+        if self.m_state == "open" and \
+                self.now - self.m_opened_at < COOLDOWN:
+            assert self.breaker.allow() is False
+
+
+class SchedulerMachine(RuleBasedStateMachine):
+    """Per-key non-concurrency: at most one in-flight re-tune per key."""
+
+    KEYS = ("alpha", "beta", "gamma")
+
+    def __init__(self):
+        super().__init__()
+        self.now = 0.0
+        self.sched = RetuneScheduler(CircuitBreaker(
+            failure_threshold=THRESHOLD, cooldown=COOLDOWN,
+            clock=lambda: self.now))
+        self.running = set()
+
+    @rule(dt=st.floats(min_value=0.0, max_value=12.0,
+                       allow_nan=False, allow_infinity=False))
+    def advance(self, dt):
+        self.now += dt
+
+    @rule(key=st.sampled_from(KEYS))
+    def begin(self, key):
+        started = self.sched.try_begin(key)
+        if key in self.running:
+            # THE invariant: a key never re-tunes concurrently
+            assert started is False
+        if started:
+            self.running.add(key)
+
+    @rule(key=st.sampled_from(KEYS), ok=st.booleans())
+    @precondition(lambda self: self.running)
+    def finish(self, key, ok):
+        if key in self.running:
+            self.sched.finish(key, ok=ok)
+            self.running.discard(key)
+
+    @invariant()
+    def inflight_matches(self):
+        assert self.sched.inflight() == len(self.running)
+
+    @invariant()
+    def counters_are_consistent(self):
+        assert self.sched.started >= len(self.running)
+        assert self.sched.refused_inflight >= 0
+        assert self.sched.refused_breaker >= 0
+
+
+TestBreakerStateMachine = BreakerMachine.TestCase
+TestBreakerStateMachine.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None)
+
+TestSchedulerStateMachine = SchedulerMachine.TestCase
+TestSchedulerStateMachine.settings = settings(
+    max_examples=60, stateful_step_count=40, deadline=None)
+
+
+def test_breaker_end_to_end_with_virtual_clock():
+    """A linear happy-path read of the same contract, for humans."""
+    now = [0.0]
+    b = CircuitBreaker(failure_threshold=2, cooldown=10.0,
+                       clock=lambda: now[0])
+    assert b.state == "closed" and b.allow()
+    b.record_failure()
+    b.record_failure()  # trips
+    assert b.state == "open" and not b.allow()
+    now[0] = 9.9
+    assert not b.allow()
+    now[0] = 10.0
+    assert b.state == "half_open"
+    assert b.allow()       # claims the probe
+    assert not b.allow()   # slot taken
+    b.record_failure()     # probe failed: open again, full cooldown
+    assert b.state == "open"
+    now[0] = 20.0
+    assert b.allow()
+    b.record_success()
+    assert b.state == "closed"
+    assert b.trips == 2

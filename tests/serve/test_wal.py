@@ -1,0 +1,128 @@
+"""WAL unit tests: roundtrip, torn tails at every byte, corruption."""
+
+import os
+import struct
+
+import pytest
+
+from repro.errors import ServeError
+from repro.serve.wal import MAX_RECORD, WriteAheadLog, replay_wal, wal_size
+
+RECORDS = [
+    (1, {"key": "a", "version": 1, "value": "first"}),
+    (2, {"key": "b", "version": 1, "value": "second-with-more-bytes"}),
+    (3, {"key": "a", "version": 2, "value": "third"}),
+]
+
+
+def _write(path, records=RECORDS):
+    with WriteAheadLog(path) as wal:
+        for seq, payload in records:
+            wal.append(seq, payload)
+
+
+def test_roundtrip(tmp_path):
+    path = str(tmp_path / "x.wal")
+    _write(path)
+    records, truncated = replay_wal(path)
+    assert records == RECORDS
+    assert truncated == 0
+
+
+def test_missing_file_is_empty_log(tmp_path):
+    records, truncated = replay_wal(str(tmp_path / "absent.wal"))
+    assert records == []
+    assert truncated == 0
+    assert wal_size(str(tmp_path / "absent.wal")) is None
+
+
+def test_truncation_at_every_byte_offset(tmp_path):
+    """A SIGKILL can land mid-write at any byte: for every possible cut
+    point the replay must return a clean prefix of committed records and
+    physically truncate the torn tail."""
+    full = str(tmp_path / "full.wal")
+    _write(full)
+    blob = open(full, "rb").read()
+    # the byte offsets where each complete record ends
+    boundaries = []
+    offset = 0
+    header = struct.Struct(">2sQII")
+    for _ in RECORDS:
+        _, _, length, _ = header.unpack(blob[offset:offset + header.size])
+        offset += header.size + length
+        boundaries.append(offset)
+    assert boundaries[-1] == len(blob)
+
+    for cut in range(len(blob) + 1):
+        path = str(tmp_path / "cut.wal")
+        with open(path, "wb") as fh:
+            fh.write(blob[:cut])
+        records, truncated = replay_wal(path)
+        complete = sum(1 for b in boundaries if b <= cut)
+        assert [r[0] for r in records] == [r[0] for r in RECORDS[:complete]]
+        good_end = boundaries[complete - 1] if complete else 0
+        assert truncated == cut - good_end
+        # the file was physically truncated to the last good record ...
+        assert os.path.getsize(path) == good_end
+        # ... so appends resume at a record boundary
+        with WriteAheadLog(path) as wal:
+            wal.append(99, {"key": "resumed"})
+        records2, truncated2 = replay_wal(path)
+        assert truncated2 == 0
+        assert records2[-1] == (99, {"key": "resumed"})
+        assert records2[:-1] == records
+
+
+def test_crc_corruption_stops_replay(tmp_path):
+    path = str(tmp_path / "x.wal")
+    _write(path)
+    blob = bytearray(open(path, "rb").read())
+    header = struct.Struct(">2sQII")
+    _, _, length0, _ = header.unpack(blob[:header.size])
+    # flip one payload byte of the *second* record
+    second_payload = 2 * header.size + length0
+    blob[second_payload] ^= 0xFF
+    with open(path, "wb") as fh:
+        fh.write(bytes(blob))
+    records, truncated = replay_wal(path)
+    assert [r[0] for r in records] == [1]  # everything after the rot is cut
+    assert truncated > 0
+    assert os.path.getsize(path) == header.size + length0
+
+
+def test_bad_magic_stops_replay(tmp_path):
+    path = str(tmp_path / "x.wal")
+    _write(path, records=RECORDS[:1])
+    with open(path, "ab") as fh:
+        fh.write(b"ZZ" + b"\x00" * 40)
+    records, truncated = replay_wal(path)
+    assert [r[0] for r in records] == [1]
+    assert truncated == 42
+
+
+def test_absurd_length_field_stops_replay(tmp_path):
+    path = str(tmp_path / "x.wal")
+    header = struct.Struct(">2sQII")
+    with open(path, "wb") as fh:
+        fh.write(header.pack(b"WL", 1, MAX_RECORD + 1, 0) + b"xx")
+    records, truncated = replay_wal(path)
+    assert records == []
+    assert truncated == header.size + 2
+    assert os.path.getsize(path) == 0
+
+
+def test_oversized_append_refused(tmp_path):
+    with WriteAheadLog(str(tmp_path / "x.wal")) as wal:
+        with pytest.raises(ServeError):
+            wal.append(1, {"blob": "x" * (MAX_RECORD + 1)})
+
+
+def test_truncate_drops_all_records(tmp_path):
+    path = str(tmp_path / "x.wal")
+    with WriteAheadLog(path) as wal:
+        wal.append(1, {"key": "a"})
+        wal.truncate()
+        wal.append(2, {"key": "b"})
+    records, truncated = replay_wal(path)
+    assert records == [(2, {"key": "b"})]
+    assert truncated == 0

@@ -33,6 +33,7 @@ from .function import CollFunction, CollSpec, FunctionSet
 __all__ = [
     "IBCAST_SEGSIZES",
     "ibcast_function_set",
+    "ibcast_mockup_function_set",
     "ialltoall_function_set",
     "ialltoall_extended_function_set",
     "iallgather_function_set",
@@ -80,6 +81,33 @@ def ibcast_function_set() -> FunctionSet:
                 attributes={"fanout": fanout, "segsize": segsize},
             ))
     return FunctionSet("ibcast", functions, attrs)
+
+
+def scatter_allgather_function() -> CollFunction:
+    """The Bcast ≼ Scatter+Allgather composition as an ADCL function.
+
+    A performance-guideline *mock-up candidate* (Hunold): a broadcast
+    implemented as a linear scatter followed by a ring all-gather
+    (:func:`repro.nbc.compose.build_scatter_allgather`).  It is not part
+    of the shipped :func:`ibcast_function_set` — the guideline checker
+    measures it stand-alone and asserts the tuned broadcast decision is
+    never slower than this composition.
+    """
+    from ..nbc.compose import compiled_scatter_allgather
+
+    def maker(ctx: MPIContext, spec: CollSpec, buffers) -> NBCRequest:
+        comm = spec.comm
+        rank = comm.local_rank(ctx.rank)
+        sched = compiled_scatter_allgather(comm.size, rank, spec.root,
+                                           spec.nbytes)
+        return NBCRequest(sched, comm, rank, _as_buffers(buffers)).start(ctx)
+
+    return CollFunction(name="scatter_allgather", maker=maker)
+
+
+def ibcast_mockup_function_set() -> FunctionSet:
+    """Single-function set holding the scatter+allgather bcast mock-up."""
+    return FunctionSet("ibcast_mockup", [scatter_allgather_function()])
 
 
 def _alltoall_maker(algorithm: str, ctx: MPIContext, spec: CollSpec,

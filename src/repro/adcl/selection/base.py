@@ -150,6 +150,34 @@ class Selector:
             i: rs for i, rs in self.quarantined.items() if rs[1]
         }
 
+    def run_offline(self, costs: Sequence[float],
+                    max_iterations: Optional[int] = None) -> int:
+        """Drive the selection state machine over *known* candidate costs.
+
+        Feeds ``costs[i]`` as the measurement whenever the selector
+        schedules candidate ``i``, until it decides; returns the winner
+        index.  This is the guideline *mock-up* mechanism (Hunold): the
+        cost table plants a candidate whose cost is known to be optimal,
+        and the caller asserts the decision finds it — validating the
+        selection logic itself, independent of any simulation.
+        """
+        if len(costs) != len(self.fnset):
+            raise SelectionError(
+                f"need one cost per candidate: got {len(costs)} costs for "
+                f"{len(self.fnset)} functions")
+        if max_iterations is None:
+            max_iterations = 20 * len(self.fnset) * self.evals_per_function
+        for it in range(max_iterations):
+            idx = self.function_for_iteration(it)
+            if self.decided:
+                return self.winner
+            self.feed(it, idx, float(costs[idx]))
+        if self.decided:
+            return self.winner
+        raise SelectionError(
+            f"{type(self).__name__} reached no decision after "
+            f"{max_iterations} offline iterations")
+
     # -- helpers ---------------------------------------------------------
 
     def _running_best(self) -> Optional[float]:

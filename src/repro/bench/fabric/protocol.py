@@ -34,12 +34,13 @@ determinism contract, checked on every dedupe, not assumed.
 
 from __future__ import annotations
 
-import hashlib
 import json
 import pickle
 import socket
 import struct
 from typing import Any, Iterator, List, Optional, Tuple
+
+from ...util.canonical import canonical_bytes, fingerprint
 
 __all__ = [
     "FrameReader",
@@ -65,8 +66,9 @@ def _encode(message: tuple, codec: str) -> bytes:
     if codec == "pickle":
         return pickle.dumps(message, protocol=pickle.HIGHEST_PROTOCOL)
     if codec == "json":
-        return json.dumps(message, sort_keys=True,
-                          separators=(",", ":")).encode("utf-8")
+        # strict: a non-JSON-able value in a service frame is a
+        # programming error, not something to stringify over the wire
+        return canonical_bytes(message, strict=True)
     raise ValueError(f"unknown frame codec {codec!r}")
 
 
@@ -97,9 +99,7 @@ def result_fingerprint(result: Any) -> str:
     processes, sessions, and the serial/fabric/resume comparison the
     chaos harness performs.
     """
-    body = json.dumps(result, sort_keys=True, separators=(",", ":"),
-                      default=str)
-    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+    return fingerprint(result)
 
 
 def send_frame(sock: socket.socket, message: tuple,

@@ -170,12 +170,16 @@ def run_overlap(
     evals_per_function: int = 5,
     filter_method: str = "cluster",
     history=None,
+    fnset: Optional[FunctionSet] = None,
 ) -> OverlapResult:
     """Execute the micro-benchmark.
 
     ``selector`` is a selection-logic name, a :class:`Selector`
     instance, or an ``int`` — the latter runs a *verification run* with
     that single fixed implementation, circumventing the selection logic.
+    ``fnset`` replaces the operation's standard candidate pool; the
+    guideline checker uses this to measure mock-up candidates with the
+    exact same loop, timer and network model as the tuned decision.
     """
     world = SimWorld(
         get_platform(config.platform),
@@ -186,7 +190,8 @@ def run_overlap(
         reliable=config.reliable,
         max_retries=config.max_retries,
     )
-    fnset = function_set_for(config.operation)
+    if fnset is None:
+        fnset = function_set_for(config.operation)
     kind = "bcast" if config.operation == "bcast" else "alltoall"
     spec = CollSpec(kind, world.comm_world, config.nbytes)
     if isinstance(selector, int):

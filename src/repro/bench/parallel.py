@@ -46,6 +46,7 @@ import os
 from typing import Any, Callable, Optional, Sequence
 
 from ..adcl.history import atomic_write_json
+from ..util.canonical import canonical_json
 from ..util.locks import FileLock
 from .overlap import OverlapConfig, function_set_for, run_overlap
 
@@ -77,8 +78,7 @@ def task_key(kind: str, **fields: Any) -> str:
         if dataclasses.is_dataclass(value) and not isinstance(value, type):
             value = dataclasses.asdict(value)
         flat[name] = value
-    body = json.dumps(flat, sort_keys=True, separators=(",", ":"), default=str)
-    return f"{kind}:{body}"
+    return f"{kind}:{canonical_json(flat)}"
 
 
 def derive_seed(base_seed: int, key: str) -> int:

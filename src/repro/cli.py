@@ -14,6 +14,9 @@ Commands
 ``serve``
     Run the tuning knowledge daemon (crash-safe shared decision store;
     ``tune --serve`` / ``sweep --serve`` consult it).
+``verify-guidelines``
+    Verify tuned decisions against performance guidelines (exit 0
+    compliant / 2 violations found / 1 harness error).
 
 Examples
 --------
@@ -25,6 +28,8 @@ Examples
     python -m repro fft --platform crill --nprocs 48 --n 480
     python -m repro serve --socket /tmp/tuning.sock --data-dir /tmp/kb
     python -m repro tune --serve unix:/tmp/tuning.sock
+    python -m repro verify-guidelines --platforms whale --fuzz 20 --seed 7
+    python -m repro verify-guidelines --recheck tests/guidelines/scenarios
 """
 
 from __future__ import annotations
@@ -288,6 +293,82 @@ def build_parser() -> argparse.ArgumentParser:
                           help="append an ASCII per-rank timeline")
     p_report.add_argument("--width", type=int, default=100,
                           help="timeline width in characters")
+
+    p_guide = sub.add_parser(
+        "verify-guidelines",
+        help="verify tuned decisions against performance guidelines "
+             "(exit 0 compliant / 2 violations / 1 harness error)")
+    p_guide.add_argument("--list-rules", action="store_true",
+                         help="print the guideline rule catalogue and exit")
+    p_guide.add_argument("--rules", default=None, metavar="IDS",
+                         help="comma-separated rule IDs to check "
+                              "(default: the full catalogue)")
+    p_guide.add_argument("--platforms", default=None, metavar="NAMES",
+                         help="comma-separated platform presets "
+                              "(default: all shipped presets)")
+    p_guide.add_argument("--operations", default="alltoall,bcast",
+                         metavar="OPS",
+                         help="comma-separated operations to probe")
+    p_guide.add_argument("--selectors", default="brute_force",
+                         metavar="NAMES",
+                         help="comma-separated selection algorithms to "
+                              "probe (brute_force/heuristic/factorial)")
+    p_guide.add_argument("--tolerance", type=float, default=0.02,
+                         help="relative margin a comparison may exceed its "
+                              "bound by before it violates (default 0.02)")
+    p_guide.add_argument("--fuzz", type=int, default=0, metavar="N",
+                         help="check N randomly drawn probe geometries "
+                              "instead of the fixed preset matrix")
+    p_guide.add_argument("--seed", type=int, default=0,
+                         help="fuzzer seed; the same seed reproduces the "
+                              "same probes and byte-identical defect "
+                              "reports")
+    p_guide.add_argument("--max-nbytes", type=parse_size, default="256KB",
+                         metavar="SIZE",
+                         help="largest message size the fuzzer draws "
+                              "(default 256KB)")
+    p_guide.add_argument("--jobs", type=int, default=1, metavar="N",
+                         help="fabric worker processes to fan probe checks "
+                              "out over (1 = serial; results are "
+                              "bit-identical either way)")
+    p_guide.add_argument("--result-cache", default=None, metavar="DIR",
+                         help="keyed on-disk result cache; finished probes "
+                              "are checkpointed and reused")
+    p_guide.add_argument("--resume", action="store_true",
+                         help="continue a killed campaign from the last "
+                              "completed probe (requires --result-cache)")
+    p_guide.add_argument("--task-timeout", type=float, default=60.0,
+                         metavar="S",
+                         help="fabric lease deadline per probe in wall "
+                              "seconds (default 60)")
+    p_guide.add_argument("--fabric-metrics", default=None, metavar="PATH",
+                         help="write the campaign fabric's telemetry as a "
+                              "JSON metrics snapshot")
+    p_guide.add_argument("--chaos-kill-workers", type=int, default=0,
+                         metavar="N",
+                         help="chaos harness: SIGKILL N random fabric "
+                              "workers mid-campaign (results must stay "
+                              "bit-identical; used by CI)")
+    p_guide.add_argument("--chaos-seed", type=int, default=0,
+                         help="seed for the chaos worker-killer RNG")
+    p_guide.add_argument("--defects", default=None, metavar="PATH",
+                         help="write the machine-readable defect reports "
+                              "here (deterministic bytes)")
+    p_guide.add_argument("--audit", default=None, metavar="PATH",
+                         help="write a trace document whose audit log "
+                              "carries the defect reports (validate with "
+                              "`repro report --validate`)")
+    p_guide.add_argument("--export-scenarios", default=None, metavar="DIR",
+                         help="export each (minimized) defect as a "
+                              "regression scenario JSON under DIR")
+    p_guide.add_argument("--no-minimize", action="store_true",
+                         help="report violations at their original probes "
+                              "instead of greedily shrinking them first")
+    p_guide.add_argument("--recheck", default=None, metavar="DIR",
+                         help="re-run the regression scenarios under DIR "
+                              "and verify each reproduces its recorded "
+                              "defect fingerprint (0 all reproduce / 2 "
+                              "drift)")
     return parser
 
 
@@ -460,6 +541,10 @@ def cmd_serve(args) -> int:
     if stats["replayed_records"] or stats["truncated_bytes"]:
         print(f"crash recovery: replayed {stats['replayed_records']} WAL "
               f"records, truncated {stats['truncated_bytes']} torn bytes")
+    check = server.guideline_check
+    print(f"guideline cross-check: {check['records']} stored decision(s), "
+          f"{check['violations']} monotonicity violation(s)"
+          + (" — see the audit log" if check["violations"] else ""))
     print("serving until SIGTERM/SIGINT ...")
     server.serve_forever()
     print(f"drained and checkpointed; {len(server.kb)} records on disk")
@@ -698,6 +783,146 @@ def cmd_fft(args) -> int:
     return 0
 
 
+def _csv(value: Optional[str]) -> Optional[list]:
+    """Split a comma-separated CLI value; None passes through."""
+    if value is None:
+        return None
+    return [item.strip() for item in value.split(",") if item.strip()]
+
+
+def _guideline_recheck(args) -> int:
+    """``verify-guidelines --recheck``: replay the regression corpus."""
+    from .guidelines import GuidelineEngine, discover_scenarios, \
+        recheck_scenario
+
+    scenarios = discover_scenarios(args.recheck)
+    if not scenarios:
+        print(f"no regression scenarios under {args.recheck}")
+        return 0
+    engine = GuidelineEngine()
+    drifted = 0
+    for scenario in scenarios:
+        result = recheck_scenario(scenario, engine=engine)
+        name = os.path.basename(scenario["path"])
+        if result["reproduced"]:
+            print(f"  {name}: reproduced")
+        else:
+            drifted += 1
+            actual = ", ".join(fp[:12] for fp in result["actual"]) or "none"
+            print(f"  {name}: DRIFTED (expected "
+                  f"{result['expected'][:12]}, got {actual})")
+    print(f"\n{len(scenarios)} scenario(s), {drifted} drifted")
+    if drifted:
+        print("a drifted scenario means the violation stopped reproducing "
+              "bit-identically: either the defect was fixed (retire the "
+              "scenario) or the evidence changed shape (investigate)")
+    return 2 if drifted else 0
+
+
+def cmd_verify_guidelines(args) -> int:
+    from .guidelines import (
+        RULES,
+        GuidelineEngine,
+        defect_from_violation,
+        fuzz_probes,
+        minimize_violation,
+        preset_probes,
+        record_defects,
+        rules_by_id,
+        run_campaign,
+        save_scenario,
+        scenario_from_defect,
+        write_defect_reports,
+    )
+    from .obs.audit import AuditLog
+
+    if args.list_rules:
+        print("performance-guideline rule catalogue:")
+        for rule in RULES:
+            print(f"  {rule.describe()}")
+        return 0
+
+    try:
+        rule_ids = _csv(args.rules)
+        if rule_ids is not None:
+            rules_by_id(rule_ids)  # unknown IDs are harness errors
+
+        if args.recheck:
+            return _guideline_recheck(args)
+
+        platforms = _csv(args.platforms) or available_platforms()
+        operations = _csv(args.operations) or ["alltoall", "bcast"]
+        selectors = _csv(args.selectors) or ["brute_force"]
+        cache = ResultCache(args.result_cache) if args.result_cache else None
+        fabric = _fabric_config(args, cache)
+
+        if args.fuzz > 0:
+            probes = fuzz_probes(
+                args.fuzz, seed=args.seed, platforms=platforms,
+                operations=operations, selectors=selectors,
+                tolerance=args.tolerance, max_nbytes=args.max_nbytes)
+            what = f"{len(probes)} fuzzed probes (seed {args.seed})"
+        else:
+            probes = []
+            for selector in selectors:
+                probes.extend(preset_probes(
+                    platforms, operations, tolerance=args.tolerance,
+                    selector=selector))
+            what = f"the {len(probes)}-probe preset matrix"
+        nrules = len(rule_ids) if rule_ids is not None else len(RULES)
+        print(f"verifying {nrules} guideline rule(s) over {what} "
+              f"[{', '.join(platforms)}]")
+
+        campaign = run_campaign(probes, rules=rule_ids, jobs=args.jobs,
+                                cache=cache, fabric=fabric)
+        violations = campaign["violations"]
+
+        reports = []
+        if violations:
+            engine = GuidelineEngine()
+            seen = set()
+            for violation in violations:
+                if not args.no_minimize:
+                    violation = minimize_violation(violation, engine=engine)
+                report = defect_from_violation(violation)
+                if report["fingerprint"] in seen:
+                    continue  # distinct probes can shrink to one defect
+                seen.add(report["fingerprint"])
+                reports.append(report)
+
+        print(f"checked {campaign['checked']} probe(s): "
+              f"{len(reports)} defect(s)")
+        for report in reports:
+            print(f"  [{report['rule']}] {report['reason']}")
+            print(f"    fingerprint {report['fingerprint'][:12]}  "
+                  f"probe {report['key'][len('guideline:'):]}")
+
+        if args.defects:
+            write_defect_reports(args.defects, reports)
+            print(f"defect reports written to {args.defects}")
+        if args.audit:
+            audit = AuditLog()
+            record_defects(audit, reports)
+            doc = build_trace_doc([], scenario="verify-guidelines",
+                                  audit=audit.to_json())
+            dump_trace(doc, args.audit)
+            print(f"audit trace written to {args.audit}  "
+                  f"(validate: `python -m repro report --validate "
+                  f"{args.audit}`)")
+        if args.export_scenarios:
+            for report in reports:
+                path = save_scenario(args.export_scenarios,
+                                     scenario_from_defect(report))
+                print(f"regression scenario exported to {path}")
+        _finish_fabric(args, fabric)
+        return 2 if reports else 0
+    except SystemExit:
+        raise
+    except Exception as exc:  # harness failure, not a finding
+        print(f"guideline harness error: {exc}", file=sys.stderr)
+        return 1
+
+
 def cmd_report(args) -> int:
     doc, errors = validate_or_errors(args.path)
     if errors:
@@ -728,4 +953,6 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_serve(args)
     if args.command == "report":
         return cmd_report(args)
+    if args.command == "verify-guidelines":
+        return cmd_verify_guidelines(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

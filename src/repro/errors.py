@@ -112,6 +112,18 @@ class CheckpointError(AdclError):
     """
 
 
+class GuidelineError(ReproError):
+    """The performance-guideline verification harness itself failed.
+
+    Raised by :mod:`repro.guidelines` when a probe cannot be evaluated
+    (unknown rule, scenario that reaches no decision, malformed
+    regression scenario file) — as opposed to a guideline *violation*,
+    which is a finding, not an error, and is reported as a defect.
+    The CLI maps this to exit code 1 (harness error), distinct from
+    exit code 2 (violations found).
+    """
+
+
 class ServeError(ReproError):
     """The tuning service (:mod:`repro.serve`) was misused or failed.
 

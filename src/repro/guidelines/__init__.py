@@ -1,0 +1,96 @@
+"""Performance-guideline verification engine.
+
+Verifies that the auto-tuner's decisions satisfy self-evident
+performance guidelines (after Hunold's PGMPITuneLib):
+
+* :mod:`~repro.guidelines.rules` — the declarative rule catalogue
+  (monotonicity, composition mock-ups, selection mock-ups), each with
+  a machine-readable ID;
+* :mod:`~repro.guidelines.checker` — probe normalization and the
+  measurement engine that evaluates rules against tuned decisions via
+  the real overlap harness, plus the pure-dict knowledge-base
+  cross-check used by ``repro serve`` on startup;
+* :mod:`~repro.guidelines.mockup` — seeded synthetic function-sets
+  with planted optima, validating the selection logic itself;
+* :mod:`~repro.guidelines.fuzz` — the seeded geometry fuzzer, fanned
+  out through the resilient sweep fabric;
+* :mod:`~repro.guidelines.defects` — fingerprinted machine-readable
+  defect reports (audit-log schema) and probe minimization;
+* :mod:`~repro.guidelines.scenarios` — minimized defects exported as
+  regression scenarios, auto-discovered by the test suite.
+
+CLI: ``repro verify-guidelines`` (exit 0 = compliant, 2 = violations
+found, 1 = the harness itself failed).
+"""
+
+from .checker import (
+    GuidelineEngine,
+    PROBE_DEFAULTS,
+    check_kb_records,
+    check_probe,
+    normalize_probe,
+    preset_probes,
+    probe_key,
+)
+from .defects import (
+    GUIDELINE_DEFECT_SCHEMA,
+    defect_from_violation,
+    minimize_violation,
+    record_defects,
+    validate_defect,
+    write_defect_reports,
+)
+from .fuzz import fuzz_probes, run_campaign
+from .mockup import plant_and_select, synthetic_function_set
+from .rules import (
+    RULES,
+    RULE_CATALOGUE,
+    CompositionGuideline,
+    Guideline,
+    MonotonicityGuideline,
+    SelectionMockupGuideline,
+    rules_by_id,
+)
+from .scenarios import (
+    SCENARIO_SCHEMA,
+    discover_scenarios,
+    load_scenario,
+    recheck_scenario,
+    save_scenario,
+    scenario_filename,
+    scenario_from_defect,
+)
+
+__all__ = [
+    "GUIDELINE_DEFECT_SCHEMA",
+    "PROBE_DEFAULTS",
+    "RULES",
+    "RULE_CATALOGUE",
+    "SCENARIO_SCHEMA",
+    "CompositionGuideline",
+    "Guideline",
+    "GuidelineEngine",
+    "MonotonicityGuideline",
+    "SelectionMockupGuideline",
+    "check_kb_records",
+    "check_probe",
+    "defect_from_violation",
+    "discover_scenarios",
+    "fuzz_probes",
+    "load_scenario",
+    "minimize_violation",
+    "normalize_probe",
+    "plant_and_select",
+    "preset_probes",
+    "probe_key",
+    "recheck_scenario",
+    "record_defects",
+    "rules_by_id",
+    "run_campaign",
+    "save_scenario",
+    "scenario_filename",
+    "scenario_from_defect",
+    "synthetic_function_set",
+    "validate_defect",
+    "write_defect_reports",
+]

@@ -147,9 +147,27 @@ def render_report(doc: dict, timeline: bool = False, width: int = 100) -> str:
 
 
 def validate_or_errors(path: str) -> Tuple[dict, List[str]]:
-    """Load + validate in one step (shared by the CLI and CI smoke)."""
+    """Load + validate in one step (shared by the CLI and CI smoke).
+
+    On top of the trace schema, guideline defect reports embedded in
+    the audit log (``kind="defect"``, ``component="guidelines"``) are
+    validated against the guideline-defect schema — fingerprints must
+    recompute, cost hex twins must match — so a hand-edited or torn
+    defect trail fails ``repro report --validate`` like any other
+    schema violation.
+    """
     try:
         doc = load_trace(path)
     except (OSError, json.JSONDecodeError) as exc:
         return {}, [f"cannot load {path}: {exc}"]
-    return doc, validate_trace(doc)
+    errors = validate_trace(doc)
+    audit = doc.get("repro", {}).get("audit", [])
+    if isinstance(audit, list):
+        for i, entry in enumerate(audit):
+            if not isinstance(entry, dict) or \
+                    entry.get("kind") != "defect" or \
+                    entry.get("component") != "guidelines":
+                continue
+            from ..guidelines.defects import validate_defect
+            errors.extend(f"audit[{i}]: {e}" for e in validate_defect(entry))
+    return doc, errors

@@ -17,12 +17,12 @@ sharding, WAL records, coalescing and the LRU decision cache.
 
 from __future__ import annotations
 
-import json
 import math
 from typing import Any, Dict, Optional
 
 from ..bench.overlap import OverlapConfig, function_set_for, run_overlap
 from ..errors import ServeError
+from ..util.canonical import canonical_json
 
 __all__ = [
     "REQUEST_DEFAULTS",
@@ -104,8 +104,7 @@ def request_key(req: dict) -> str:
     Stable across processes and sessions (sorted keys, no whitespace)
     — the knowledge-base / WAL / cache / coalescing key.
     """
-    body = json.dumps(req, sort_keys=True, separators=(",", ":"))
-    return f"tune:{body}"
+    return f"tune:{canonical_json(req, strict=True)}"
 
 
 def history_key(req: dict) -> str:

@@ -129,6 +129,35 @@ class TuningServer:
         self._threads: list = []
         self._conn_threads: list = []
         self._record_recovery()
+        self._crosscheck_guidelines()
+
+    def _crosscheck_guidelines(self) -> None:
+        """Verify the recovered knowledge base against the monotonicity
+        guidelines before serving it.
+
+        A decision store that survived crashes, WAL replays and drift
+        re-tunes can accumulate mutually inconsistent decisions (a
+        bigger scenario stored as cheaper than a smaller one).  Each
+        inconsistency becomes an audit defect in the guideline-defect
+        pipeline's shape — surfaced at boot, not when a client plans
+        around a stale answer.
+        """
+        from ..guidelines.checker import check_kb_records
+        from ..guidelines.defects import defect_from_violation, \
+            record_defects
+
+        records = sorted(
+            (rec for shard in self.kb.shards
+             for rec in shard.live_records()),
+            key=lambda rec: rec.get("key") or "")
+        violations = check_kb_records(records)
+        record_defects(
+            self.audit, [defect_from_violation(v) for v in violations])
+        self.metrics.gauge("serve.guidelines.checked").set(len(records))
+        self.metrics.gauge("serve.guidelines.violations").set(
+            len(violations))
+        self.guideline_check = {"records": len(records),
+                                "violations": len(violations)}
 
     def _record_recovery(self) -> None:
         """Expose crash-recovery telemetry from the knowledge base."""

@@ -1,5 +1,6 @@
 """Small shared utilities with no dependencies on the rest of ``repro``."""
 
+from .canonical import canonical_bytes, canonical_json, fingerprint
 from .locks import FileLock
 
-__all__ = ["FileLock"]
+__all__ = ["FileLock", "canonical_bytes", "canonical_json", "fingerprint"]

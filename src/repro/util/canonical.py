@@ -1,0 +1,44 @@
+"""Canonical JSON: one encoding, one fingerprint, everywhere.
+
+Several subsystems need a *bit-stable* textual identity for JSON-able
+values — the fabric's result fingerprints, the tuning daemon's frame
+encoding and knowledge-base keys, the sweep executor's task keys, and
+the guideline engine's defect-report fingerprints.  They must all agree
+byte-for-byte (the chaos harnesses literally compare the hashes across
+processes and sessions), so the encoding lives here once:
+
+    sorted keys, no whitespace, UTF-8.
+
+``strict=True`` refuses non-JSON-able values (wire encodings should
+fail loudly on a programming error); the default stringifies them,
+matching what fingerprinting has always done for incidental objects
+inside task results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+__all__ = ["canonical_bytes", "canonical_json", "fingerprint"]
+
+
+def canonical_json(obj: Any, strict: bool = False) -> str:
+    """The canonical JSON text of ``obj`` (sorted keys, no whitespace)."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"),
+                      default=None if strict else str)
+
+
+def canonical_bytes(obj: Any, strict: bool = False) -> bytes:
+    """UTF-8 bytes of :func:`canonical_json` (the wire/hash form)."""
+    return canonical_json(obj, strict=strict).encode("utf-8")
+
+
+def fingerprint(obj: Any) -> str:
+    """SHA-256 hex digest of the canonical JSON form of ``obj``.
+
+    A stable bit-exact identity usable across processes, sessions, and
+    the serial/fabric/resume comparisons the chaos harnesses perform.
+    """
+    return hashlib.sha256(canonical_bytes(obj)).hexdigest()

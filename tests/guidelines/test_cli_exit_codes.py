@@ -1,0 +1,100 @@
+"""CLI exit-code contract: 0 compliant / 2 violations / 1 harness error."""
+
+import json
+
+from repro.cli import main
+
+
+def test_list_rules_exits_zero(capsys):
+    assert main(["verify-guidelines", "--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "PG-MONO-MSGSIZE" in out
+    assert "PG-SELECT-MOCKUP" in out
+
+
+def test_clean_campaign_exits_zero(capsys):
+    # brute force always finds the planted optimum: selection-only
+    # fuzzing is compliant and fast
+    rc = main(["verify-guidelines", "--rules", "PG-SELECT-MOCKUP",
+               "--fuzz", "4", "--seed", "1"])
+    assert rc == 0
+    assert "0 defect(s)" in capsys.readouterr().out
+
+
+def test_violations_exit_two_and_write_artifacts(tmp_path, capsys):
+    defects = tmp_path / "defects.json"
+    audit = tmp_path / "audit.json"
+    scen_dir = tmp_path / "scen"
+    rc = main(["verify-guidelines", "--rules", "PG-SELECT-MOCKUP",
+               "--selectors", "heuristic", "--platforms", "whale",
+               "--operations", "bcast",
+               "--defects", str(defects), "--audit", str(audit),
+               "--export-scenarios", str(scen_dir)])
+    assert rc == 2
+    out = capsys.readouterr().out
+    assert "PG-SELECT-MOCKUP" in out
+
+    doc = json.loads(defects.read_text())
+    assert doc["schema"] == 1
+    assert doc["defects"]
+    assert all(d["rule"] == "PG-SELECT-MOCKUP" for d in doc["defects"])
+
+    # the audit trace must pass `repro report --validate` (which also
+    # re-validates the embedded defect fingerprints)
+    assert main(["report", str(audit), "--validate"]) == 0
+
+    # exported scenarios recheck clean: exit 0
+    assert list(scen_dir.glob("*.json"))
+    assert main(["verify-guidelines", "--recheck", str(scen_dir)]) == 0
+
+
+def test_tampered_audit_defect_fails_validation(tmp_path):
+    audit = tmp_path / "audit.json"
+    rc = main(["verify-guidelines", "--rules", "PG-SELECT-MOCKUP",
+               "--selectors", "heuristic", "--platforms", "whale",
+               "--operations", "bcast", "--audit", str(audit)])
+    assert rc == 2
+    doc = json.loads(audit.read_text())
+    entry = next(e for e in doc["repro"]["audit"]
+                 if e.get("component") == "guidelines")
+    entry["reason"] = "tampered"
+    audit.write_text(json.dumps(doc))
+    assert main(["report", str(audit), "--validate"]) == 2
+
+
+def test_recheck_drift_exits_two(tmp_path, capsys):
+    scen_dir = tmp_path / "scen"
+    rc = main(["verify-guidelines", "--rules", "PG-SELECT-MOCKUP",
+               "--selectors", "heuristic", "--platforms", "whale",
+               "--operations", "bcast",
+               "--export-scenarios", str(scen_dir)])
+    assert rc == 2
+    path = next(scen_dir.glob("*.json"))
+    scenario = json.loads(path.read_text())
+    scenario["probe"]["seed"] = scenario["probe"]["seed"] + 1
+    path.write_text(json.dumps(scenario))
+    assert main(["verify-guidelines", "--recheck", str(scen_dir)]) == 2
+    assert "DRIFTED" in capsys.readouterr().out
+
+
+def test_harness_errors_exit_one(tmp_path, capsys):
+    assert main(["verify-guidelines", "--rules", "PG-NOPE"]) == 1
+    assert "unknown guideline rule" in capsys.readouterr().err
+
+    bad = tmp_path / "corpus"
+    bad.mkdir()
+    (bad / "broken.json").write_text("{")
+    assert main(["verify-guidelines", "--recheck", str(bad)]) == 1
+
+    assert main(["verify-guidelines", "--platforms", "atari"]) == 1
+
+
+def test_empty_recheck_directory_is_compliant(tmp_path):
+    assert main(["verify-guidelines", "--recheck", str(tmp_path)]) == 0
+
+
+def test_resume_without_cache_is_a_usage_error(tmp_path):
+    import pytest
+    with pytest.raises(SystemExit):
+        main(["verify-guidelines", "--rules", "PG-SELECT-MOCKUP",
+              "--fuzz", "2", "--resume"])

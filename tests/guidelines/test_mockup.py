@@ -1,0 +1,91 @@
+"""Selection mock-up tests: planted optima and offline selection."""
+
+import pytest
+
+from repro.adcl.request import make_selector
+from repro.errors import GuidelineError, SelectionError
+from repro.guidelines import check_probe, plant_and_select, \
+    synthetic_function_set
+from repro.guidelines.mockup import PLANT_FACTOR
+
+
+def test_synthetic_set_is_seed_deterministic():
+    fnset1, costs1, planted1 = synthetic_function_set(7)
+    fnset2, costs2, planted2 = synthetic_function_set(7)
+    assert costs1 == costs2
+    assert planted1 == planted2
+    assert [f.name for f in fnset1] == [f.name for f in fnset2]
+    fnset3, costs3, _ = synthetic_function_set(8)
+    assert costs1 != costs3
+
+
+def test_planted_candidate_is_strictly_optimal():
+    # the plant scales the pre-plant minimum (which may be the planted
+    # cell itself), so it is at most PLANT_FACTOR times the runner-up —
+    # strictly optimal either way
+    for seed in range(10):
+        _, costs, planted = synthetic_function_set(seed)
+        others = [c for i, c in enumerate(costs) if i != planted]
+        assert costs[planted] <= PLANT_FACTOR * min(others) + 1e-12
+        assert costs[planted] < min(others)
+
+
+def test_candidates_are_never_executed():
+    fnset, _, _ = synthetic_function_set(0)
+    with pytest.raises(GuidelineError):
+        fnset[0].maker(None, None, None)
+
+
+def test_brute_force_always_finds_the_planted_candidate():
+    for seed in range(20):
+        res = plant_and_select(
+            {"selector": "brute_force", "evals": 2, "seed": seed})
+        assert res["selected_index"] == res["planted_index"]
+        assert res["selected_cost"] == res["planted_cost"]
+
+
+def test_heuristic_misses_planted_candidate_on_nonseparable_surface():
+    # the attribute heuristic assumes per-attribute independence; the
+    # synthetic surfaces carry interaction terms, so across a seed range
+    # it must fail at least once (seed 0 is a known failure) while
+    # brute force never does
+    res = plant_and_select({"selector": "heuristic", "evals": 1, "seed": 0})
+    assert res["selected_index"] != res["planted_index"]
+    assert res["selected_cost"] > res["planted_cost"]
+
+
+def test_selection_rule_end_to_end_violation():
+    violations = check_probe(
+        {"selector": "heuristic", "evals": 1, "seed": 0},
+        rules=["PG-SELECT-MOCKUP"])
+    assert len(violations) == 1
+    v = violations[0]
+    assert v["rule"] == "PG-SELECT-MOCKUP"
+    assert v["evidence"]["mockup"]["candidates"] == 9
+    assert v["evidence"]["subject"]["cost"] > v["evidence"]["bound"]["cost"]
+
+    clean = check_probe(
+        {"selector": "brute_force", "evals": 1, "seed": 0},
+        rules=["PG-SELECT-MOCKUP"])
+    assert clean == []
+
+
+def test_run_offline_validates_cost_table_length():
+    fnset, costs, _ = synthetic_function_set(0)
+    selector = make_selector("brute_force", fnset, evals_per_function=1)
+    with pytest.raises(SelectionError):
+        selector.run_offline(costs[:-1])
+
+
+def test_run_offline_raises_when_no_decision_is_reached():
+    fnset, costs, _ = synthetic_function_set(0)
+    selector = make_selector("brute_force", fnset, evals_per_function=2)
+    with pytest.raises(SelectionError):
+        selector.run_offline(costs, max_iterations=3)
+
+
+def test_bad_levels_are_harness_errors():
+    with pytest.raises(GuidelineError):
+        synthetic_function_set(0, levels=(1, 3))
+    with pytest.raises(GuidelineError):
+        synthetic_function_set(0, levels=())

@@ -1,0 +1,125 @@
+"""Rule-catalogue tests: identity, applicability, violation shape."""
+
+import pytest
+
+from repro.errors import GuidelineError
+from repro.guidelines import (
+    RULES,
+    RULE_CATALOGUE,
+    check_probe,
+    normalize_probe,
+    rules_by_id,
+)
+
+
+class FakeEngine:
+    """Engine stub returning scripted costs (no simulation)."""
+
+    def __init__(self, tuned_costs, mockup_cost=None):
+        self.tuned_costs = dict(tuned_costs)
+        self.mockup_cost = mockup_cost
+
+    def _meas(self, cost):
+        return {"cost": cost, "cost_hex": float(cost).hex(),
+                "winner": "stub", "decided_at": 1}
+
+    def tuned(self, probe, **overrides):
+        p = normalize_probe({**probe, **overrides})
+        for (field, value), cost in self.tuned_costs.items():
+            if p[field] == value:
+                return self._meas(cost)
+        raise AssertionError(f"unscripted tuned probe: {p}")
+
+    def mockup(self, probe, name, **overrides):
+        return self._meas(self.mockup_cost)
+
+
+def test_catalogue_ids_are_unique_and_resolvable():
+    ids = [rule.rule_id for rule in RULES]
+    assert len(ids) == len(set(ids))
+    assert set(RULE_CATALOGUE) == set(ids)
+    assert [r.rule_id for r in rules_by_id(ids)] == ids
+    for rule in RULES:
+        assert rule.kind in ("monotonicity", "composition", "selection")
+        assert rule.rule_id in rule.describe()
+
+
+def test_unknown_rule_id_is_a_harness_error():
+    with pytest.raises(GuidelineError):
+        rules_by_id(["PG-NOPE"])
+
+
+def test_msgsize_monotonicity_flags_decreasing_cost():
+    probe = normalize_probe({"nbytes": 4096})
+    rule = RULE_CATALOGUE["PG-MONO-MSGSIZE"]
+    # cost drops when the message doubles: violation
+    engine = FakeEngine({("nbytes", 4096): 2.0, ("nbytes", 8192): 1.0})
+    violations = rule.check(engine, probe)
+    assert len(violations) == 1
+    v = violations[0]
+    assert v["rule"] == "PG-MONO-MSGSIZE"
+    assert v["kind"] == "monotonicity"
+    assert v["probe"] == probe
+    assert v["evidence"]["subject"]["cost"] == 2.0
+    assert v["evidence"]["bound"]["cost"] == 1.0
+    assert v["evidence"]["margin"] == pytest.approx(1.0)
+    # monotone surface: compliant
+    engine = FakeEngine({("nbytes", 4096): 1.0, ("nbytes", 8192): 2.0})
+    assert rule.check(engine, probe) == []
+
+
+def test_tolerance_absorbs_small_margins():
+    probe = normalize_probe({"nbytes": 4096, "tolerance": 0.05})
+    rule = RULE_CATALOGUE["PG-MONO-MSGSIZE"]
+    engine = FakeEngine({("nbytes", 4096): 1.04, ("nbytes", 8192): 1.0})
+    assert rule.check(engine, probe) == []
+    engine = FakeEngine({("nbytes", 4096): 1.06, ("nbytes", 8192): 1.0})
+    assert len(rule.check(engine, probe)) == 1
+
+
+def test_progress_monotonicity_subject_is_the_scaled_probe():
+    # MORE progress calls must not cost more: the scaled probe is the
+    # subject, the base probe the bound
+    probe = normalize_probe({"nprogress": 5})
+    rule = RULE_CATALOGUE["PG-MONO-PROGRESS"]
+    engine = FakeEngine({("nprogress", 5): 1.0, ("nprogress", 10): 2.0})
+    violations = rule.check(engine, probe)
+    assert len(violations) == 1
+    assert violations[0]["evidence"]["subject"]["cost"] == 2.0
+    engine = FakeEngine({("nprogress", 5): 2.0, ("nprogress", 10): 1.0})
+    assert rule.check(engine, probe) == []
+
+
+def test_composition_rule_applies_to_bcast_with_room_to_scatter():
+    rule = RULE_CATALOGUE["PG-COMP-BCAST-SCATTER-ALLGATHER"]
+    assert rule.applies_to(normalize_probe(
+        {"operation": "bcast", "nprocs": 8, "nbytes": 4096}))
+    # alltoall is out of the rule's domain
+    assert not rule.applies_to(normalize_probe(
+        {"operation": "alltoall", "nprocs": 8, "nbytes": 4096}))
+    # too small to give every rank a scatter block
+    assert not rule.applies_to(normalize_probe(
+        {"operation": "bcast", "nprocs": 8, "nbytes": 8}))
+
+
+def test_composition_rule_flags_tuned_losing_to_mockup():
+    probe = normalize_probe({"operation": "bcast", "nbytes": 4096})
+    rule = RULE_CATALOGUE["PG-COMP-BCAST-SCATTER-ALLGATHER"]
+    engine = FakeEngine({("nbytes", 4096): 2.0}, mockup_cost=1.0)
+    violations = rule.check(engine, probe)
+    assert len(violations) == 1
+    assert violations[0]["evidence"]["bound"]["label"] == \
+        "mockup:scatter_allgather"
+    engine = FakeEngine({("nbytes", 4096): 1.0}, mockup_cost=2.0)
+    assert rule.check(engine, probe) == []
+
+
+def test_check_probe_resolves_rule_ids_and_filters_applicability():
+    # alltoall probe + composition-only rule set: nothing applies, and
+    # no engine measurement is attempted (FakeEngine would raise)
+    violations = check_probe(
+        {"operation": "alltoall"},
+        rules=["PG-COMP-BCAST-SCATTER-ALLGATHER"],
+        engine=FakeEngine({}),
+    )
+    assert violations == []

@@ -1,0 +1,105 @@
+"""Regression-scenario tests, including the checked-in corpus.
+
+The corpus under ``tests/guidelines/scenarios/`` holds minimized
+defects found by real guideline campaigns.  Every file is re-checked
+here: the violation must still reproduce with a bit-identical defect
+fingerprint.  A failure means tuning behaviour changed — either the
+defect was fixed (retire the scenario deliberately) or the evidence
+drifted (investigate).
+"""
+
+import json
+import os
+
+import pytest
+
+from repro.errors import GuidelineError
+from repro.guidelines import (
+    GuidelineEngine,
+    check_probe,
+    defect_from_violation,
+    discover_scenarios,
+    load_scenario,
+    recheck_scenario,
+    save_scenario,
+    scenario_filename,
+    scenario_from_defect,
+)
+
+CORPUS = os.path.join(os.path.dirname(__file__), "scenarios")
+_corpus = discover_scenarios(CORPUS)
+
+
+def _fresh_defect():
+    violation = check_probe(
+        {"selector": "heuristic", "evals": 1, "seed": 0},
+        rules=["PG-SELECT-MOCKUP"])[0]
+    return defect_from_violation(violation)
+
+
+def test_scenario_roundtrip(tmp_path):
+    scenario = scenario_from_defect(_fresh_defect())
+    path = save_scenario(str(tmp_path), scenario)
+    assert os.path.basename(path) == scenario_filename(scenario)
+    loaded = load_scenario(path)
+    assert loaded["rule"] == scenario["rule"]
+    assert loaded["fingerprint"] == scenario["fingerprint"]
+    assert loaded["probe"] == scenario["probe"]
+    assert discover_scenarios(str(tmp_path))[0]["path"] == path
+
+
+def test_malformed_scenarios_are_harness_errors(tmp_path):
+    cases = {
+        "not-json.json": "{",
+        "not-object.json": "[]",
+        "bad-schema.json": json.dumps({"schema": 99}),
+        "bad-rule.json": json.dumps(
+            {"schema": 1, "rule": "PG-NOPE", "probe": {},
+             "fingerprint": "x"}),
+        "bad-probe.json": json.dumps(
+            {"schema": 1, "rule": "PG-SELECT-MOCKUP",
+             "probe": {"nprocs": 0}, "fingerprint": "x"}),
+        "no-fingerprint.json": json.dumps(
+            {"schema": 1, "rule": "PG-SELECT-MOCKUP", "probe": {}}),
+    }
+    for name, content in cases.items():
+        p = tmp_path / name
+        p.write_text(content)
+        with pytest.raises(GuidelineError):
+            load_scenario(str(p))
+
+
+def test_discover_missing_directory_is_empty():
+    assert discover_scenarios("/nonexistent/guideline/corpus") == []
+
+
+def test_recheck_detects_drift(tmp_path):
+    scenario = scenario_from_defect(_fresh_defect())
+    # brute force finds the planted optimum, so retargeting the probe's
+    # selector makes the violation vanish: recheck must report drift
+    drifted = dict(scenario, probe=dict(scenario["probe"],
+                                        selector="brute_force"))
+    path = save_scenario(str(tmp_path), drifted)
+    result = recheck_scenario(load_scenario(path))
+    assert not result["reproduced"]
+    assert result["actual"] == []
+
+
+def test_corpus_is_present():
+    # at least one composition defect and one selection defect, found
+    # by real campaigns, must be checked in
+    rules = {s["rule"] for s in _corpus}
+    assert "PG-COMP-BCAST-SCATTER-ALLGATHER" in rules
+    assert "PG-SELECT-MOCKUP" in rules
+
+
+@pytest.mark.parametrize(
+    "scenario", _corpus,
+    ids=[os.path.basename(s["path"]) for s in _corpus])
+def test_corpus_scenario_reproduces_its_fingerprint(scenario):
+    result = recheck_scenario(scenario, engine=GuidelineEngine())
+    assert result["reproduced"], (
+        f"{scenario['path']} stopped reproducing fingerprint "
+        f"{result['expected'][:12]} (got "
+        f"{[fp[:12] for fp in result['actual']]}); if the underlying "
+        f"defect was fixed, retire the scenario file")

@@ -1,0 +1,114 @@
+"""Property test: nearest-geometry warm starts respect monotonicity.
+
+On a knowledge base whose stored decisions form a *monotone* cost
+surface (cost strictly increasing in process count and message size —
+the shape the performance guidelines demand of real tuning data), the
+nearest-geometry warm start must itself be monotone: a query that
+dominates another component-wise must never warm-start from a cheaper
+decision.  This holds because ``KnowledgeBase.nearest`` minimizes a
+per-coordinate log-distance over a full grid, so the chosen grid point
+is monotone in the query — and it is exactly the property the
+guideline engine's KB cross-check (``check_kb_records``) relies on
+when it treats stored decisions as comparable evidence.
+"""
+
+import tempfile
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.guidelines import check_kb_records
+from repro.serve.core import normalize_request, request_key
+from repro.serve.shards import KnowledgeBase
+
+#: full geometry grid the synthetic knowledge base is populated on
+GRID_NPROCS = (2, 4, 8, 16, 32)
+GRID_NBYTES = (1024, 4096, 16384, 65536)
+
+
+def _request(nprocs, nbytes):
+    return normalize_request({
+        "operation": "bcast", "nprocs": nprocs, "nbytes": nbytes,
+    })
+
+
+def _populate(directory, cost_of):
+    kb = KnowledgeBase(directory, nshards=3)
+    for nprocs in GRID_NPROCS:
+        for nbytes in GRID_NBYTES:
+            req = _request(nprocs, nbytes)
+            kb.put(request_key(req),
+                   {"winner": "linear", "decided_at": 3,
+                    "mean_after_learning": cost_of(nprocs, nbytes)},
+                   source="computed", request=req)
+    return kb
+
+
+# off-grid queries (never a power of two), so every lookup is genuinely
+# "warm": the exact-geometry exclusion in nearest() never kicks in
+_query = st.tuples(
+    st.integers(min_value=3, max_value=40).filter(
+        lambda n: n & (n - 1) != 0),
+    st.integers(min_value=1025, max_value=80000).filter(
+        lambda n: n & (n - 1) != 0),
+)
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    coeff_p=st.floats(min_value=0.1, max_value=10.0),
+    coeff_b=st.floats(min_value=0.1, max_value=10.0),
+    queries=st.lists(_query, min_size=2, max_size=6),
+)
+def test_warm_starts_are_monotone_on_monotone_surfaces(
+        coeff_p, coeff_b, queries):
+    import math
+
+    def cost_of(nprocs, nbytes):
+        return coeff_p * math.log2(nprocs) + coeff_b * math.log2(nbytes)
+
+    with tempfile.TemporaryDirectory() as directory:
+        kb = _populate(directory, cost_of)
+        try:
+            # sanity: a monotone surface is guideline-clean
+            records = [rec for shard in kb.shards
+                       for rec in shard.live_records()]
+            assert check_kb_records(records) == []
+
+            warm = {}
+            for nprocs, nbytes in queries:
+                record = kb.nearest(_request(nprocs, nbytes))
+                assert record is not None
+                warm[(nprocs, nbytes)] = \
+                    record["decision"]["mean_after_learning"]
+
+            for qa in queries:
+                for qb in queries:
+                    if qa[0] <= qb[0] and qa[1] <= qb[1]:
+                        assert warm[qa] <= warm[qb] + 1e-9, (
+                            f"warm start violated monotonicity: query "
+                            f"{qa} -> {warm[qa]}, dominated by {qb} -> "
+                            f"{warm[qb]}")
+        finally:
+            kb.close()
+
+
+@settings(max_examples=10, deadline=None)
+@given(queries=st.lists(_query, min_size=1, max_size=4))
+def test_warm_start_is_deterministic_across_reopen(queries):
+    import math
+
+    def cost_of(nprocs, nbytes):
+        return math.log2(nprocs) + math.log2(nbytes)
+
+    with tempfile.TemporaryDirectory() as directory:
+        kb = _populate(directory, cost_of)
+        first = [kb.nearest(_request(*q)) for q in queries]
+        kb.close()
+        # reload from disk: shard iteration order must not change answers
+        kb = KnowledgeBase(directory, nshards=3)
+        try:
+            second = [kb.nearest(_request(*q)) for q in queries]
+            assert [r["key"] for r in first] == [r["key"] for r in second]
+        finally:
+            kb.close()

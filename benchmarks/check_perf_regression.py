@@ -5,12 +5,17 @@ Usage::
 
     python benchmarks/check_perf_regression.py \
         [current=benchmarks/out/BENCH_perf.json] \
-        [baseline=benchmarks/BENCH_perf_baseline.json] [--factor 3.0]
+        [baseline=benchmarks/BENCH_perf_baseline.json] [--factor 3.0] \
+        [--scale-current benchmarks/out/BENCH_scale.json] \
+        [--scale-baseline benchmarks/BENCH_scale_baseline.json]
 
 Compares the higher-is-better metrics of a fresh ``BENCH_perf.json``
-(produced by ``benchmarks/test_perf_engine.py``) against the committed
-baseline and exits non-zero when any of them regressed by more than
-``--factor`` (default 3x).
+(produced by ``benchmarks/test_perf_engine.py``) and ``BENCH_scale.json``
+(produced by ``benchmarks/test_perf_scale.py``) against the committed
+baselines and exits non-zero when any of them regressed by more than
+``--factor`` (default 3x).  A missing file skips that file's metrics —
+the perf and scale harnesses run as separate CI jobs, each gating only
+its own output.
 
 The wide factor is deliberate: absolute throughput moves with the host
 (CI runners differ from the machine that recorded the baseline), so the
@@ -26,7 +31,7 @@ import argparse
 import json
 import sys
 
-#: (section, key) metrics where larger is better
+#: (section, key) metrics where larger is better — BENCH_perf.json
 METRICS = [
     ("sweep_speedup", "speedup"),
     ("sweep_speedup", "optimized_events_per_s"),
@@ -35,6 +40,43 @@ METRICS = [
     ("schedule_cache", "hit_rate"),
     ("result_cache", "replay_speedup"),
 ]
+
+#: ditto for BENCH_scale.json (the P=1024 array-engine harness)
+SCALE_METRICS = [
+    ("scale_sweep", "speedup"),
+    ("scale_sweep", "optimized_events_per_s"),
+    ("scale_sweep", "batched_fraction"),
+]
+
+
+def _load(path: str):
+    try:
+        with open(path, encoding="utf-8") as fh:
+            return json.load(fh)
+    except FileNotFoundError:
+        return None
+
+
+def _check(current, baseline, metrics, factor: float, width: int) -> list:
+    failures = []
+    for section, key in metrics:
+        base = baseline.get(section, {}).get(key)
+        cur = current.get(section, {}).get(key)
+        name = f"{section}.{key}"
+        if base is None or cur is None:
+            # a section may legitimately be absent (e.g. a partial run);
+            # the harness assertions are the primary gate, this is a net
+            print(f"SKIP  {name:<{width}}  (missing from "
+                  f"{'baseline' if base is None else 'current'})")
+            continue
+        ok = cur * factor >= base
+        verdict = "ok  " if ok else "FAIL"
+        print(f"{verdict}  {name:<{width}}  "
+              f"baseline {base:>14.4f}  current {cur:>14.4f}  "
+              f"({cur / base:.2f}x of baseline)")
+        if not ok:
+            failures.append(name)
+    return failures
 
 
 def main(argv=None) -> int:
@@ -45,33 +87,32 @@ def main(argv=None) -> int:
                         default="benchmarks/BENCH_perf_baseline.json")
     parser.add_argument("--factor", type=float, default=3.0,
                         help="maximum tolerated slowdown (default 3x)")
+    parser.add_argument("--scale-current",
+                        default="benchmarks/out/BENCH_scale.json")
+    parser.add_argument("--scale-baseline",
+                        default="benchmarks/BENCH_scale_baseline.json")
     args = parser.parse_args(argv)
 
-    with open(args.current, encoding="utf-8") as fh:
-        current = json.load(fh)
-    with open(args.baseline, encoding="utf-8") as fh:
-        baseline = json.load(fh)
-
+    width = max(len(f"{s}.{k}") for s, k in METRICS + SCALE_METRICS)
     failures = []
-    width = max(len(f"{s}.{k}") for s, k in METRICS)
-    for section, key in METRICS:
-        base = baseline.get(section, {}).get(key)
-        cur = current.get(section, {}).get(key)
-        name = f"{section}.{key}"
-        if base is None or cur is None:
-            # a section may legitimately be absent (e.g. a partial run);
-            # the harness assertions are the primary gate, this is a net
-            print(f"SKIP  {name:<{width}}  (missing from "
-                  f"{'baseline' if base is None else 'current'})")
+    checked = 0
+    for cur_path, base_path, metrics in (
+        (args.current, args.baseline, METRICS),
+        (args.scale_current, args.scale_baseline, SCALE_METRICS),
+    ):
+        current = _load(cur_path)
+        baseline = _load(base_path)
+        if current is None or baseline is None:
+            missing = cur_path if current is None else base_path
+            print(f"SKIP  {missing}  (file not found)")
             continue
-        ok = cur * args.factor >= base
-        verdict = "ok  " if ok else "FAIL"
-        print(f"{verdict}  {name:<{width}}  "
-              f"baseline {base:>14.4f}  current {cur:>14.4f}  "
-              f"({cur / base:.2f}x of baseline)")
-        if not ok:
-            failures.append(name)
+        checked += 1
+        failures.extend(_check(current, baseline, metrics,
+                               args.factor, width))
 
+    if not checked:
+        print("no benchmark output found to check", file=sys.stderr)
+        return 1
     if failures:
         print(f"\nperformance regression (> {args.factor:g}x) in: "
               + ", ".join(failures), file=sys.stderr)

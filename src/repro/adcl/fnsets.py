@@ -20,10 +20,26 @@ from typing import Mapping, Optional
 
 import numpy as np
 
+from ..nbc.hier import (
+    compiled_hier_ialltoall,
+    compiled_hier_ibcast,
+    groups_for_comm,
+    hier_alltoall_scratch_bytes,
+)
 from ..nbc.ialltoall import alltoall_scratch_bytes, compiled_ialltoall
 from ..nbc.iallgather import compiled_iallgather
+from ..nbc.iallgatherv import (
+    ALLGATHERV_ALGORITHMS,
+    balanced_counts,
+    compiled_iallgatherv,
+)
+from ..nbc.iallreduce import ALLREDUCE_ALGORITHMS, compiled_iallreduce
 from ..nbc.ibcast import BINOMIAL, IBCAST_FANOUTS, compiled_ibcast
 from ..nbc.ireduce import compiled_ireduce
+from ..nbc.ireduce_scatter import (
+    REDUCE_SCATTER_ALGORITHMS,
+    compiled_ireduce_scatter,
+)
 from ..nbc.request import NBCRequest, make_buffers
 from ..sim.mpi import MPIContext
 from ..units import KiB
@@ -32,16 +48,24 @@ from .function import CollFunction, CollSpec, FunctionSet
 
 __all__ = [
     "IBCAST_SEGSIZES",
+    "HIER_FANOUT",
     "ibcast_function_set",
     "ibcast_mockup_function_set",
     "ialltoall_function_set",
     "ialltoall_extended_function_set",
     "iallgather_function_set",
+    "iallgatherv_function_set",
+    "iallreduce_function_set",
     "ireduce_function_set",
+    "ireduce_scatter_function_set",
 ]
 
 #: the paper's three pipeline segment sizes
 IBCAST_SEGSIZES = (32 * KiB, 64 * KiB, 128 * KiB)
+
+#: pseudo fan-out value labelling the hierarchical two-level tree in
+#: the ``Ibcast`` attribute space (distinct from every real fan-out)
+HIER_FANOUT = "hier"
 
 #: paper name for the Bruck algorithm
 _A2A_NAME = {"linear": "linear", "bruck": "dissemination", "pairwise": "pairwise"}
@@ -54,26 +78,45 @@ def _as_buffers(buffers: Optional[Mapping[str, np.ndarray]]):
     return make_buffers(**buffers)
 
 
-def _fanout_label(fanout: int) -> str:
+def _fanout_label(fanout) -> str:
+    if fanout == HIER_FANOUT:
+        return "hier"
     return {0: "linear", 1: "chain", BINOMIAL: "binomial"}.get(fanout, f"{fanout}ary")
 
 
-def ibcast_function_set() -> FunctionSet:
-    """The 21-function non-blocking broadcast set (7 fan-outs x 3 segments)."""
+def ibcast_function_set(hierarchical: bool = False) -> FunctionSet:
+    """The 21-function non-blocking broadcast set (7 fan-outs x 3 segments).
+
+    ``hierarchical=True`` adds the three leader-based two-level variants
+    (one per segment size, pseudo fan-out :data:`HIER_FANOUT`) as
+    first-class candidates the selection logic can pick.
+    """
+    fanouts = IBCAST_FANOUTS + ((HIER_FANOUT,) if hierarchical else ())
     attrs = AttributeSet([
-        Attribute("fanout", IBCAST_FANOUTS),
+        Attribute("fanout", fanouts),
         Attribute("segsize", IBCAST_SEGSIZES),
     ])
     functions = []
-    for fanout in IBCAST_FANOUTS:
+    for fanout in fanouts:
         for segsize in IBCAST_SEGSIZES:
-            def maker(ctx: MPIContext, spec: CollSpec, buffers,
-                      fanout=fanout, segsize=segsize) -> NBCRequest:
-                comm = spec.comm
-                rank = comm.local_rank(ctx.rank)
-                sched = compiled_ibcast(comm.size, rank, spec.root, spec.nbytes,
-                                        fanout, segsize)
-                return NBCRequest(sched, comm, rank, _as_buffers(buffers)).start(ctx)
+            if fanout == HIER_FANOUT:
+                def maker(ctx: MPIContext, spec: CollSpec, buffers,
+                          segsize=segsize) -> NBCRequest:
+                    comm = spec.comm
+                    rank = comm.local_rank(ctx.rank)
+                    groups = groups_for_comm(comm, ctx.topology)
+                    sched = compiled_hier_ibcast(comm.size, rank, spec.root,
+                                                 spec.nbytes, segsize, groups)
+                    return NBCRequest(sched, comm, rank,
+                                      _as_buffers(buffers)).start(ctx)
+            else:
+                def maker(ctx: MPIContext, spec: CollSpec, buffers,
+                          fanout=fanout, segsize=segsize) -> NBCRequest:
+                    comm = spec.comm
+                    rank = comm.local_rank(ctx.rank)
+                    sched = compiled_ibcast(comm.size, rank, spec.root, spec.nbytes,
+                                            fanout, segsize)
+                    return NBCRequest(sched, comm, rank, _as_buffers(buffers)).start(ctx)
 
             functions.append(CollFunction(
                 name=f"{_fanout_label(fanout)}_seg{segsize // KiB}KB",
@@ -125,10 +168,30 @@ def _alltoall_maker(algorithm: str, ctx: MPIContext, spec: CollSpec,
     return NBCRequest(sched, comm, rank, bufs).start(ctx)
 
 
-def ialltoall_function_set() -> FunctionSet:
-    """The paper's 3-algorithm non-blocking all-to-all set."""
+def _hier_alltoall_maker(ctx, spec: CollSpec, buffers) -> NBCRequest:
+    comm = spec.comm
+    rank = comm.local_rank(ctx.rank)
+    groups = groups_for_comm(comm, ctx.topology)
+    sched = compiled_hier_ialltoall(comm.size, rank, spec.nbytes, groups)
+    bufs = _as_buffers(buffers)
+    if bufs is not None:
+        for name, nbytes in hier_alltoall_scratch_bytes(
+            comm.size, rank, spec.nbytes, groups
+        ).items():
+            if name not in bufs:
+                bufs[name] = np.empty(nbytes, dtype=np.uint8)
+    return NBCRequest(sched, comm, rank, bufs).start(ctx)
+
+
+def ialltoall_function_set(hierarchical: bool = False) -> FunctionSet:
+    """The paper's 3-algorithm non-blocking all-to-all set.
+
+    ``hierarchical=True`` adds the leader-based two-level candidate
+    (gather / inter-leader pairwise exchange / scatter).
+    """
+    labels = list(_A2A_NAME.values()) + (["hier"] if hierarchical else [])
     attrs = AttributeSet([
-        Attribute("algorithm", tuple(_A2A_NAME.values())),
+        Attribute("algorithm", tuple(labels)),
     ])
     functions = []
     for algorithm, label in _A2A_NAME.items():
@@ -137,6 +200,11 @@ def ialltoall_function_set() -> FunctionSet:
 
         functions.append(CollFunction(
             name=label, maker=maker, attributes={"algorithm": label},
+        ))
+    if hierarchical:
+        functions.append(CollFunction(
+            name="hier", maker=_hier_alltoall_maker,
+            attributes={"algorithm": "hier"},
         ))
     return FunctionSet("ialltoall", functions, attrs)
 
@@ -217,3 +285,86 @@ def ireduce_function_set(segsizes=(0, 64 * KiB)) -> FunctionSet:
                 attributes={"algorithm": algorithm, "segsize": segsize},
             ))
     return FunctionSet("ireduce", functions, attrs)
+
+
+def iallgatherv_function_set() -> FunctionSet:
+    """All-gather-v set: linear, ring, and the hierarchical two-level.
+
+    ``spec.nbytes`` is the *total* gathered payload; the per-rank counts
+    are the canonical :func:`~repro.nbc.iallgatherv.balanced_counts`
+    split (uneven whenever P does not divide the total), so the
+    variable-count paths are exercised on every run.
+    """
+    attrs = AttributeSet([Attribute("algorithm", ALLGATHERV_ALGORITHMS)])
+    functions = []
+    for algorithm in ALLGATHERV_ALGORITHMS:
+        def maker(ctx, spec, buffers, algorithm=algorithm):
+            comm = spec.comm
+            rank = comm.local_rank(ctx.rank)
+            counts = balanced_counts(spec.nbytes, comm.size)
+            groups = (groups_for_comm(comm, ctx.topology)
+                      if algorithm == "hier" else ())
+            sched = compiled_iallgatherv(comm.size, rank, counts, algorithm,
+                                         groups)
+            return NBCRequest(sched, comm, rank, _as_buffers(buffers)).start(ctx)
+
+        functions.append(CollFunction(
+            name=algorithm, maker=maker, attributes={"algorithm": algorithm},
+        ))
+    return FunctionSet("iallgatherv", functions, attrs)
+
+
+def ireduce_scatter_function_set() -> FunctionSet:
+    """Reduce-scatter set: pairwise exchange + reduce-then-scatter.
+
+    ``spec.nbytes`` is the per-rank *block* size (each rank contributes
+    ``P * nbytes`` in ``"data"`` and receives its reduced block in
+    ``"recv"``), mirroring the all-to-all's bytes-per-pair convention.
+    """
+    attrs = AttributeSet([Attribute("algorithm", REDUCE_SCATTER_ALGORITHMS)])
+    functions = []
+    for algorithm in REDUCE_SCATTER_ALGORITHMS:
+        def maker(ctx, spec, buffers, algorithm=algorithm):
+            comm = spec.comm
+            rank = comm.local_rank(ctx.rank)
+            sched = compiled_ireduce_scatter(comm.size, rank, spec.nbytes,
+                                             algorithm)
+            bufs = _as_buffers(buffers)
+            if bufs is not None:
+                full = comm.size * spec.nbytes
+                bufs.setdefault("acc", np.empty(full, np.uint8))
+                bufs.setdefault("in", np.empty(full, np.uint8))
+            return NBCRequest(sched, comm, rank, bufs).start(ctx)
+
+        functions.append(CollFunction(
+            name=algorithm, maker=maker, attributes={"algorithm": algorithm},
+        ))
+    return FunctionSet("ireduce_scatter", functions, attrs)
+
+
+def iallreduce_function_set() -> FunctionSet:
+    """All-reduce set: binomial reduce+bcast, ring, and hierarchical.
+
+    ``spec.nbytes`` is the full vector each rank contributes in
+    ``"data"`` (also the in-place result buffer).
+    """
+    attrs = AttributeSet([Attribute("algorithm", ALLREDUCE_ALGORITHMS)])
+    functions = []
+    for algorithm in ALLREDUCE_ALGORITHMS:
+        def maker(ctx, spec, buffers, algorithm=algorithm):
+            comm = spec.comm
+            rank = comm.local_rank(ctx.rank)
+            groups = (groups_for_comm(comm, ctx.topology)
+                      if algorithm == "hier" else ())
+            sched = compiled_iallreduce(comm.size, rank, spec.nbytes,
+                                        algorithm, groups=groups)
+            bufs = _as_buffers(buffers)
+            if bufs is not None:
+                bufs.setdefault("acc", np.empty(spec.nbytes, np.uint8))
+                bufs.setdefault("in", np.empty(spec.nbytes, np.uint8))
+            return NBCRequest(sched, comm, rank, bufs).start(ctx)
+
+        functions.append(CollFunction(
+            name=algorithm, maker=maker, attributes={"algorithm": algorithm},
+        ))
+    return FunctionSet("iallreduce", functions, attrs)

@@ -23,6 +23,7 @@ from .fabric import (
 )
 from .ft import FTOverlapResult, run_overlap_ft
 from .overlap import (
+    OPERATION_KINDS,
     OverlapConfig,
     OverlapResult,
     ResilientOverlapResult,
@@ -51,6 +52,7 @@ __all__ = [
     "FTOverlapResult",
     "FabricConfig",
     "FabricError",
+    "OPERATION_KINDS",
     "OverlapConfig",
     "OverlapResult",
     "ResilientOverlapResult",

@@ -18,8 +18,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from ..adcl.fnsets import ibcast_function_set, ialltoall_extended_function_set, \
-    ialltoall_function_set
+from ..adcl.fnsets import (
+    iallgatherv_function_set,
+    iallreduce_function_set,
+    ialltoall_extended_function_set,
+    ialltoall_function_set,
+    ibcast_function_set,
+    ireduce_scatter_function_set,
+)
 from ..adcl.function import CollSpec, FunctionSet
 from ..adcl.request import ADCLRequest
 from ..adcl.resilience import Resilience
@@ -28,10 +34,9 @@ from ..adcl.timer import ADCLTimer, TimerRecord
 from ..errors import DeadlockError, MessageLostError, ReproError, WatchdogTimeout
 from ..sim import (
     Barrier,
-    Compute,
+    ComputeProgressSpan,
     FaultPlan,
     NoiseModel,
-    Progress,
     SimWorld,
     get_platform,
 )
@@ -46,17 +51,40 @@ __all__ = [
 ]
 
 
+#: benchmark operation -> the :class:`CollSpec` kind it tunes
+OPERATION_KINDS = {
+    "alltoall": "alltoall",
+    "alltoall_ext": "alltoall",
+    "alltoall_hier": "alltoall",
+    "bcast": "bcast",
+    "bcast_hier": "bcast",
+    "allgatherv": "allgatherv",
+    "reduce_scatter": "reduce_scatter",
+    "allreduce": "allreduce",
+}
+
+
 def function_set_for(operation: str) -> FunctionSet:
     """The ADCL function-set used for one benchmark operation."""
     if operation == "alltoall":
         return ialltoall_function_set()
     if operation == "alltoall_ext":
         return ialltoall_extended_function_set()
+    if operation == "alltoall_hier":
+        return ialltoall_function_set(hierarchical=True)
     if operation == "bcast":
         return ibcast_function_set()
+    if operation == "bcast_hier":
+        return ibcast_function_set(hierarchical=True)
+    if operation == "allgatherv":
+        return iallgatherv_function_set()
+    if operation == "reduce_scatter":
+        return ireduce_scatter_function_set()
+    if operation == "allreduce":
+        return iallreduce_function_set()
     raise ReproError(
         f"unknown benchmark operation {operation!r}; "
-        f"expected 'alltoall', 'alltoall_ext' or 'bcast'"
+        f"expected one of {', '.join(sorted(OPERATION_KINDS))}"
     )
 
 
@@ -73,7 +101,7 @@ class OverlapConfig:
 
     platform: str = "whale"
     nprocs: int = 32
-    operation: str = "alltoall"       # 'alltoall' | 'alltoall_ext' | 'bcast'
+    operation: str = "alltoall"       # any key of OPERATION_KINDS
     nbytes: int = 128 * 1024          # per pair (alltoall) / total (bcast)
     compute_total: float = 50.0       # seconds over the whole paper loop
     paper_iterations: int = 1000
@@ -192,7 +220,7 @@ def run_overlap(
     )
     if fnset is None:
         fnset = function_set_for(config.operation)
-    kind = "bcast" if config.operation == "bcast" else "alltoall"
+    kind = OPERATION_KINDS.get(config.operation, "alltoall")
     spec = CollSpec(kind, world.comm_world, config.nbytes)
     if isinstance(selector, int):
         selector = FixedSelector(fnset, selector)
@@ -212,9 +240,6 @@ def run_overlap(
     nonblocking_set = not any(fn.blocking for fn in fnset)
 
     def factory(ctx):
-        # syscall objects are immutable; reusing them across yields is
-        # semantically identical and avoids ~6 allocations per iteration
-        compute = Compute(chunk)
         barrier = Barrier()
         nprogress = config.nprogress
         for _ in range(config.iterations):
@@ -223,11 +248,13 @@ def run_overlap(
                 areq.start_now(ctx)
             else:
                 yield from areq.start(ctx)
-            # single outstanding op: the handle is fixed until wait();
-            # delegating to a pre-built tuple keeps the per-chunk yields
-            # on the C iterator path (same yield sequence as a loop)
-            progress = Progress([areq.handle(ctx)])
-            yield from (compute, progress) * nprogress
+            # one span replaces the (Compute, Progress) * nprogress pair
+            # stream: bit-identical charges and event schedule, but the
+            # driver steps the chunks internally, which lets the array
+            # engine collapse the post-completion tail (DESIGN.md §15)
+            if nprogress:
+                yield ComputeProgressSpan(chunk, [areq.handle(ctx)],
+                                          nprogress)
             yield from areq.wait(ctx)
             timer.stop(ctx)
             # measurement hygiene: re-synchronize ranks so NIC backlog
@@ -289,7 +316,7 @@ def run_overlap_resilient(
     if resilience is None:
         resilience = Resilience()
     fnset = function_set_for(config.operation)
-    kind = "bcast" if config.operation == "bcast" else "alltoall"
+    kind = OPERATION_KINDS.get(config.operation, "alltoall")
     if isinstance(selector, int):
         selector = FixedSelector(fnset, selector)
     chunk = config.compute_per_iteration / max(config.nprogress, 1)
@@ -340,9 +367,9 @@ def run_overlap_resilient(
             for _ in range(remaining):
                 timer.start(ctx)
                 yield from areq.start(ctx)
-                for _ in range(config.nprogress):
-                    yield Compute(chunk)
-                    yield Progress([areq.handle(ctx)])
+                if config.nprogress:
+                    yield ComputeProgressSpan(chunk, [areq.handle(ctx)],
+                                              config.nprogress)
                 yield from areq.wait(ctx)
                 timer.stop(ctx)
                 yield Barrier()

@@ -26,7 +26,7 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 from ..adcl.fnsets import ibcast_mockup_function_set
 from ..adcl.request import SELECTOR_NAMES
-from ..bench.overlap import OverlapConfig, run_overlap
+from ..bench.overlap import OPERATION_KINDS, OverlapConfig, run_overlap
 from ..errors import GuidelineError
 from ..util.canonical import canonical_json
 from .rules import RULES, Guideline, rules_by_id
@@ -64,7 +64,7 @@ _INT_FIELDS = frozenset(
      "paper_iterations", "iterations"})
 _FLOAT_FIELDS = frozenset({"compute_total", "tolerance"})
 _STR_FIELDS = frozenset({"platform", "operation", "selector"})
-_OPERATIONS = ("alltoall", "alltoall_ext", "bcast")
+_OPERATIONS = tuple(sorted(OPERATION_KINDS))
 
 #: mock-up candidate pools the composition rules can measure
 MOCKUP_SETS = {
@@ -233,7 +233,10 @@ def preset_probes(platforms: Sequence[str],
 
     A small deterministic geometry grid per (platform, operation) — the
     default ``repro verify-guidelines`` workload, expected to be clean
-    on every shipped preset.
+    on every shipped preset — plus one hierarchical-vs-flat probe per
+    platform: the Iallreduce set (binomial tree, ring, two-level leader
+    tree) under PG-MONO-NPROCS, so scaling the process count must not
+    make the tuned hierarchy-aware decision cheaper.
     """
     probes = []
     for platform in platforms:
@@ -248,6 +251,14 @@ def preset_probes(platforms: Sequence[str],
                         "selector": selector,
                         "tolerance": tolerance,
                     }))
+        probes.append(normalize_probe({
+            "platform": platform,
+            "operation": "allreduce",
+            "nprocs": 8,
+            "nbytes": 64 * 1024,
+            "selector": selector,
+            "tolerance": tolerance,
+        }))
     return probes
 
 

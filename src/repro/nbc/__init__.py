@@ -20,13 +20,32 @@ from .coll import (
     bcast,
     reduce,
     start_iallgather,
+    start_iallgatherv,
+    start_iallreduce,
     start_ialltoall,
     start_ibarrier,
     start_ibcast,
     start_ireduce,
+    start_ireduce_scatter,
 )
 from .ft import ft_collective
+from .hier import (
+    build_hier_ialltoall,
+    build_hier_ibcast,
+    compiled_hier_ialltoall,
+    compiled_hier_ibcast,
+    groups_for_comm,
+    hier_alltoall_scratch_bytes,
+    hier_bcast_tree,
+)
 from .iallgather import ALLGATHER_ALGORITHMS, build_iallgather, compiled_iallgather
+from .iallgatherv import (
+    ALLGATHERV_ALGORITHMS,
+    balanced_counts,
+    build_iallgatherv,
+    compiled_iallgatherv,
+)
+from .iallreduce import ALLREDUCE_ALGORITHMS, build_iallreduce, compiled_iallreduce
 from .ialltoall import (
     ALLTOALL_ALGORITHMS,
     alltoall_scratch_bytes,
@@ -35,6 +54,11 @@ from .ialltoall import (
 )
 from .ibcast import BINOMIAL, IBCAST_FANOUTS, bcast_tree, build_ibcast, compiled_ibcast
 from .ireduce import REDUCE_ALGORITHMS, build_ireduce, compiled_ireduce
+from .ireduce_scatter import (
+    REDUCE_SCATTER_ALGORITHMS,
+    build_ireduce_scatter,
+    compiled_ireduce_scatter,
+)
 from .request import NBCRequest, make_buffers
 from .schedule import (
     SCHEDULE_CACHE,
@@ -52,6 +76,8 @@ from .schedule import (
 
 __all__ = [
     "ALLGATHER_ALGORITHMS",
+    "ALLGATHERV_ALGORITHMS",
+    "ALLREDUCE_ALGORITHMS",
     "ALLTOALL_ALGORITHMS",
     "BINOMIAL",
     "BufSpec",
@@ -62,6 +88,7 @@ __all__ = [
     "NBCRequest",
     "RecvOp",
     "REDUCE_ALGORITHMS",
+    "REDUCE_SCATTER_ALGORITHMS",
     "SCHEDULE_CACHE",
     "Schedule",
     "ScheduleCache",
@@ -69,25 +96,42 @@ __all__ = [
     "allgather",
     "alltoall",
     "alltoall_scratch_bytes",
+    "balanced_counts",
     "barrier",
     "bcast",
     "bcast_tree",
+    "build_hier_ialltoall",
+    "build_hier_ibcast",
     "build_iallgather",
+    "build_iallgatherv",
+    "build_iallreduce",
     "build_ialltoall",
     "build_ibcast",
     "build_ireduce",
+    "build_ireduce_scatter",
+    "compiled_hier_ialltoall",
+    "compiled_hier_ibcast",
     "compiled_iallgather",
+    "compiled_iallgatherv",
+    "compiled_iallreduce",
     "compiled_ialltoall",
     "compiled_ibcast",
     "compiled_ireduce",
+    "compiled_ireduce_scatter",
     "ft_collective",
+    "groups_for_comm",
+    "hier_alltoall_scratch_bytes",
+    "hier_bcast_tree",
     "make_buffers",
     "reduce",
     "resolve",
     "schedule_cache_stats",
     "start_iallgather",
+    "start_iallgatherv",
+    "start_iallreduce",
     "start_ialltoall",
     "start_ibarrier",
     "start_ibcast",
     "start_ireduce",
+    "start_ireduce_scatter",
 ]

@@ -21,10 +21,20 @@ import numpy as np
 
 from ..sim.mpi import MPIContext, SimComm
 from ..sim.process import Wait
+from .hier import (
+    Groups,
+    compiled_hier_ialltoall,
+    compiled_hier_ibcast,
+    groups_for_comm,
+    hier_alltoall_scratch_bytes,
+)
 from .ialltoall import alltoall_scratch_bytes, compiled_ialltoall
 from .iallgather import compiled_iallgather
+from .iallgatherv import compiled_iallgatherv
+from .iallreduce import compiled_iallreduce
 from .ibcast import BINOMIAL, compiled_ibcast
 from .ireduce import compiled_ireduce
+from .ireduce_scatter import compiled_ireduce_scatter
 from .request import NBCRequest, make_buffers
 from .schedule import SCHEDULE_CACHE, Schedule
 
@@ -32,7 +42,10 @@ __all__ = [
     "start_ialltoall",
     "start_ibcast",
     "start_iallgather",
+    "start_iallgatherv",
+    "start_iallreduce",
     "start_ireduce",
+    "start_ireduce_scatter",
     "start_ibarrier",
     "alltoall",
     "bcast",
@@ -47,6 +60,11 @@ def _local_rank(ctx: MPIContext, comm: Optional[SimComm]) -> tuple[SimComm, int]
     return comm, comm.local_rank(ctx.rank)
 
 
+def _groups(ctx: MPIContext, comm: SimComm,
+            groups: Optional[Groups]) -> Groups:
+    return groups if groups is not None else groups_for_comm(comm, ctx.topology)
+
+
 def start_ialltoall(
     ctx: MPIContext,
     m: int,
@@ -54,14 +72,25 @@ def start_ialltoall(
     comm: Optional[SimComm] = None,
     sendbuf: Optional[np.ndarray] = None,
     recvbuf: Optional[np.ndarray] = None,
+    groups: Optional[Groups] = None,
 ) -> NBCRequest:
-    """Post a non-blocking all-to-all of ``m`` bytes per process pair."""
+    """Post a non-blocking all-to-all of ``m`` bytes per process pair.
+
+    ``algorithm="hier"`` routes through per-node leaders; ``groups``
+    overrides the topology-derived node partition.
+    """
     comm, rank = _local_rank(ctx, comm)
-    sched = compiled_ialltoall(comm.size, rank, m, algorithm)
+    if algorithm == "hier":
+        g = _groups(ctx, comm, groups)
+        sched = compiled_hier_ialltoall(comm.size, rank, m, g)
+        scratch = hier_alltoall_scratch_bytes(comm.size, rank, m, g)
+    else:
+        sched = compiled_ialltoall(comm.size, rank, m, algorithm)
+        scratch = alltoall_scratch_bytes(comm.size, m, algorithm)
     buffers = None
     if sendbuf is not None or recvbuf is not None:
         buffers = make_buffers(send=sendbuf, recv=recvbuf)
-        for name, nbytes in alltoall_scratch_bytes(comm.size, m, algorithm).items():
+        for name, nbytes in scratch.items():
             buffers[name] = np.empty(nbytes, dtype=np.uint8)
     return NBCRequest(sched, comm, rank, buffers).start(ctx)
 
@@ -70,14 +99,23 @@ def start_ibcast(
     ctx: MPIContext,
     nbytes: int,
     root: int = 0,
-    fanout: int = BINOMIAL,
+    fanout=BINOMIAL,
     segsize: int = 128 * 1024,
     comm: Optional[SimComm] = None,
     buf: Optional[np.ndarray] = None,
+    groups: Optional[Groups] = None,
 ) -> NBCRequest:
-    """Post a non-blocking broadcast of ``nbytes`` from ``root``."""
+    """Post a non-blocking broadcast of ``nbytes`` from ``root``.
+
+    ``fanout="hier"`` selects the two-level leader tree; ``groups``
+    overrides the topology-derived node partition.
+    """
     comm, rank = _local_rank(ctx, comm)
-    sched = compiled_ibcast(comm.size, rank, root, nbytes, fanout, segsize)
+    if fanout == "hier":
+        g = _groups(ctx, comm, groups)
+        sched = compiled_hier_ibcast(comm.size, rank, root, nbytes, segsize, g)
+    else:
+        sched = compiled_ibcast(comm.size, rank, root, nbytes, fanout, segsize)
     buffers = make_buffers(data=buf) if buf is not None else None
     return NBCRequest(sched, comm, rank, buffers).start(ctx)
 
@@ -114,6 +152,74 @@ def start_ireduce(
     comm, rank = _local_rank(ctx, comm)
     sched = compiled_ireduce(comm.size, rank, root, nbytes, algorithm,
                              dtype=dtype, op=op, segsize=segsize)
+    buffers = None
+    if buf is not None:
+        buffers = make_buffers(data=buf)
+        buffers["acc"] = np.empty(nbytes, dtype=np.uint8)
+        buffers["in"] = np.empty(nbytes, dtype=np.uint8)
+    return NBCRequest(sched, comm, rank, buffers).start(ctx)
+
+
+def start_iallgatherv(
+    ctx: MPIContext,
+    counts,
+    algorithm: str = "linear",
+    comm: Optional[SimComm] = None,
+    sendbuf: Optional[np.ndarray] = None,
+    recvbuf: Optional[np.ndarray] = None,
+    groups: Optional[Groups] = None,
+) -> NBCRequest:
+    """Post a non-blocking all-gather-v; rank *i* contributes ``counts[i]``."""
+    comm, rank = _local_rank(ctx, comm)
+    g = _groups(ctx, comm, groups) if algorithm == "hier" else ()
+    sched = compiled_iallgatherv(comm.size, rank, tuple(counts), algorithm, g)
+    buffers = None
+    if sendbuf is not None or recvbuf is not None:
+        buffers = make_buffers(send=sendbuf, recv=recvbuf)
+    return NBCRequest(sched, comm, rank, buffers).start(ctx)
+
+
+def start_ireduce_scatter(
+    ctx: MPIContext,
+    m: int,
+    algorithm: str = "pairwise",
+    comm: Optional[SimComm] = None,
+    sendbuf: Optional[np.ndarray] = None,
+    recvbuf: Optional[np.ndarray] = None,
+    dtype: str = "float64",
+    op: str = "sum",
+) -> NBCRequest:
+    """Post a non-blocking equal-block reduce-scatter.
+
+    ``sendbuf`` holds the rank's ``P*m``-byte contribution; the fully
+    reduced ``m``-byte block lands in ``recvbuf``.
+    """
+    comm, rank = _local_rank(ctx, comm)
+    sched = compiled_ireduce_scatter(comm.size, rank, m, algorithm,
+                                     dtype=dtype, op=op)
+    buffers = None
+    if sendbuf is not None or recvbuf is not None:
+        buffers = make_buffers(data=sendbuf, recv=recvbuf)
+        buffers["acc"] = np.empty(comm.size * m, dtype=np.uint8)
+        buffers["in"] = np.empty(comm.size * m, dtype=np.uint8)
+    return NBCRequest(sched, comm, rank, buffers).start(ctx)
+
+
+def start_iallreduce(
+    ctx: MPIContext,
+    nbytes: int,
+    algorithm: str = "reduce_bcast",
+    comm: Optional[SimComm] = None,
+    buf: Optional[np.ndarray] = None,
+    dtype: str = "float64",
+    op: str = "sum",
+    groups: Optional[Groups] = None,
+) -> NBCRequest:
+    """Post a non-blocking all-reduce over ``buf`` (in place)."""
+    comm, rank = _local_rank(ctx, comm)
+    g = _groups(ctx, comm, groups) if algorithm == "hier" else ()
+    sched = compiled_iallreduce(comm.size, rank, nbytes, algorithm,
+                                dtype=dtype, op=op, groups=g)
     buffers = None
     if buf is not None:
         buffers = make_buffers(data=buf)

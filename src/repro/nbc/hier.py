@@ -1,0 +1,279 @@
+"""Hierarchical (leader-based two-level) collective schedules.
+
+On SMP clusters the network is two-tier: ranks on one node talk through
+shared memory, ranks on different nodes through the interconnect.  The
+flat trees of :mod:`repro.nbc.ibcast` ignore this; the hierarchical
+variants here route all inter-node traffic through one *leader* rank per
+node (Jocksch et al.; the Wickramasinghe & Lumsdaine survey), so each
+payload crosses the network once per node instead of once per rank:
+
+* :func:`build_hier_ibcast` — segmented broadcast down a two-level
+  tree: binomial over the node leaders, then leader → node members;
+* :func:`build_hier_ialltoall` — gather to the leader, pairwise
+  exchange of node-aggregated blocks between leaders, scatter to the
+  members.
+
+Groups
+------
+Every builder takes ``groups``: a partition of the communicator's local
+ranks into per-node tuples, ordered by each group's smallest member.
+:func:`groups_for_comm` derives it from the simulated topology; tests
+pass hand-made partitions (uneven leaders, non-power-of-two counts)
+directly.  The partition is part of the schedule-cache key — plans are
+pure functions of ``(geometry, groups)``.
+"""
+
+from __future__ import annotations
+
+from ..errors import ScheduleError
+from .ibcast import BINOMIAL, bcast_tree, emit_pipelined_bcast, segment_bounds
+from .schedule import SCHEDULE_CACHE, Schedule
+
+__all__ = [
+    "groups_for_comm",
+    "validate_groups",
+    "hier_bcast_tree",
+    "build_hier_ibcast",
+    "compiled_hier_ibcast",
+    "hier_alltoall_scratch_bytes",
+    "build_hier_ialltoall",
+    "compiled_hier_ialltoall",
+]
+
+Groups = tuple[tuple[int, ...], ...]
+
+
+def groups_for_comm(comm, topology) -> Groups:
+    """Partition of ``comm``'s local ranks by hosting node.
+
+    Groups appear in order of their smallest local rank and each group
+    lists its members ascending, so the result is canonical for a given
+    placement — usable directly as (part of) a schedule-cache key.
+
+    Memoized on the communicator: both inputs are immutable (a revoked
+    communicator is replaced by :meth:`~repro.sim.mpi.SimComm.shrink`,
+    never mutated), and every candidate maker recomputing the O(P) scan
+    per invocation dominates large-P runs otherwise.
+    """
+    cached = getattr(comm, "_node_groups", None)
+    if cached is not None and cached[0] is topology:
+        return cached[1]
+    by_node: dict[int, list[int]] = {}
+    for local in range(comm.size):
+        node = topology.node_of(comm.world_rank(local))
+        by_node.setdefault(node, []).append(local)
+    groups = tuple(tuple(members) for members in by_node.values())
+    comm._node_groups = (topology, groups)
+    return groups
+
+
+def validate_groups(size: int, groups: Groups) -> None:
+    """Check that ``groups`` is a partition of ``range(size)``."""
+    seen: list[int] = []
+    for g in groups:
+        if not g:
+            raise ScheduleError("empty group in hierarchical partition")
+        seen.extend(g)
+    if sorted(seen) != list(range(size)):
+        raise ScheduleError(
+            f"groups {groups!r} are not a partition of {size} ranks")
+
+
+def _group_index(groups: Groups, rank: int) -> int:
+    for gi, g in enumerate(groups):
+        if rank in g:
+            return gi
+    raise ScheduleError(f"rank {rank} not in any group")
+
+
+def hier_bcast_tree(groups: Groups, rank: int,
+                    root: int) -> tuple[int, list[int]]:
+    """Parent and children of ``rank`` in the two-level broadcast tree.
+
+    The leader of each group is its first member, except the root's
+    group whose leader is the root itself (the data starts there, so
+    promoting it saves one hop).  Leaders form a binomial tree rooted at
+    the root's leader; every other member hangs directly off its
+    leader — within a node the "tree" is flat, shared memory makes a
+    deeper shape pointless.  Leader-children precede member-children so
+    inter-node forwarding (the long pole) is initiated first.
+    """
+    gidx = _group_index(groups, rank)
+    ridx = _group_index(groups, root)
+    leaders = [root if gi == ridx else g[0] for gi, g in enumerate(groups)]
+    leader = leaders[gidx]
+    if rank != leader:
+        return leader, []
+    nl = len(groups)
+    v = (gidx - ridx) % nl
+    parent_v, children_v = bcast_tree(nl, v, BINOMIAL)
+    parent = -1 if parent_v == -1 else leaders[(parent_v + ridx) % nl]
+    children = [leaders[(cv + ridx) % nl] for cv in children_v]
+    children += [r for r in groups[gidx] if r != leader]
+    return parent, children
+
+
+def build_hier_ibcast(
+    size: int,
+    rank: int,
+    root: int,
+    nbytes: int,
+    segsize: int,
+    groups: Groups,
+) -> Schedule:
+    """Build this rank's schedule for a hierarchical segmented broadcast.
+
+    Buffer contract is identical to :func:`~repro.nbc.ibcast.build_ibcast`
+    (payload in ``"data"`` on every rank); only the tree shape differs,
+    so the flat and hierarchical variants are drop-in interchangeable
+    tuning candidates.
+    """
+    if size <= 0 or not 0 <= rank < size or not 0 <= root < size:
+        raise ScheduleError(
+            f"bad bcast geometry size={size} rank={rank} root={root}")
+    validate_groups(size, groups)
+    seg_bounds = segment_bounds(nbytes, segsize)
+    sched = Schedule(name=f"ibcast[hier,seg={segsize}]")
+    if size == 1:
+        return sched
+    parent, children = hier_bcast_tree(groups, rank, root)
+    return emit_pipelined_bcast(sched, parent, children, seg_bounds)
+
+
+def compiled_hier_ibcast(size: int, rank: int, root: int, nbytes: int,
+                         segsize: int, groups: Groups):
+    """Cached compiled plan for :func:`build_hier_ibcast`."""
+    return SCHEDULE_CACHE.get(
+        ("bcast", "hier", size, rank, nbytes, segsize, groups, root),
+        lambda: build_hier_ibcast(size, rank, root, nbytes, segsize, groups),
+    )
+
+
+# ---------------------------------------------------------------------------
+# hierarchical all-to-all
+# ---------------------------------------------------------------------------
+
+def hier_alltoall_scratch_bytes(size: int, rank: int, m: int,
+                                groups: Groups) -> dict[str, int]:
+    """Scratch buffers this rank needs besides ``"send"``/``"recv"``.
+
+    Only leaders stage data: ``"gather"`` holds every member's full send
+    buffer, ``"scatter"`` accumulates every member's full result, and
+    ``"so"``/``"si"`` are the pack/unpack areas for one inter-leader
+    exchange (sized for the largest peer group).
+    """
+    gidx = _group_index(groups, rank)
+    if rank != groups[gidx][0]:
+        return {}
+    gsz = len(groups[gidx])
+    maxg = max(len(g) for g in groups)
+    return {
+        "gather": gsz * size * m,
+        "scatter": gsz * size * m,
+        "so": gsz * maxg * m,
+        "si": gsz * maxg * m,
+    }
+
+
+def build_hier_ialltoall(size: int, rank: int, m: int,
+                         groups: Groups) -> Schedule:
+    """Build this rank's schedule for a leader-based all-to-all.
+
+    Three phases, all within LibNBC round semantics:
+
+    1. **gather** — every member ships its full ``"send"`` buffer
+       (``P*m`` bytes) to the node leader;
+    2. **exchange** — leaders run a pairwise exchange over the node
+       count: round *r* packs the blocks destined for node ``g+r`` and
+       trades one aggregated ``|g|*|h|*m``-byte message with that node's
+       leader (round 0 is the node-local rearrangement, pure copies);
+    3. **scatter** — the leader returns each member's assembled ``P*m``
+       result, landing in ``"recv"``.
+
+    Each payload block crosses the network once per *node pair* instead
+    of once per rank pair — the win (and the candidate the tuner should
+    pick) when many ranks share a node and per-message latency
+    dominates, e.g. small blocks at high core counts.
+    """
+    if size <= 0 or not 0 <= rank < size:
+        raise ScheduleError(f"bad alltoall geometry size={size} rank={rank}")
+    if m < 0:
+        raise ScheduleError(f"negative block size {m}")
+    validate_groups(size, groups)
+    ngroups = len(groups)
+    sched = Schedule(name="ialltoall[hier]")
+    # tagoffs: 0 = gather, 1 = scatter, 2+r = inter-leader round r; the
+    # span must match on every rank, leader or not
+    sched.uniform_tag_span = 2 + ngroups
+    if size == 1:
+        sched.round()
+        sched.copy(m, src=("send", 0, m), dst=("recv", 0, m))
+        return sched
+    gidx = _group_index(groups, rank)
+    members = groups[gidx]
+    leader = members[0]
+    gsz = len(members)
+    full = size * m
+
+    if rank != leader:
+        sched.round()
+        sched.send(leader, full, tagoff=0, src=("send", 0, full))
+        sched.round()
+        sched.recv(leader, full, tagoff=1, dst=("recv", 0, full))
+        return sched
+
+    # -- phase 1: gather every member's send buffer -----------------------
+    sched.round()
+    sched.copy(full, src=("send", 0, full), dst=("gather", 0, full))
+    for k in range(1, gsz):
+        sched.recv(members[k], full, tagoff=0,
+                   dst=("gather", k * full, full))
+
+    # -- phase 2: pairwise exchange of node-aggregated blocks -------------
+    # gather layout: slot k = member k's send buffer; scatter layout:
+    # slot q = member q's assembled recv buffer
+    for r in range(ngroups):
+        if r == 0:
+            # node-local traffic: rearrange gather -> scatter directly
+            sched.round()
+            for k in range(gsz):
+                for q in range(gsz):
+                    sched.copy(m,
+                               src=("gather", k * full + members[q] * m, m),
+                               dst=("scatter", q * full + members[k] * m, m))
+            continue
+        to_grp = groups[(gidx + r) % ngroups]
+        from_grp = groups[(gidx - r) % ngroups]
+        # pack the blocks every local member addresses to the target node
+        sched.round()
+        for k in range(gsz):
+            for q, j in enumerate(to_grp):
+                sched.copy(m, src=("gather", k * full + j * m, m),
+                           dst=("so", (k * len(to_grp) + q) * m, m))
+        sched.round()
+        sched.recv(from_grp[0], len(from_grp) * gsz * m, tagoff=2 + r,
+                   dst=("si", 0, len(from_grp) * gsz * m))
+        sched.send(to_grp[0], gsz * len(to_grp) * m, tagoff=2 + r,
+                   src=("so", 0, gsz * len(to_grp) * m))
+        # unpack: sender member k2 (rank i) -> local member q
+        sched.round()
+        for k2, i in enumerate(from_grp):
+            for q in range(gsz):
+                sched.copy(m, src=("si", (k2 * gsz + q) * m, m),
+                           dst=("scatter", q * full + i * m, m))
+
+    # -- phase 3: scatter each member's assembled result ------------------
+    sched.round()
+    for q in range(1, gsz):
+        sched.send(members[q], full, tagoff=1,
+                   src=("scatter", q * full, full))
+    sched.copy(full, src=("scatter", 0, full), dst=("recv", 0, full))
+    return sched
+
+
+def compiled_hier_ialltoall(size: int, rank: int, m: int, groups: Groups):
+    """Cached compiled plan for :func:`build_hier_ialltoall`."""
+    return SCHEDULE_CACHE.get(
+        ("alltoall", "hier", size, rank, m, 0, groups),
+        lambda: build_hier_ialltoall(size, rank, m, groups),
+    )

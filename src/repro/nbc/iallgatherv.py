@@ -1,0 +1,198 @@
+"""Non-blocking all-gather-v schedules (variable per-rank block sizes).
+
+``Allgatherv`` generalizes the all-gather: rank *i* contributes
+``counts[i]`` bytes, and every rank ends up with the concatenation of
+all contributions in rank order.  Three candidates:
+
+* **linear** — everybody sends its block to everybody in one round;
+* **ring** — ``P-1`` rounds forwarding one (variable-size) block to the
+  right neighbour; bandwidth-optimal;
+* **hier** — leader-based two-level (see :mod:`repro.nbc.hier`):
+  members hand their block to the node leader, leaders run the ring over
+  nodes forwarding one node's blocks per round, then each leader
+  replicates the assembled result to its members.
+
+Buffers: ``"send"`` is this rank's contribution (``counts[rank]``
+bytes), ``"recv"`` the concatenated result (``sum(counts)`` bytes).
+Zero-length contributions are legal; both sides of a transfer skip the
+message consistently because ``counts`` is global knowledge.
+"""
+
+from __future__ import annotations
+
+from ..errors import ScheduleError
+from .hier import Groups, _group_index, validate_groups
+from .schedule import SCHEDULE_CACHE, Schedule
+
+__all__ = [
+    "ALLGATHERV_ALGORITHMS",
+    "balanced_counts",
+    "build_iallgatherv",
+    "compiled_iallgatherv",
+]
+
+ALLGATHERV_ALGORITHMS = ("linear", "ring", "hier")
+
+
+def balanced_counts(total: int, size: int) -> tuple[int, ...]:
+    """Split ``total`` bytes over ``size`` ranks as evenly as possible.
+
+    The first ``total % size`` ranks get one extra byte — the canonical
+    vector the ADCL function-set uses when only a total payload is
+    specified (genuinely uneven whenever ``size`` does not divide
+    ``total``, which keeps the v-paths exercised).
+    """
+    base, extra = divmod(total, size)
+    return tuple(base + (1 if i < extra else 0) for i in range(size))
+
+
+def _offsets(counts) -> list[int]:
+    offs = [0]
+    for c in counts:
+        offs.append(offs[-1] + c)
+    return offs
+
+
+def build_iallgatherv(
+    size: int,
+    rank: int,
+    counts,
+    algorithm: str,
+    groups: Groups = (),
+) -> Schedule:
+    """Build this rank's schedule for an all-gather-v of ``counts`` bytes."""
+    if size <= 0 or not 0 <= rank < size:
+        raise ScheduleError(f"bad allgatherv geometry size={size} rank={rank}")
+    counts = tuple(counts)
+    if len(counts) != size:
+        raise ScheduleError(
+            f"need one count per rank: {len(counts)} counts for {size} ranks")
+    if any(c < 0 for c in counts):
+        raise ScheduleError(f"negative count in {counts!r}")
+    if algorithm == "linear":
+        return _linear(size, rank, counts)
+    if algorithm == "ring":
+        return _ring(size, rank, counts)
+    if algorithm == "hier":
+        validate_groups(size, groups)
+        return _hier(size, rank, counts, groups)
+    raise ScheduleError(
+        f"unknown allgatherv algorithm {algorithm!r}; "
+        f"expected one of {ALLGATHERV_ALGORITHMS}")
+
+
+def _linear(size: int, rank: int, counts) -> Schedule:
+    offs = _offsets(counts)
+    sched = Schedule(name="iallgatherv[linear]")
+    sched.uniform_tag_span = 1
+    sched.round()
+    sched.copy(counts[rank], src=("send", 0, counts[rank]),
+               dst=("recv", offs[rank], counts[rank]))
+    for i in range(1, size):
+        peer = (rank + i) % size
+        if counts[peer]:
+            sched.recv(peer, counts[peer], tagoff=0,
+                       dst=("recv", offs[peer], counts[peer]))
+    for i in range(1, size):
+        peer = (rank + i) % size
+        if counts[rank]:
+            sched.send(peer, counts[rank], tagoff=0,
+                       src=("send", 0, counts[rank]))
+    return sched
+
+
+def _ring(size: int, rank: int, counts) -> Schedule:
+    offs = _offsets(counts)
+    sched = Schedule(name="iallgatherv[ring]")
+    sched.uniform_tag_span = max(1, size - 1)
+    sched.round()
+    sched.copy(counts[rank], src=("send", 0, counts[rank]),
+               dst=("recv", offs[rank], counts[rank]))
+    right = (rank + 1) % size
+    left = (rank - 1) % size
+    for r in range(size - 1):
+        outgoing = (rank - r) % size
+        incoming = (rank - r - 1) % size
+        sched.round()
+        if counts[incoming]:
+            sched.recv(left, counts[incoming], tagoff=r,
+                       dst=("recv", offs[incoming], counts[incoming]))
+        if counts[outgoing]:
+            sched.send(right, counts[outgoing], tagoff=r,
+                       src=("recv", offs[outgoing], counts[outgoing]))
+        if not counts[incoming] and not counts[outgoing]:
+            # rounds may not be empty; keep the local barrier structure
+            sched.copy(0)
+    return sched
+
+
+def _hier(size: int, rank: int, counts, groups: Groups) -> Schedule:
+    offs = _offsets(counts)
+    total = offs[-1]
+    ngroups = len(groups)
+    maxg = max(len(g) for g in groups)
+    sched = Schedule(name="iallgatherv[hier]")
+    # tagoffs: 0 = intra gather, 1 + r*maxg + k = ring round r block k,
+    # last = intra replication of the assembled result
+    span = 1 + max(0, ngroups - 1) * maxg + 1
+    sched.uniform_tag_span = span
+    gidx = _group_index(groups, rank)
+    members = groups[gidx]
+    leader = members[0]
+
+    if rank != leader:
+        if counts[rank]:
+            sched.round()
+            sched.send(leader, counts[rank], tagoff=0,
+                       src=("send", 0, counts[rank]))
+        sched.round()
+        sched.recv(leader, total, tagoff=span - 1, dst=("recv", 0, total))
+        return sched
+
+    # leader: collect the node's blocks straight into place
+    sched.round()
+    sched.copy(counts[rank], src=("send", 0, counts[rank]),
+               dst=("recv", offs[rank], counts[rank]))
+    for member in members[1:]:
+        if counts[member]:
+            sched.recv(member, counts[member], tagoff=0,
+                       dst=("recv", offs[member], counts[member]))
+
+    # ring over node leaders: round r forwards the blocks of node
+    # (gidx - r) to the right while receiving node (gidx - r - 1)'s
+    right = groups[(gidx + 1) % ngroups][0]
+    left = groups[(gidx - 1) % ngroups][0]
+    for r in range(ngroups - 1):
+        out_grp = groups[(gidx - r) % ngroups]
+        in_grp = groups[(gidx - r - 1) % ngroups]
+        sched.round()
+        emitted = False
+        for k, member in enumerate(in_grp):
+            if counts[member]:
+                emitted = True
+                sched.recv(left, counts[member], tagoff=1 + r * maxg + k,
+                           dst=("recv", offs[member], counts[member]))
+        for k, member in enumerate(out_grp):
+            if counts[member]:
+                emitted = True
+                sched.send(right, counts[member], tagoff=1 + r * maxg + k,
+                           src=("recv", offs[member], counts[member]))
+        if not emitted:
+            sched.copy(0)
+
+    # replicate the assembled result to the node members
+    sched.round()
+    for member in members[1:]:
+        sched.send(member, total, tagoff=span - 1, src=("recv", 0, total))
+    sched.copy(0)  # keep the round non-empty for single-member groups
+    return sched
+
+
+def compiled_iallgatherv(size: int, rank: int, counts, algorithm: str,
+                         groups: Groups = ()):
+    """Cached compiled plan for :func:`build_iallgatherv`."""
+    counts = tuple(counts)
+    return SCHEDULE_CACHE.get(
+        ("allgatherv", algorithm, size, rank, counts, 0, groups),
+        lambda: build_iallgatherv(size, rank, counts, algorithm, groups),
+    )

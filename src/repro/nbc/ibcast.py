@@ -27,7 +27,7 @@ from ..errors import ScheduleError
 from .schedule import SCHEDULE_CACHE, Schedule
 
 __all__ = ["BINOMIAL", "build_ibcast", "compiled_ibcast", "bcast_tree",
-           "IBCAST_FANOUTS"]
+           "emit_pipelined_bcast", "segment_bounds", "IBCAST_FANOUTS"]
 
 #: sentinel fan-out value selecting the binomial tree (the paper's "N")
 BINOMIAL = -1
@@ -79,6 +79,62 @@ def bcast_tree(size: int, vrank: int, fanout: int) -> tuple[int, list[int]]:
     return parent, children
 
 
+def segment_bounds(nbytes: int, segsize: int) -> list[tuple[int, int]]:
+    """``(offset, length)`` of each pipeline segment of a payload."""
+    if segsize <= 0:
+        raise ScheduleError(f"segment size must be positive, got {segsize}")
+    nseg = max(1, math.ceil(nbytes / segsize))
+    return [
+        (s * segsize, min(segsize, nbytes - s * segsize)) for s in range(nseg)
+    ]
+
+
+def emit_pipelined_bcast(
+    sched: Schedule,
+    parent: int,
+    children: list[int],
+    seg_bounds: list[tuple[int, int]],
+    tag0: int = 0,
+) -> Schedule:
+    """Emit this rank's rounds of a segmented tree broadcast.
+
+    ``parent``/``children`` are *real* communicator-local peers
+    (``parent == -1`` on the root); the tree shape is entirely the
+    caller's — flat k-ary/binomial trees (:func:`build_ibcast`) and the
+    two-level hierarchical tree (:mod:`repro.nbc.hier`) share these
+    exact rounds.  Segment *s* uses tag offset ``tag0 + s``; round *k*
+    receives segment *k* from the parent while forwarding segment *k−1*
+    to the children, so a depth-*d* tree with *S* segments completes in
+    ``d + S - 1`` forwarding steps.
+    """
+    if parent == -1:
+        # root: one round per segment, sending to all children
+        for s, (off, length) in enumerate(seg_bounds):
+            sched.round()
+            for c in children:
+                sched.send(c, length, tagoff=tag0 + s, src=("data", off, length))
+    elif not children:
+        # leaf: one receive per segment
+        for s, (off, length) in enumerate(seg_bounds):
+            sched.round()
+            sched.recv(parent, length, tagoff=tag0 + s, dst=("data", off, length))
+    else:
+        # interior node: recv segment k while forwarding segment k-1
+        nseg = len(seg_bounds)
+        for k in range(nseg + 1):
+            sched.round()
+            if k < nseg:
+                off, length = seg_bounds[k]
+                sched.recv(parent, length, tagoff=tag0 + k,
+                           dst=("data", off, length))
+            if k > 0:
+                off, length = seg_bounds[k - 1]
+                for c in children:
+                    sched.send(c, length, tagoff=tag0 + k - 1,
+                               src=("data", off, length))
+    return sched
+
+
 def build_ibcast(
     size: int,
     rank: int,
@@ -99,47 +155,18 @@ def build_ibcast(
     """
     if size <= 0 or not 0 <= rank < size or not 0 <= root < size:
         raise ScheduleError(f"bad bcast geometry size={size} rank={rank} root={root}")
-    if segsize <= 0:
-        raise ScheduleError(f"segment size must be positive, got {segsize}")
+    seg_bounds = segment_bounds(nbytes, segsize)
     vrank = (rank - root) % size
     parent_v, children_v = bcast_tree(size, vrank, fanout)
     to_real = lambda v: (v + root) % size  # noqa: E731 - tiny translation
-
-    nseg = max(1, math.ceil(nbytes / segsize))
-    seg_bounds = [
-        (s * segsize, min(segsize, nbytes - s * segsize)) for s in range(nseg)
-    ]
 
     fo_name = {0: "linear", 1: "chain", BINOMIAL: "binomial"}.get(fanout, f"{fanout}-ary")
     sched = Schedule(name=f"ibcast[{fo_name},seg={segsize}]")
     if size == 1:
         return sched
-
-    if parent_v == -1:
-        # root: one round per segment, sending to all children
-        for s, (off, length) in enumerate(seg_bounds):
-            sched.round()
-            for c in children_v:
-                sched.send(to_real(c), length, tagoff=s, src=("data", off, length))
-    elif not children_v:
-        # leaf: one receive per segment
-        for s, (off, length) in enumerate(seg_bounds):
-            sched.round()
-            sched.recv(to_real(parent_v), length, tagoff=s, dst=("data", off, length))
-    else:
-        # interior node: recv segment k while forwarding segment k-1
-        for k in range(nseg + 1):
-            sched.round()
-            if k < nseg:
-                off, length = seg_bounds[k]
-                sched.recv(to_real(parent_v), length, tagoff=k,
-                           dst=("data", off, length))
-            if k > 0:
-                off, length = seg_bounds[k - 1]
-                for c in children_v:
-                    sched.send(to_real(c), length, tagoff=k - 1,
-                               src=("data", off, length))
-    return sched
+    parent = -1 if parent_v == -1 else to_real(parent_v)
+    children = [to_real(c) for c in children_v]
+    return emit_pipelined_bcast(sched, parent, children, seg_bounds)
 
 
 def compiled_ibcast(

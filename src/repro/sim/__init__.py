@@ -26,6 +26,7 @@ from .platforms import Platform, available_platforms, get_platform, register_pla
 from .process import (
     Barrier,
     Compute,
+    ComputeProgressSpan,
     Progress,
     RecvRequest,
     SendRequest,
@@ -38,6 +39,7 @@ from .trace import MessageRecord, Tracer
 __all__ = [
     "Barrier",
     "Compute",
+    "ComputeProgressSpan",
     "DropRule",
     "Event",
     "FaultInjector",

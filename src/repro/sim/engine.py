@@ -133,6 +133,14 @@ class Simulator:
         self.events_dispatched = 0
         #: number of heap compactions performed (observability / tests)
         self.compactions = 0
+        #: syscalls the MPI layer's fast lane processed inline instead of
+        #: through a heap event (see DESIGN.md §15); the lane adds the
+        #: matching count to :attr:`events_dispatched` so the observable
+        #: event total stays identical to the object-mode engine
+        self.batched_syscalls = 0
+        #: slot pools registered by the driving layer (name -> pool);
+        #: their occupancy/high-water marks are folded into :meth:`stats`
+        self._pools: dict = {}
 
     # ------------------------------------------------------------------ API
 
@@ -192,14 +200,33 @@ class Simulator:
         """Number of live (non-cancelled) events still queued.  O(1)."""
         return self._live
 
+    def register_pool(self, name: str, pool) -> None:
+        """Register a slot pool so :meth:`stats` reports its occupancy.
+
+        ``pool`` is any object with a ``stats() -> dict`` method (see
+        :class:`repro.sim.pool.SlotPool`).  Registering under an existing
+        name replaces the previous pool.
+        """
+        self._pools[name] = pool
+
     def stats(self) -> dict:
-        """Kernel observability counters (cheap; safe to poll)."""
-        return {
+        """Kernel observability counters (cheap; safe to poll).
+
+        Includes per-registered-pool occupancy and high-water marks as
+        flat ``pool_<name>_<field>`` keys, so sweep-level aggregation
+        (which sums stats dicts key-wise) keeps working.
+        """
+        out = {
             "events_dispatched": self.events_dispatched,
             "pending": self._live,
             "heap_size": len(self._heap),
             "compactions": self.compactions,
+            "batched_syscalls": self.batched_syscalls,
         }
+        for name, pool in self._pools.items():
+            for field, value in pool.stats().items():
+                out[f"pool_{name}_{field}"] = value
+        return out
 
     # ------------------------------------------------------------------ heap
 

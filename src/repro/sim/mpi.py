@@ -49,9 +49,11 @@ from .faults import FaultInjector, FaultPlan, RankCrash
 from .netmodel import MachineParams
 from .noise import NoiseModel, NullNoise
 from .platforms import Platform
+from .pool import DeadlineWheel, SlotPool, array_engine_enabled
 from .process import (
     Barrier,
     Compute,
+    ComputeProgressSpan,
     Progress,
     RecvRequest,
     SendRequest,
@@ -86,10 +88,11 @@ class _Message:
         "send_req",
         "recv_req",
         "attempts",
+        "_pool_slot",
     )
 
     def __init__(self, src: int, dst: int, tag: int, comm_id: int, nbytes: int,
-                 data: Any, eager: bool, send_req: SendRequest):
+                 data: Any, eager: bool, send_req: Optional[SendRequest]):
         self.src = src
         self.dst = dst
         self.tag = tag
@@ -101,6 +104,13 @@ class _Message:
         self.recv_req: Optional[RecvRequest] = None
         #: transmission attempts so far (drops trigger retransmission)
         self.attempts = 0
+        #: slot index in the world's message pool (-1 = unpooled/released)
+        self._pool_slot = -1
+
+
+def _new_pool_message() -> _Message:
+    """Factory for :class:`~repro.sim.pool.SlotPool`-recycled messages."""
+    return _Message(0, 0, 0, 0, 0, None, False, None)
 
 
 class _RankState:
@@ -121,6 +131,7 @@ class _RankState:
         "failed_excs",
         "wait_t0",
         "n_active",
+        "inbound",
         "finished",
         "finish_time",
         "dead",
@@ -158,6 +169,12 @@ class _RankState:
         #: disabled path)
         self.wait_t0: Optional[float] = None
         self.n_active = 0
+        #: message/protocol events (deliveries, RTS/CTS) already in the
+        #: event heap that target this rank; the fast lane refuses to
+        #: batch while any are in flight, because a between-yield
+        #: ``ctx.irecv``/``ctx.isend`` during a batched pull would
+        #: otherwise observe queue state from *before* those arrivals
+        self.inbound = 0
         self.finished = False
         self.finish_time = 0.0
         #: True once a :class:`~repro.sim.faults.RankCrash` killed this rank
@@ -626,6 +643,30 @@ class SimWorld:
             self._faults.on_rank_crash = self._on_rank_crash
             self._faults.obs = self._obs
             self._faults.install(self.sim)
+        # ---- array engine (DESIGN.md §15) ----------------------------
+        # numpy-pooled message slots + a vectorized retransmit-deadline
+        # wheel; both are exact-behavior substitutions (object identity
+        # and event order are preserved), so they stay on under faults
+        # and tracing.  REPRO_ARRAY_ENGINE=0 restores object mode.
+        self._array_mode = array_engine_enabled()
+        self._msg_pool: Optional[SlotPool] = None
+        self._wheel: Optional[DeadlineWheel] = None
+        if self._array_mode:
+            self._msg_pool = SlotPool(
+                "messages", _new_pool_message,
+                capacity=max(256, 2 * nprocs))
+            self.sim.register_pool("messages", self._msg_pool)
+            if self._faults is not None and self._reliable:
+                self._wheel = DeadlineWheel()
+                self.sim.register_pool("retransmit_wheel", self._wheel)
+        #: degenerate-topology fast lane: when no faults, no tracing and
+        #: deterministic per-rank noise can distinguish a symmetric
+        #: rank's timeline from its batch-collapsed equivalent, runs of
+        #: Compute/Progress/Wait syscalls are drained inline instead of
+        #: through one heap event each (see :meth:`_batch`)
+        self._fastlane = (
+            self._array_mode and self._faults is None and self._obs is None
+        )
 
     @property
     def faults(self) -> Optional[FaultInjector]:
@@ -810,6 +851,11 @@ class SimWorld:
             st.busy_until = busy
             if self._obs is not None:
                 self._obs.complete("compute", "compute", st.id, t0, dur)
+            if (self._fastlane and st.noise_det and st.n_active == 0
+                    and st.inbound == 0 and not st.pending_cts
+                    and not st.pending_data and not st.failed_excs):
+                self._batch(st)
+                return
             # inline-post (see __init__): busy >= now by construction
             _heappush(self._sim_heap,
                       (busy, next(self._sim_seq), self._resume, (st, None)))
@@ -840,6 +886,11 @@ class SimWorld:
             except (RankFailedError, CommRevokedError) as exc:
                 self._throw(st.id, exc)
                 return
+            if (self._fastlane and st.noise_det and st.n_active == 0
+                    and st.inbound == 0 and not st.pending_cts
+                    and not st.pending_data and not st.failed_excs):
+                self._batch(st)
+                return
             # inline-post: charges only ever move busy_until forward
             _heappush(
                 self._sim_heap,
@@ -847,6 +898,128 @@ class SimWorld:
             )
             self.sim._live += 1
             return
+        self._handle_syscall(st, syscall)
+
+    def _batch(self, st: _RankState) -> None:
+        """Degenerate-topology fast lane: drain syscalls without events.
+
+        Entered only when nothing in the world can observe the
+        difference between processing this rank's next syscalls inline
+        and processing each in its own resume event: no faults, no
+        tracing, deterministic per-rank noise, and — re-checked before
+        every pull — no active requests, no message or protocol event in
+        flight toward this rank (``st.inbound``), no pending protocol
+        actions and no queued failures.  The in-flight guard matters
+        because a batched pull runs between-yield code at a *stale*
+        clock: a ``ctx.irecv`` issued while an arrival is still queued
+        would match against pre-arrival queue state.  Under those conditions Compute, all-done Progress and
+        all-done Wait advance ``busy_until`` with exactly the float
+        operations the evented path performs, so results are
+        bit-identical while the heap never sees the elided resumes.
+
+        Every inline-processed syscall adds one to
+        ``events_dispatched`` — the resume event it replaced — keeping
+        the observable event count identical to object mode.  A pull
+        that touches the world (posts a request, matches a message) or
+        yields a non-batchable syscall is *deferred*: replayed by a
+        single event at this rank's ``busy_until``, the exact time its
+        object-mode resume would have dispatched.
+        """
+        sim = self.sim
+        heap = self._sim_heap
+        gen_send = st.gen_send
+        compute_cls = Compute
+        progress_cls = Progress
+        wait_cls = Wait
+        # n_active == 0 throughout the batch, so the progress/wait charge
+        # is a constant — the exact float the evented path computes
+        pcost = self._progress_base + self._progress_per_req * st.n_active
+        # no events dispatch while batching, so the live count only moves
+        # if a pulled syscall cancels an event — snapshot once
+        live = sim._live
+        batched = 0
+        while True:
+            nheap = len(heap)
+            busy = st.busy_until
+            # between-yield world calls (posts, revoke, timers) must see
+            # the clock their object-mode resume would see, not the time
+            # of the event that entered the batch
+            sim._now = busy
+            try:
+                syscall = gen_send(None)
+            except StopIteration:
+                # the final resume must stay a real heap event: its
+                # pending-ness is observable (watchdog-vs-deadlock
+                # classification) and it ends the run at the rank's
+                # finish instant; it replaces the elided resume
+                # one-for-one, so it is not compensated below
+                _heappush(heap, (st.busy_until, next(self._sim_seq),
+                                 self._finish_rank, (st,)))
+                sim._live += 1
+                break
+            if (len(heap) != nheap or sim._live != live
+                    or st.n_active != 0 or st.busy_until != busy):
+                # the generator touched the world between yields (posted
+                # a request, charged time, cancelled an event, ...):
+                # replay the pulled syscall at its exact object-mode
+                # time.  pending_cts/pending_data/failed_excs need no
+                # re-check: every path that sets them from program
+                # context also moves one of the four deltas above.
+                self._defer(st, syscall)
+                break
+            tsc = type(syscall)
+            if tsc is compute_cls:
+                # noise_det holds for the batch and faults/obs are off,
+                # so the evented path's dur == syscall.seconds exactly
+                st.busy_until = busy + syscall.seconds
+                batched += 1
+                continue
+            if tsc is progress_cls:
+                for h in syscall.handles:
+                    if not h.done:
+                        break
+                else:
+                    st.busy_until = busy + pcost
+                    batched += 1
+                    continue
+            elif tsc is wait_cls:
+                for it in syscall.items:
+                    if not it.done:
+                        break
+                else:
+                    st.busy_until = busy + pcost
+                    batched += 1
+                    continue
+            self._defer(st, syscall)
+            break
+        if batched:
+            sim.events_dispatched += batched
+            sim.batched_syscalls += batched
+
+    def _finish_rank(self, st: _RankState) -> None:
+        """Deferred end-of-program: what the final resume would do."""
+        if st.dead:
+            return
+        if st.busy_until < self.sim._now:
+            st.busy_until = self.sim._now
+        st.finished = True
+        st.finish_time = st.busy_until
+        self._n_unfinished -= 1
+        if self._n_unfinished == 0:
+            self.sim.halt()
+
+    def _defer(self, st: _RankState, syscall: Any) -> None:
+        """Schedule an already-pulled syscall at its object-mode time."""
+        _heappush(self._sim_heap,
+                  (st.busy_until, next(self._sim_seq),
+                   self._deferred_syscall, (st, syscall)))
+        self.sim._live += 1
+
+    def _deferred_syscall(self, st: _RankState, syscall: Any) -> None:
+        if st.dead:
+            return
+        if st.busy_until < self.sim._now:
+            st.busy_until = self.sim._now
         self._handle_syscall(st, syscall)
 
     def _throw(self, rank_id: int, exc: BaseException) -> None:
@@ -963,8 +1136,122 @@ class SimWorld:
             _heappush(self._sim_heap,
                       (busy, next(self._sim_seq), self._resume, (st, None)))
             self.sim._live += 1
+        elif tsc is ComputeProgressSpan:
+            # chunk #1's compute half is processed in the pulling event,
+            # exactly where the flat pair stream would process it
+            self._span_compute(st, sc, sc.count)
         else:
             raise SimulationError(f"rank {st.id} yielded unknown syscall {sc!r}")
+
+    # ------------------------------------------------------------------
+    # compute/progress spans (see process.ComputeProgressSpan)
+    # ------------------------------------------------------------------
+
+    def _span_compute(self, st: _RankState, span: ComputeProgressSpan,
+                      remaining: int) -> None:
+        """One compute half of a span: the Compute branch of _resume.
+
+        Runs inline from the pulling event for the first chunk and as
+        its own heap event for every later one, so the event times,
+        counts and seq order are exactly those of the equivalent flat
+        ``(Compute, Progress)`` pair stream.
+        """
+        if st.dead:
+            return
+        now = self.sim._now
+        if st.busy_until < now:
+            st.busy_until = now
+        sec = span.seconds
+        dur = sec if st.noise_det else st.perturb(sec)
+        if self._faults is not None:
+            dur *= self._faults.compute_factor(st.id)
+        t0 = st.busy_until
+        busy = t0 + dur
+        st.busy_until = busy
+        if self._obs is not None:
+            self._obs.complete("compute", "compute", st.id, t0, dur)
+        _heappush(self._sim_heap,
+                  (busy, next(self._sim_seq), self._span_progress,
+                   (st, span, remaining)))
+        self.sim._live += 1
+
+    def _span_progress(self, st: _RankState, span: ComputeProgressSpan,
+                       remaining: int) -> None:
+        """One progress half of a span: the Progress branch of _resume.
+
+        After the last chunk the generator is resumed with ``None``,
+        exactly as the pair stream's final Progress would.  When the
+        fast lane is eligible and every handle has completed, the
+        remaining chunks collapse into pure busy-clock arithmetic — the
+        same float operations the evented halves would perform, with the
+        elided events compensated in ``events_dispatched`` — which is
+        safe because no generator code runs between span halves and a
+        concurrent arrival to an idle rank (``n_active == 0``) is a
+        passive queue append that reads none of this rank's clocks.
+        """
+        if st.dead:
+            return
+        sim = self.sim
+        now = sim._now
+        if st.busy_until < now:
+            st.busy_until = now
+        if st.failed_excs:
+            self._throw(st.id, st.failed_excs[0])
+            return
+        if st.pending_cts or st.pending_data:
+            self._mpi_entry(st)
+        t0 = st.busy_until
+        cost = self._progress_base + self._progress_per_req * st.n_active
+        st.busy_until = t0 + cost
+        if self._obs is not None:
+            self._obs.complete("progress", "progress", st.id, t0, cost,
+                               {"n_active": st.n_active})
+            self._m_progress.inc()
+        try:
+            for h in span.handles:
+                if not h.done:
+                    h.progress(st.ctx)
+        except (RankFailedError, CommRevokedError) as exc:
+            self._throw(st.id, exc)
+            return
+        remaining -= 1
+        if remaining == 0:
+            _heappush(self._sim_heap,
+                      (st.busy_until, next(self._sim_seq),
+                       self._resume, (st, None)))
+            sim._live += 1
+            return
+        if (self._fastlane and st.noise_det and st.n_active == 0
+                and not st.pending_cts and not st.pending_data
+                and not st.failed_excs):
+            for h in span.handles:
+                if not h.done:
+                    break
+            else:
+                busy = st.busy_until
+                sec = span.seconds
+                # n_active == 0: the per-chunk progress charge is the
+                # constant the evented half would compute
+                pcost = (self._progress_base
+                         + self._progress_per_req * st.n_active)
+                for _ in range(remaining):
+                    busy = (busy + sec) + pcost
+                st.busy_until = busy
+                sim.events_dispatched += 2 * remaining
+                sim.batched_syscalls += 2 * remaining
+                _heappush(self._sim_heap,
+                          (busy, next(self._sim_seq),
+                           self._resume, (st, None)))
+                sim._live += 1
+                return
+        # event-per-half: the next compute runs in its own heap event at
+        # the exact (time, seq) slot the flat pair stream's resume would
+        # occupy — an inline call here could reorder against a delivery
+        # scheduled between the halves
+        _heappush(self._sim_heap,
+                  (st.busy_until, next(self._sim_seq),
+                   self._span_compute, (st, span, remaining)))
+        sim._live += 1
 
     def _barrier_maybe_release(self) -> None:
         """Release the hard barrier once every *live* rank arrived."""
@@ -1057,6 +1344,7 @@ class SimWorld:
                 _heappush(heap, (t if t > now else now, next(seq),
                                  on_cts, (msg,)))
                 sim._live += 1
+                self._ranks[msg.src].inbound += 1
         if st.pending_data:
             msgs, st.pending_data = st.pending_data, []
             for msg in msgs:
@@ -1094,7 +1382,21 @@ class SimWorld:
         same_node = node_of[st.id] == node_of[wdst]
         link = self._links[same_node]
         eager = nbytes <= link.eager_threshold
-        msg = _Message(st.id, wdst, tag, comm_id, nbytes, data, eager, req)
+        pool = self._msg_pool
+        if pool is not None:
+            msg = pool.acquire()
+            msg.src = st.id
+            msg.dst = wdst
+            msg.tag = tag
+            msg.comm_id = comm_id
+            msg.nbytes = nbytes
+            msg.data = data
+            msg.eager = eager
+            msg.send_req = req
+            msg.recv_req = None
+            msg.attempts = 0
+        else:
+            msg = _Message(st.id, wdst, tag, comm_id, nbytes, data, eager, req)
         if self._obs is not None:
             self._obs.instant("communication", "msg.post", st.id,
                               st.busy_until,
@@ -1121,6 +1423,7 @@ class SimWorld:
             _heappush(sim._heap, (t if t > now else now, next(sim._seq),
                                   self._on_rts_arrival, (msg,)))
             sim._live += 1
+            self._ranks[wdst].inbound += 1
         return req
 
     def _post_irecv(
@@ -1158,6 +1461,7 @@ class SimWorld:
                 req.data = msg.data
                 req.done = True
                 req.complete_time = st.busy_until
+                self._release_msg(msg)
                 if notify is not None:
                     notify(req, st.busy_until)
             else:
@@ -1232,11 +1536,13 @@ class SimWorld:
             _heappush(sim._heap, (arrival if arrival > now else now,
                                   next(sim._seq), self._deliver, (msg,)))
             sim._live += 1
+            self._ranks[msg.dst].inbound += 1
             if not msg.eager:
                 _heappush(sim._heap, (done if done > now else now,
                                       next(sim._seq),
                                       self._on_send_complete, (msg,)))
                 sim._live += 1
+                self._ranks[msg.src].inbound += 1
             return
         rail = self._rail_of(msg.src, msg.dst)
         alpha = link.alpha
@@ -1268,6 +1574,7 @@ class SimWorld:
                                   next(sim._seq),
                                   self._on_send_complete, (msg,)))
             sim._live += 1
+            self._ranks[msg.src].inbound += 1
         arrival = start + alpha + ser
         # receive-side rail contention (incast): the message occupies the
         # destination rail for its serialization time before delivery;
@@ -1287,6 +1594,7 @@ class SimWorld:
         _heappush(sim._heap, (delivery if delivery > now else now,
                               next(sim._seq), self._deliver, (msg,)))
         sim._live += 1
+        self._ranks[msg.dst].inbound += 1
 
     # ------------------------------------------------------------------
     # reliable transport (retransmission on injected message loss)
@@ -1321,7 +1629,23 @@ class SimWorld:
             )
         self.retransmits += 1
         retry_at = max(t_post + self._rto(msg, same_node), self.sim.now)
-        self._post(retry_at, self._retransmit, msg, same_node)
+        if self._wheel is not None:
+            # vectorized deadline table: the (deadline, payload) pair
+            # lives in the numpy wheel and the heap carries only a bare
+            # wakeup at the same (time, seq) the per-event path would
+            # use — each wakeup pops the earliest due timer, so firing
+            # order and event counts match object mode exactly
+            self._wheel.arm(retry_at, (msg, same_node))
+            self._post(retry_at, self._wheel_fire)
+        else:
+            self._post(retry_at, self._retransmit, msg, same_node)
+
+    def _wheel_fire(self) -> None:
+        """One retransmit-wheel wakeup: fire the earliest due timer."""
+        payload = self._wheel.pop_due(self.sim._now)
+        if payload is not None:
+            msg, same_node = payload
+            self._retransmit(msg, same_node)
 
     def _retransmit(self, msg: _Message, same_node: bool) -> None:
         if self._obs is not None:
@@ -1343,6 +1667,22 @@ class SimWorld:
                               self.sim._now,
                               {"dst": msg.dst, "nbytes": msg.nbytes})
             self._m_dead_letters.inc()
+        self._release_msg(msg)
+
+    def _release_msg(self, msg: _Message) -> None:
+        """Recycle a consumed message through the slot pool (array mode).
+
+        Dropping the payload/receive references here keeps recycled
+        slots from pinning buffers.  ``send_req`` survives until the
+        slot is re-acquired: :class:`~repro.sim.trace.Tracer` wrappers
+        read it right after the wrapped ``_complete_recv`` returns.
+        Safe on unpooled messages (no-op).
+        """
+        pool = self._msg_pool
+        if pool is not None and msg._pool_slot >= 0:
+            msg.data = None
+            msg.recv_req = None
+            pool.release(msg)
 
     @staticmethod
     def _untrack(st: _RankState, req) -> None:
@@ -1360,6 +1700,7 @@ class SimWorld:
     def _on_send_complete(self, msg: _Message) -> None:
         """Rendezvous data fully injected: the send buffer is reusable."""
         st = self._ranks[msg.src]
+        st.inbound -= 1
         req = msg.send_req
         if st.dead or req.failed is not None:
             return  # already accounted for by the crash/revoke sweep
@@ -1379,6 +1720,7 @@ class SimWorld:
 
     def _on_rts_arrival(self, msg: _Message) -> None:
         st = self._ranks[msg.dst]
+        st.inbound -= 1
         if st.dead:
             self._dead_letter(msg)
             return
@@ -1398,6 +1740,7 @@ class SimWorld:
 
     def _on_cts_arrival(self, msg: _Message) -> None:
         st = self._ranks[msg.src]
+        st.inbound -= 1
         if st.dead or msg.send_req.failed is not None:
             return
         st.pending_data.append(msg)
@@ -1416,6 +1759,7 @@ class SimWorld:
 
     def _deliver(self, msg: _Message) -> None:
         st = self._ranks[msg.dst]
+        st.inbound -= 1
         t = self.sim._now
         if st.dead:
             self._dead_letter(msg)
@@ -1456,6 +1800,9 @@ class SimWorld:
                 st.failed_excs.append(exc)
         if st.waiting is not None:
             self._wait_try(st)
+        # released last: notify/wait_try may post new sends, and an
+        # earlier release would let them re-acquire this very slot
+        self._release_msg(msg)
 
     # ------------------------------------------------------------------
     # process failure: rank crash, revoke sweep, agreement commit

@@ -1,0 +1,237 @@
+"""Array-backed slot pools for hot simulation state (DESIGN.md §15).
+
+Two structures back the ``REPRO_ARRAY_ENGINE`` mode of the simulator:
+
+* :class:`SlotPool` — a preallocated pool of recyclable objects indexed
+  by a numpy free-list stack.  Acquire/release are O(1) integer pushes
+  and pops on a preallocated ``int32`` array; the pool grows by doubling
+  when exhausted and keeps occupancy / high-water statistics that
+  :meth:`repro.sim.engine.Simulator.stats` surfaces.
+* :class:`DeadlineWheel` — a vectorized deadline table for the reliable
+  transport's retransmission timers.  Deadlines live in a preallocated
+  ``float64`` column; the next due timer is found with one ``argmin``
+  scan instead of one heap entry per timer, and ties are broken by arm
+  order so firing order matches the per-event scheduling it replaces.
+
+numpy is a hard install requirement of the package, but the import is
+guarded anyway: on an interpreter without numpy the module degrades to
+``array_engine_enabled() == False`` and the object-mode engine — the
+exact pre-array code paths — carries the simulation.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Callable, Optional
+
+try:  # guarded: object mode must work without numpy
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is an install requirement
+    _np = None
+
+__all__ = ["SlotPool", "DeadlineWheel", "array_engine_enabled", "HAVE_NUMPY"]
+
+HAVE_NUMPY = _np is not None
+
+
+def array_engine_enabled() -> bool:
+    """Whether new worlds should use the array-backed engine state.
+
+    Read per call (not at import) so tests and A/B harnesses can flip
+    ``REPRO_ARRAY_ENGINE`` between simulations in one process.
+    """
+    if _np is None:
+        return False
+    return os.environ.get("REPRO_ARRAY_ENGINE", "1") not in ("", "0", "false")
+
+
+class SlotPool:
+    """Preallocated object pool with a numpy free-list stack.
+
+    ``factory()`` makes one pooled object; ``reset(obj)`` (optional)
+    scrubs a recycled one before reuse.  Objects carry no slot index —
+    the pool only tracks *how many* are out, so release order is free.
+
+    The free stack is a preallocated ``int32`` numpy array used as a
+    LIFO of slot indices; ``acquire``/``release`` are O(1).  Exhaustion
+    doubles the arrays (amortized O(1)), never fails.
+    """
+
+    __slots__ = ("name", "_factory", "_reset", "_slots", "_free", "_top",
+                 "capacity", "in_use", "high_water", "acquires", "recycled",
+                 "grows")
+
+    def __init__(self, name: str, factory: Callable[[], Any],
+                 reset: Optional[Callable[[Any], None]] = None,
+                 capacity: int = 256):
+        if _np is None:  # pragma: no cover - guarded by callers
+            raise RuntimeError("SlotPool requires numpy (array engine)")
+        self.name = name
+        self._factory = factory
+        self._reset = reset
+        self.capacity = int(capacity)
+        #: pooled objects by slot index (filled lazily)
+        self._slots: list = [None] * self.capacity
+        #: LIFO stack of free slot indices
+        self._free = _np.arange(self.capacity - 1, -1, -1, dtype=_np.int32)
+        self._top = self.capacity  # stack pointer: number of free slots
+        self.in_use = 0
+        self.high_water = 0
+        self.acquires = 0
+        self.recycled = 0
+        self.grows = 0
+
+    def _grow(self) -> None:
+        old = self.capacity
+        new = old * 2
+        self._slots.extend([None] * old)
+        free = _np.empty(new, dtype=_np.int32)
+        # the new upper half becomes the free stack (top-down, like init)
+        free[:old] = _np.arange(new - 1, old - 1, -1, dtype=_np.int32)
+        self._free = free
+        self._top = old
+        self.capacity = new
+        self.grows += 1
+
+    def acquire(self):
+        """One pooled object, recycled when possible.  O(1)."""
+        if self._top == 0:
+            self._grow()
+        self._top -= 1
+        idx = int(self._free[self._top])
+        obj = self._slots[idx]
+        self.acquires += 1
+        if obj is None:
+            obj = self._factory()
+            self._slots[idx] = obj
+        else:
+            self.recycled += 1
+            if self._reset is not None:
+                self._reset(obj)
+        obj._pool_slot = idx
+        self.in_use += 1
+        if self.in_use > self.high_water:
+            self.high_water = self.in_use
+        return obj
+
+    def release(self, obj) -> None:
+        """Return ``obj`` to the pool.  O(1); never call twice per acquire."""
+        idx = obj._pool_slot
+        if idx < 0:
+            return  # already released (defensive: leak beats corruption)
+        obj._pool_slot = -1
+        self._free[self._top] = idx
+        self._top += 1
+        self.in_use -= 1
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "in_use": self.in_use,
+            "high_water": self.high_water,
+            "acquires": self.acquires,
+            "recycled": self.recycled,
+            "grows": self.grows,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<SlotPool {self.name!r} {self.in_use}/{self.capacity} "
+                f"in use, high-water {self.high_water}>")
+
+
+class DeadlineWheel:
+    """Vectorized deadline table for retransmission timers.
+
+    Each armed timer occupies one slot of three parallel preallocated
+    numpy columns: the absolute deadline, the arm sequence (tie-break),
+    and a payload index into a Python-side list.  ``next_due`` finds the
+    earliest timer with one ``argmin`` scan over the deadline column
+    (vacant slots hold ``+inf``); equal deadlines fire in arm order,
+    matching the ``(time, seq)`` order of the per-event scheduling this
+    replaces.
+    """
+
+    __slots__ = ("_deadline", "_order", "_payload", "_free", "_top",
+                 "capacity", "armed", "high_water", "_arm_seq")
+
+    def __init__(self, capacity: int = 64):
+        if _np is None:  # pragma: no cover - guarded by callers
+            raise RuntimeError("DeadlineWheel requires numpy (array engine)")
+        self.capacity = int(capacity)
+        self._deadline = _np.full(self.capacity, _np.inf, dtype=_np.float64)
+        self._order = _np.zeros(self.capacity, dtype=_np.int64)
+        self._payload: list = [None] * self.capacity
+        self._free = _np.arange(self.capacity - 1, -1, -1, dtype=_np.int32)
+        self._top = self.capacity
+        self.armed = 0
+        self.high_water = 0
+        self._arm_seq = 0
+
+    def _grow(self) -> None:
+        old = self.capacity
+        new = old * 2
+        deadline = _np.full(new, _np.inf, dtype=_np.float64)
+        deadline[:old] = self._deadline
+        self._deadline = deadline
+        order = _np.zeros(new, dtype=_np.int64)
+        order[:old] = self._order
+        self._order = order
+        self._payload.extend([None] * old)
+        free = _np.empty(new, dtype=_np.int32)
+        free[:old] = _np.arange(new - 1, old - 1, -1, dtype=_np.int32)
+        self._free = free
+        self._top = old
+        self.capacity = new
+
+    def arm(self, when: float, payload) -> None:
+        """Arm one timer at absolute time ``when``.  O(1)."""
+        if self._top == 0:
+            self._grow()
+        self._top -= 1
+        idx = int(self._free[self._top])
+        self._deadline[idx] = when
+        self._order[idx] = self._arm_seq
+        self._arm_seq += 1
+        self._payload[idx] = payload
+        self.armed += 1
+        if self.armed > self.high_water:
+            self.high_water = self.armed
+
+    def next_due(self) -> Optional[float]:
+        """Earliest armed deadline, or None when the wheel is empty."""
+        if self.armed == 0:
+            return None
+        return float(self._deadline.min())
+
+    def pop_due(self, now: float):
+        """Disarm and return the payload of the earliest timer <= now.
+
+        Returns None when nothing is due.  Among timers sharing the
+        minimum deadline the oldest arm wins — the order per-event
+        scheduling would have produced.
+        """
+        if self.armed == 0:
+            return None
+        deadlines = self._deadline
+        idx = int(deadlines.argmin())
+        when = deadlines[idx]
+        if when > now:
+            return None
+        # tie-break equal deadlines by arm order (vectorized)
+        ties = _np.nonzero(deadlines == when)[0]
+        if len(ties) > 1:
+            idx = int(ties[self._order[ties].argmin()])
+        payload = self._payload[idx]
+        self._payload[idx] = None
+        deadlines[idx] = _np.inf
+        self._free[self._top] = idx
+        self._top += 1
+        self.armed -= 1
+        return payload
+
+    def stats(self) -> dict:
+        return {
+            "capacity": self.capacity,
+            "armed": self.armed,
+            "high_water": self.high_water,
+        }

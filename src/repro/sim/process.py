@@ -35,6 +35,7 @@ from typing import Any, Iterable, Optional, Sequence
 __all__ = [
     "Barrier",
     "Compute",
+    "ComputeProgressSpan",
     "Progress",
     "Wait",
     "SendRequest",
@@ -148,6 +149,37 @@ class Progress:
 
     def __repr__(self) -> str:  # pragma: no cover
         return f"Progress({len(self.handles)} handles)"
+
+
+class ComputeProgressSpan:
+    """``count`` repetitions of ``Compute(seconds)`` then ``Progress(handles)``.
+
+    Semantically identical to yielding the flat pair stream
+    ``(Compute(seconds), Progress(handles)) * count``, and simulated
+    with bit-identical charges, times and event counts.  The difference
+    is mechanical: the driver steps the span internally instead of
+    resuming the generator per chunk, which lets the array engine's fast
+    lane collapse the remainder into pure arithmetic once every handle
+    has completed and nothing else distinguishes the chunks
+    (DESIGN.md §15).  Overlap-style benchmark loops — the hot path of
+    every sweep — should yield one span per iteration.
+    """
+
+    __slots__ = ("seconds", "handles", "count")
+
+    def __init__(self, seconds: float, handles: Iterable[Waitable] = (),
+                 count: int = 1):
+        if seconds < 0:
+            raise ValueError(f"negative compute time {seconds!r}")
+        if count < 1:
+            raise ValueError(f"span count must be >= 1, got {count!r}")
+        self.seconds = seconds
+        self.handles = tuple(handles)
+        self.count = int(count)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return (f"ComputeProgressSpan({self.seconds!r}, "
+                f"{len(self.handles)} handles, x{self.count})")
 
 
 class Barrier:

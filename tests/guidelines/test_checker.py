@@ -71,9 +71,14 @@ def test_small_preset_scenario_is_guideline_clean():
 def test_preset_probes_cover_the_grid():
     probes = preset_probes(["whale", "crill"], operations=("bcast",),
                            tolerance=0.03)
-    assert len(probes) == 2 * 1 * 2 * 2  # platforms x ops x nprocs x nbytes
+    # platforms x ops x nprocs x nbytes, plus one hierarchical-vs-flat
+    # allreduce probe per platform
+    assert len(probes) == 2 * 1 * 2 * 2 + 2
     assert {p["platform"] for p in probes} == {"whale", "crill"}
     assert all(p["tolerance"] == 0.03 for p in probes)
+    hier = [p for p in probes if p["operation"] == "allreduce"]
+    assert len(hier) == 2
+    assert {p["platform"] for p in hier} == {"whale", "crill"}
 
 
 # -- knowledge-base cross-check ---------------------------------------------

@@ -5,9 +5,11 @@ Proves the daemon's headline guarantees end to end with a real daemon
 process and real SIGKILLs:
 
 1. compute every scenario serially (the reference fingerprints);
-2. start ``repro serve`` as a subprocess and stream requests at it
-   from 8 concurrent client threads while SIGKILLing the daemon at a
-   seeded random instant mid-stream — every client must still
+2. start ``repro serve`` as a subprocess (with its ``--telemetry``
+   exposition enabled) and stream requests at it from 8 concurrent
+   client threads; scrape the telemetry plane mid-stream (it must
+   answer under load without perturbing any decision), then SIGKILL
+   the daemon at a seeded random instant — every client must still
    terminate, within its declared time budget, with a decision
    bit-identical to the serial reference (served or degraded);
 3. truncate one shard's WAL at a seeded random byte (the torn tail a
@@ -41,6 +43,7 @@ import time
 sys.path.insert(0, "src")
 
 from repro.bench.fabric.protocol import result_fingerprint  # noqa: E402
+from repro.obs.telemetry import parse_exposition, scrape  # noqa: E402
 from repro.serve.client import TuningClient  # noqa: E402
 from repro.serve.core import (  # noqa: E402
     compute_decision,
@@ -73,14 +76,17 @@ def serial_fingerprints() -> dict:
             for req in SCENARIOS}
 
 
-def start_daemon(sock: str, data_dir: str, metrics: str, audit: str):
+def start_daemon(sock: str, data_dir: str, metrics: str, audit: str,
+                 telemetry: str = None):
     env = dict(os.environ)
     env["PYTHONPATH"] = "src"
+    cmd = [sys.executable, "-m", "repro", "serve",
+           "--socket", sock, "--data-dir", data_dir,
+           "--workers", "2", "--metrics", metrics, "--audit", audit]
+    if telemetry:
+        cmd += ["--telemetry", telemetry]
     proc = subprocess.Popen(
-        [sys.executable, "-m", "repro", "serve",
-         "--socket", sock, "--data-dir", data_dir,
-         "--workers", "2", "--metrics", metrics, "--audit", audit],
-        env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
+        cmd, env=env, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True)
     deadline = time.monotonic() + 30.0
     probe = TuningClient(f"unix:{sock}", timeout=0.5, attempts=1)
@@ -142,13 +148,32 @@ def run_fleet(sock: str, expected: dict) -> dict:
 
 def stage_sigkill_midstream(tmp: str, expected: dict, rng) -> dict:
     sock = os.path.join(tmp, "t.sock")
+    tel = os.path.join(tmp, "telemetry.sock")
     data_dir = os.path.join(tmp, "kb")
     proc = start_daemon(sock, data_dir,
                         os.path.join(tmp, "m1.json"),
-                        os.path.join(tmp, "a1.json"))
+                        os.path.join(tmp, "a1.json"),
+                        telemetry=f"unix:{tel}")
     fleet = run_fleet(sock, expected)
-    # SIGKILL the daemon at a seeded random instant mid-stream
+    # scrape the live telemetry plane mid-stream — the exposition must
+    # answer while the daemon is under concurrent load, and reading it
+    # must not perturb the fleet (the decisions below stay bit-identical)
     time.sleep(rng.uniform(0.02, 0.4))
+    scraped = {}
+    try:
+        text = scrape(f"unix:{tel}", timeout=5.0)
+        parsed = parse_exposition(text)
+        scraped = {
+            "metrics": len([k for k in parsed if k != "_scope"]),
+            "scope": parsed.get("_scope", {}).get("value", ""),
+            "connections": parsed.get("repro_serve_connections",
+                                      {}).get("value"),
+        }
+        print(f"chaos-serve: mid-stream scrape OK — {scraped['metrics']} "
+              f"metrics, {scraped['connections']} connections so far")
+    except OSError as exc:
+        fail(f"mid-stream telemetry scrape failed: {exc}")
+    # SIGKILL the daemon at a seeded random instant mid-stream
     proc.kill()
     proc.wait()
     for t in fleet["threads"]:
@@ -165,7 +190,8 @@ def stage_sigkill_midstream(tmp: str, expected: dict, rng) -> dict:
           f"{NCLIENTS} clients x {len(SCENARIOS)} decisions bit-identical "
           f"({degraded} degraded locally)")
     return {"degraded_calls": degraded,
-            "served_calls": sum(len(r["calls"]) for r in done) - degraded}
+            "served_calls": sum(len(r["calls"]) for r in done) - degraded,
+            "telemetry_scrape": scraped}
 
 
 def stage_wal_truncate_restart(tmp: str, expected: dict, rng) -> dict:

@@ -23,13 +23,27 @@ gate only catches order-of-magnitude breakage — a lost fast path, an
 accidentally disabled cache — not ordinary machine-to-machine noise.
 Ratio metrics (``speedup``, ``ratio``, ``hit_rate``) are host-independent
 and the 3x factor makes them an effectively hard floor.
+
+When ``benchmarks/out/BENCH_history.jsonl`` (the per-run log the
+harness conftest appends) holds enough runs, the same metrics are also
+checked against their own recent history — latest vs the median of the
+prior window — which catches slow drift on a single host that the
+cross-host baseline factor is too loose to see.  Trend regressions WARN
+by default (history accumulates on one runner, CI machines churn);
+``--trend-strict`` turns them into failures.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))), "src"))
+
+from repro.bench.history import detect_trends, load_history  # noqa: E402
 
 #: (section, key) metrics where larger is better — BENCH_perf.json
 METRICS = [
@@ -91,6 +105,14 @@ def main(argv=None) -> int:
                         default="benchmarks/out/BENCH_scale.json")
     parser.add_argument("--scale-baseline",
                         default="benchmarks/BENCH_scale_baseline.json")
+    parser.add_argument("--history",
+                        default="benchmarks/out/BENCH_history.jsonl",
+                        help="per-run history log for trend detection")
+    parser.add_argument("--trend-window", type=int, default=5,
+                        help="trend baseline: median of the last N prior "
+                             "runs (default 5)")
+    parser.add_argument("--trend-strict", action="store_true",
+                        help="fail (instead of warn) on trend regressions")
     args = parser.parse_args(argv)
 
     width = max(len(f"{s}.{k}") for s, k in METRICS + SCALE_METRICS)
@@ -113,6 +135,25 @@ def main(argv=None) -> int:
     if not checked:
         print("no benchmark output found to check", file=sys.stderr)
         return 1
+
+    # drift against our own recent history (same host, tighter signal)
+    if os.path.exists(args.history):
+        entries = load_history(args.history)
+        wanted = ([("perf", s, k) for s, k in METRICS]
+                  + [("scale", s, k) for s, k in SCALE_METRICS])
+        trends = detect_trends(entries, wanted,
+                               window=args.trend_window,
+                               factor=args.factor)
+        for t in trends:
+            if not t["regressed"]:
+                continue
+            name = f"{t['source']}:{t['section']}.{t['field']}"
+            tag = "FAIL" if args.trend_strict else "WARN"
+            print(f"{tag}  trend regression in {name}: latest "
+                  f"{t['latest']:.4f} vs recent median "
+                  f"{t['baseline_median']:.4f} over {t['runs']} run(s)")
+            if args.trend_strict:
+                failures.append(f"trend:{name}")
     if failures:
         print(f"\nperformance regression (> {args.factor:g}x) in: "
               + ", ".join(failures), file=sys.stderr)

@@ -9,13 +9,59 @@ Every benchmark regenerates one table/figure of the paper.  Results are
 
 ``REPRO_PAPER_SCALE=1`` switches the scenario knobs from the fast
 defaults to the paper's process counts and iteration budgets.
+
+At session end, every ``BENCH_*.json`` the run produced is appended to
+``benchmarks/out/BENCH_history.jsonl`` (one canonical-JSON line per
+harness run), feeding ``repro bench-report`` and the trend check in
+``check_perf_regression.py``.
 """
 
+import json
 import pathlib
+import sys
+import time
 
 import pytest
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+#: harness outputs that feed the run history (source name -> file)
+_HISTORY_SOURCES = [
+    ("perf", "BENCH_perf.json"),
+    ("scale", "BENCH_scale.json"),
+]
+
+_session_start = 0.0
+
+
+def pytest_sessionstart(session):
+    global _session_start
+    _session_start = time.time()
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Append this run's harness sections to the benchmark history.
+
+    Only files (re)written during this session are appended — harness
+    outputs persist in ``out/`` across runs, and a stale file re-logged
+    on every unrelated pytest invocation would flood the history.
+    """
+    sys.path.insert(0, str(pathlib.Path(__file__).parents[1] / "src"))
+    try:
+        from repro.bench.history import append_run
+    except ImportError:
+        return
+    history = OUT_DIR / "BENCH_history.jsonl"
+    for source, filename in _HISTORY_SOURCES:
+        path = OUT_DIR / filename
+        try:
+            if path.stat().st_mtime < _session_start - 1.0:
+                continue  # untouched this session
+            sections = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, json.JSONDecodeError):
+            continue
+        if isinstance(sections, dict) and sections:
+            append_run(str(history), source, sections)
 
 
 @pytest.fixture

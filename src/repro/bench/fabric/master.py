@@ -122,6 +122,13 @@ class FabricConfig:
     chaos_kills: int = 0
     chaos_seed: int = 0
     defects_path: Optional[str] = None
+    #: cross-process trace correlation id; when set, task frames carry
+    #: it and workers export it into ``REPRO_CORR_ID`` so every
+    #: per-task trace joins the sweep's merged timeline
+    correlation: str = ""
+    #: optional ``unix:``/``tcp:`` endpoint; when set, the master serves
+    #: a read-only text exposition of ``metrics`` for the whole run
+    telemetry_endpoint: Optional[str] = None
     metrics: MetricsRegistry = dataclasses.field(
         default_factory=MetricsRegistry)
     audit: AuditLog = dataclasses.field(default_factory=AuditLog)
@@ -251,6 +258,12 @@ class FabricMaster:
             self._shutdown()
             raise FabricError(f"cannot spawn fabric workers: {exc}",
                               table.results()) from exc
+        telemetry = None
+        if cfg.telemetry_endpoint:
+            from ...obs.telemetry import TelemetryServer
+            telemetry = TelemetryServer(
+                cfg.telemetry_endpoint, self.metrics.snapshot,
+                scope="sweep-fabric").start()
         try:
             self._loop(table)
         except (FabricError, FabricTaskError):
@@ -258,6 +271,8 @@ class FabricMaster:
             raise
         finally:
             self._shutdown()
+            if telemetry is not None:
+                telemetry.stop()
         self._persist_defects()
         results = table.results()
         return [results[i] for i in range(len(tasks))]
@@ -273,6 +288,12 @@ class FabricMaster:
                     "no live workers and respawn budget exhausted "
                     f"({self._respawns} respawns)", table.results())
             self._dispatch(table, now)
+            # live-state gauges for the telemetry endpoint / `repro top`
+            self.metrics.gauge("fabric.workers.live").set(
+                len(self._workers))
+            self.metrics.gauge("fabric.leases.open").set(
+                sum(1 for w in self._workers.values()
+                    if w.current is not None))
             events = self._sel.select(timeout=tick)
             now = time.monotonic()
             dead: List[_Worker] = []
@@ -424,9 +445,16 @@ class FabricMaster:
                 self.metrics.counter("fabric.tasks.stolen").inc()
             key, payload = self._tasks[lease.task]
             self.metrics.counter("fabric.leases.issued").inc()
+            if self.config.correlation:
+                # 5th element: correlation id (older workers unpack
+                # with *rest, so mixed versions stay compatible)
+                frame = ("task", lease.task, key, payload,
+                         self.config.correlation)
+            else:
+                frame = ("task", lease.task, key, payload)
             try:
                 worker.sock.setblocking(True)
-                send_frame(worker.sock, ("task", lease.task, key, payload))
+                send_frame(worker.sock, frame)
                 worker.sock.setblocking(False)
                 worker.current = lease.task
             except OSError:

@@ -22,9 +22,13 @@ type       remaining fields                                  direction
 ``hb``     worker_id, seq                                    w -> m
 ``result`` task_index, key, fingerprint, result              w -> m
 ``error``  task_index, key, traceback_text                   w -> m
-``task``   task_index, key, payload                          m -> w
+``task``   task_index, key, payload[, correlation]           m -> w
 ``shutdown`` (none)                                          m -> w
 ========== ================================================= =========
+
+``task`` frames grow a fifth element when the sweep carries a
+cross-process trace correlation id; workers unpack the tail with
+``*rest``, so a master and worker from adjacent versions interoperate.
 
 ``result`` frames carry a :func:`result_fingerprint` so the master can
 verify that a duplicate execution (a stolen or re-leased task) returned

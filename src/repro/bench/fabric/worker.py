@@ -91,7 +91,11 @@ def worker_main(worker_id: int, sock: socket.socket,
                 break
             if frame[0] != "task":
                 continue  # unknown frame: ignore, stay alive
-            _, index, key, payload = frame
+            # task frames are 4-tuples, or 5-tuples when the master
+            # propagates a cross-process trace correlation id
+            _, index, key, payload, *rest = frame
+            if rest and rest[0]:
+                os.environ["REPRO_CORR_ID"] = str(rest[0])
             try:
                 result = worker_fn(payload)
             except BaseException:

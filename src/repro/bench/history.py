@@ -1,0 +1,176 @@
+"""Append-only perf-run history with trend regression detection.
+
+Every perf-harness session appends one JSONL line to
+``benchmarks/out/BENCH_history.jsonl`` (the benchmarks conftest hooks
+this up; CI uploads the file so the trajectory accumulates across PRs).
+``check_perf_regression.py`` reads the history back and compares the
+latest run against the median of the recent window — a slow drift that
+never trips the 3x single-run gate still surfaces as a trend warning.
+
+The format is deliberately dumb: one self-contained JSON object per
+line (``{"ts", "source", "sections"}``), written with an append +
+flush, so a crashed harness loses at most its own line and a torn tail
+line is skipped on load, never fatal.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from typing import Dict, Iterable, List, Optional, Tuple
+
+__all__ = [
+    "append_run",
+    "detect_trends",
+    "load_history",
+    "render_history_report",
+]
+
+#: how many prior runs the trend baseline medians over
+DEFAULT_WINDOW = 5
+
+
+def append_run(path: str, source: str, sections: Dict[str, dict],
+               timestamp: Optional[float] = None) -> dict:
+    """Append one harness run to the history file; returns the entry.
+
+    ``source`` names the harness (``perf`` / ``scale``), ``sections``
+    is the harness's section map (e.g. the contents of
+    ``BENCH_perf.json``).  Benchmarks are the wall-clock domain, so a
+    real timestamp is fine here.
+    """
+    entry = {
+        "ts": float(time.time() if timestamp is None else timestamp),
+        "source": source,
+        "sections": sections,
+    }
+    os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+    line = json.dumps(entry, sort_keys=True, separators=(",", ":"))
+    with open(path, "a", encoding="ascii") as fh:
+        fh.write(line + "\n")
+        fh.flush()
+        os.fsync(fh.fileno())
+    return entry
+
+
+def load_history(path: str) -> List[dict]:
+    """All well-formed entries, oldest first; torn lines are skipped."""
+    entries: List[dict] = []
+    if not os.path.exists(path):
+        return entries
+    with open(path, "r", encoding="ascii", errors="replace") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except ValueError:
+                continue  # torn tail from a crashed harness
+            if isinstance(entry, dict) and "sections" in entry:
+                entries.append(entry)
+    return entries
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    n = len(ordered)
+    mid = n // 2
+    if n % 2:
+        return ordered[mid]
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def _series(entries: Iterable[dict], source: str, section: str,
+            field: str) -> List[float]:
+    out: List[float] = []
+    for entry in entries:
+        if entry.get("source") != source:
+            continue
+        value = entry.get("sections", {}).get(section, {}).get(field)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out.append(float(value))
+    return out
+
+
+def detect_trends(entries: List[dict],
+                  metrics: Iterable[Tuple[str, str, str]], *,
+                  window: int = DEFAULT_WINDOW,
+                  factor: float = 3.0) -> List[dict]:
+    """Compare each metric's latest run against its recent median.
+
+    ``metrics`` lists ``(source, section, field)`` triples, all
+    higher-is-better.  A metric regresses when the median of the prior
+    ``window`` runs exceeds ``factor`` times the latest value.  Metrics
+    with fewer than two recorded runs are skipped (history has to
+    accumulate before trends mean anything).
+    """
+    findings: List[dict] = []
+    for source, section, field in metrics:
+        series = _series(entries, source, section, field)
+        if len(series) < 2:
+            continue
+        latest = series[-1]
+        baseline = _median(series[-window - 1:-1])
+        ratio = (baseline / latest) if latest > 0 else float("inf")
+        findings.append({
+            "source": source, "section": section, "field": field,
+            "latest": latest, "baseline_median": baseline,
+            "ratio": ratio, "runs": len(series),
+            "regressed": latest > 0 and ratio > factor
+                         or (latest <= 0 < baseline),
+        })
+    return findings
+
+
+def _numeric_fields(sections: Dict[str, dict]) -> List[Tuple[str, str]]:
+    pairs: List[Tuple[str, str]] = []
+    for section in sorted(sections):
+        payload = sections[section]
+        if not isinstance(payload, dict):
+            continue
+        for field in sorted(payload):
+            value = payload[field]
+            if isinstance(value, (int, float)) \
+                    and not isinstance(value, bool):
+                pairs.append((section, field))
+    return pairs
+
+
+def render_history_report(entries: List[dict], *,
+                          window: int = DEFAULT_WINDOW) -> str:
+    """The ``repro bench-report`` text: per-source trajectory summary."""
+    if not entries:
+        return ("bench history: empty (run the perf harnesses to start "
+                "accumulating)")
+    lines: List[str] = []
+    sources = sorted({e.get("source", "?") for e in entries})
+    lines.append(f"bench history: {len(entries)} run(s) across "
+                 f"{len(sources)} source(s)")
+    for source in sources:
+        runs = [e for e in entries if e.get("source") == source]
+        latest = runs[-1]
+        stamp = time.strftime("%Y-%m-%d %H:%M:%S",
+                              time.gmtime(latest.get("ts", 0)))
+        lines.append(f"\n== {source} ({len(runs)} run(s), "
+                     f"latest {stamp} UTC) ==")
+        lines.append(f"  {'section.field':<44} {'latest':>12} "
+                     f"{'median':>12} {'trend':>7}")
+        for section, field in _numeric_fields(latest.get("sections", {})):
+            series = _series(runs, source, section, field)
+            if not series:
+                continue
+            cur = series[-1]
+            base = _median(series[-window - 1:-1]) if len(series) > 1 \
+                else cur
+            if len(series) < 2:
+                trend = "new"
+            elif base == 0:
+                trend = "n/a"
+            else:
+                delta = (cur - base) / abs(base) * 100.0
+                trend = f"{delta:+.1f}%"
+            lines.append(f"  {section + '.' + field:<44} {cur:>12.4g} "
+                         f"{base:>12.4g} {trend:>7}")
+    return "\n".join(lines)

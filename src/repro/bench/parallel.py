@@ -258,6 +258,13 @@ def run_tasks(
         done[j] = result
         if cache is not None:
             cache.put(sub[j][0], result)
+    if fabric is not None and cache is not None:
+        # fold the cache's cumulative counters into the fabric registry
+        # as gauges so --fabric-metrics and the telemetry endpoint see
+        # hit rates and lock contention (lock_skips) per run
+        for field in ("hits", "misses", "stores", "lock_skips"):
+            fabric.metrics.gauge(f"fabric.cache.{field}").set(
+                getattr(cache, field))
     return results
 
 

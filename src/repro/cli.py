@@ -17,6 +17,18 @@ Commands
 ``verify-guidelines``
     Verify tuned decisions against performance guidelines (exit 0
     compliant / 2 violations found / 1 harness error).
+``report``
+    Summarize/validate a recorded trace; ``--critical-path`` appends
+    the blame attribution and dominant dependency chain.
+``trace-merge``
+    Stitch per-process traces (fabric workers, master, daemon) into
+    one Perfetto document correlated by run id.
+``top``
+    Scrape ``--telemetry`` endpoints and render live queue depth,
+    lease states, cache hit rates and breaker states.
+``bench-report``
+    Summarize the accumulated perf-harness run history with trend
+    deltas.
 
 Examples
 --------
@@ -30,6 +42,10 @@ Examples
     python -m repro tune --serve unix:/tmp/tuning.sock
     python -m repro verify-guidelines --platforms whale --fuzz 20 --seed 7
     python -m repro verify-guidelines --recheck tests/guidelines/scenarios
+    python -m repro report trace.json --critical-path
+    python -m repro trace-merge merged.json master=sweep.json w0=t0.json
+    python -m repro top tcp:127.0.0.1:9460 --count 5
+    python -m repro bench-report --history benchmarks/out/BENCH_history.jsonl
 """
 
 from __future__ import annotations
@@ -61,7 +77,9 @@ from .bench import (
 from .nbc.schedule import schedule_cache_stats
 from .obs import (
     TraceRecorder,
+    attach_explanations,
     build_trace_doc,
+    correlation_id,
     dump_trace,
     install,
     merge_snapshots,
@@ -167,6 +185,11 @@ def build_parser() -> argparse.ArgumentParser:
                                 "bit-identical; used by CI)")
             p.add_argument("--chaos-seed", type=int, default=0,
                            help="seed for the chaos worker-killer RNG")
+            p.add_argument("--telemetry", default=None, metavar="ENDPOINT",
+                           help="serve a live read-only metrics exposition "
+                                "for the sweep fabric at ENDPOINT "
+                                "(unix:/path or tcp:HOST:PORT; scrape with "
+                                "`repro top`)")
         p.add_argument("--stats", action="store_true",
                        help="print wall-clock time, events dispatched, "
                             "events/sec, schedule-cache hit rate and "
@@ -283,6 +306,11 @@ def build_parser() -> argparse.ArgumentParser:
                          help="write the service audit log (WAL "
                               "truncations, re-tune failures) here on "
                               "shutdown")
+    p_serve.add_argument("--telemetry", default=None, metavar="ENDPOINT",
+                         help="serve a live read-only Prometheus-style "
+                              "metrics exposition at ENDPOINT "
+                              "(unix:/path or tcp:HOST:PORT; scrape with "
+                              "`repro top` or curl-style readers)")
 
     p_report = sub.add_parser(
         "report", help="summarize a trace recorded with --trace")
@@ -294,6 +322,49 @@ def build_parser() -> argparse.ArgumentParser:
                           help="append an ASCII per-rank timeline")
     p_report.add_argument("--width", type=int, default=100,
                           help="timeline width in characters")
+    p_report.add_argument("--critical-path", action="store_true",
+                          help="append the critical-path profile: "
+                               "per-candidate blame attribution and the "
+                               "dominant dependency chain")
+    p_report.add_argument("--overlay", default=None, metavar="PATH",
+                          help="write a copy of the trace with the "
+                               "critical-path flow arrows and decision "
+                               "explanations attached (open in Perfetto)")
+
+    p_merge = sub.add_parser(
+        "trace-merge",
+        help="stitch per-process trace files (workers, master, daemon) "
+             "into one Perfetto document with disjoint pids")
+    p_merge.add_argument("output", help="merged trace file to write")
+    p_merge.add_argument("inputs", nargs="+", metavar="[LABEL=]PATH",
+                         help="trace files in display order; an optional "
+                              "LABEL= prefix names the source "
+                              "(default: the file's basename)")
+
+    p_top = sub.add_parser(
+        "top", help="render live telemetry scraped from --telemetry "
+                    "endpoints (serve daemon, sweep fabric)")
+    p_top.add_argument("endpoints", nargs="+", metavar="ENDPOINT",
+                       help="telemetry endpoints (unix:/path or "
+                            "tcp:HOST:PORT)")
+    p_top.add_argument("--count", type=int, default=1, metavar="N",
+                       help="scrape N times (default 1; 0 = until "
+                            "interrupted)")
+    p_top.add_argument("--interval", type=float, default=1.0, metavar="S",
+                       help="seconds between scrapes (default 1.0)")
+
+    p_bench = sub.add_parser(
+        "bench-report",
+        help="summarize the accumulated perf-harness history "
+             "(benchmarks/out/BENCH_history.jsonl)")
+    p_bench.add_argument("--history",
+                         default=os.path.join("benchmarks", "out",
+                                              "BENCH_history.jsonl"),
+                         metavar="PATH",
+                         help="history file written by the perf harnesses")
+    p_bench.add_argument("--window", type=int, default=5, metavar="N",
+                         help="trend baseline: median of the last N prior "
+                              "runs (default 5)")
 
     p_guide = sub.add_parser(
         "verify-guidelines",
@@ -442,11 +513,22 @@ def _print_stats(wall: float, events: int, cache: Optional[ResultCache],
                  if c("fallback.serial") else ""))
 
 
-def _write_obs_outputs(args, scenario: str, tasks, audit, metrics) -> None:
-    """Write the ``--trace`` / ``--metrics`` files a command requested."""
+def _write_obs_outputs(args, scenario: str, tasks, audit, metrics,
+                       correlation: Optional[str] = None,
+                       explain: bool = False) -> None:
+    """Write the ``--trace`` / ``--metrics`` files a command requested.
+
+    ``correlation`` stamps the trace envelope so ``trace-merge`` can
+    tie this document to daemon/fabric traces of the same run;
+    ``explain`` runs the critical-path profiler over the finished
+    document and appends the deterministic "why this candidate
+    won/lost" entries to its audit log.
+    """
     if args.trace:
         doc = build_trace_doc(tasks, scenario=scenario, audit=audit,
-                              metrics=metrics)
+                              metrics=metrics, correlation=correlation)
+        if explain:
+            attach_explanations(doc)
         dump_trace(doc, args.trace)
         print(f"trace written to {args.trace}  "
               f"(inspect: `python -m repro report {args.trace}`)")
@@ -497,7 +579,7 @@ def cmd_platforms() -> int:
     return 0
 
 
-def _fabric_config(args, cache):
+def _fabric_config(args, cache, correlation: str = ""):
     """Build the sweep-fabric configuration for a parallel command.
 
     Returns ``None`` for serial runs.  ``--resume`` is only meaningful
@@ -519,6 +601,8 @@ def _fabric_config(args, cache):
         chaos_kills=getattr(args, "chaos_kill_workers", 0),
         chaos_seed=getattr(args, "chaos_seed", 0),
         defects_path=defects,
+        correlation=correlation,
+        telemetry_endpoint=getattr(args, "telemetry", None),
     )
 
 
@@ -561,9 +645,13 @@ def cmd_serve(args) -> int:
         checkpoint_every=args.checkpoint_every,
         metrics_path=args.metrics,
         audit_path=args.audit,
+        telemetry_endpoint=args.telemetry,
     ))
     stats = server.kb.stats()
     print(f"tuning daemon on {endpoint}")
+    if args.telemetry:
+        print(f"telemetry exposition on {args.telemetry} "
+              f"(scrape: `python -m repro top {args.telemetry}`)")
     print(f"knowledge base: {args.data_dir} "
           f"({stats['nshards']} shards, {stats['records']} records)")
     if stats["replayed_records"] or stats["truncated_bytes"]:
@@ -597,8 +685,11 @@ def cmd_tune_serve(args) -> int:
         raise SystemExit(2)
     cfg = _overlap_config(args)
     req = normalize_request(_serve_request(args))
-    client = TuningClient(args.serve, timeout=args.serve_timeout)
-    print(f"tuning {cfg.describe()} via the tuning service at {args.serve}")
+    corr = correlation_id(f"tune-serve|{cfg.describe()}|{args.selector}")
+    client = TuningClient(args.serve, timeout=args.serve_timeout,
+                          correlation=corr)
+    print(f"tuning {cfg.describe()} via the tuning service at {args.serve} "
+          f"[corr {corr}]")
     print(f"network budget before degrading: {client.budget():.1f}s")
     warm = client.warm(req)
     if warm is not None and warm.get("decision"):
@@ -632,7 +723,11 @@ def cmd_sweep(args) -> int:
     cfg = _overlap_config(args)
     fnset = function_set_for(args.operation)
     cache = ResultCache(args.result_cache) if args.result_cache else None
-    fabric = _fabric_config(args, cache)
+    # the correlation id is a pure function of the scenario (or
+    # inherited from REPRO_CORR_ID), so serial and fabric sweeps mint
+    # the same id and their trace docs stay byte-identical
+    corr = correlation_id(f"sweep|{cfg.describe()}")
+    fabric = _fabric_config(args, cache, correlation=corr)
     trace_on = bool(args.trace or args.metrics)
     where = f" ({args.jobs} fabric workers)" if args.jobs > 1 else ""
     serve_client = serve_key = None
@@ -641,7 +736,8 @@ def cmd_sweep(args) -> int:
         from .serve.core import history_key, normalize_request
 
         req = normalize_request(_serve_request(args))
-        serve_client = TuningClient(args.serve, timeout=args.serve_timeout)
+        serve_client = TuningClient(args.serve, timeout=args.serve_timeout,
+                                    correlation=corr)
         serve_key = f"adcl:{history_key(req)}"
         prior = serve_client.lookup(serve_key)
         if prior is not None and prior.get("decision"):
@@ -675,6 +771,7 @@ def cmd_sweep(args) -> int:
             [(row["name"], row["trace"], row["worlds"]) for row in rows],
             audit=None,
             metrics=merge_snapshots([row["metrics"] for row in rows]),
+            correlation=corr,
         )
     if args.stats:
         engine: dict = {}
@@ -762,6 +859,9 @@ def cmd_tune(args) -> int:
               recorder.worlds)],
             audit=recorder.audit.to_json(),
             metrics=recorder.metrics.snapshot(),
+            correlation=correlation_id(
+                f"tune|{cfg.describe()}|{args.selector}"),
+            explain=True,
         )
     if args.stats:
         _print_stats(wall, res.events, None,
@@ -963,7 +1063,132 @@ def cmd_report(args) -> int:
               f"(schema {doc['repro']['schema']}, "
               f"{len(doc.get('traceEvents', []))} events)")
         return 0
-    print(render_report(doc, timeline=args.timeline, width=args.width))
+    print(render_report(doc, timeline=args.timeline, width=args.width,
+                        critical_path=args.critical_path))
+    if args.overlay:
+        from .obs import overlay_critical_path
+
+        dump_trace(overlay_critical_path(doc), args.overlay)
+        print(f"\ncritical-path overlay written to {args.overlay}  "
+              f"(open in ui.perfetto.dev; the flow arrows trace the "
+              f"dominant chain)")
+    return 0
+
+
+def cmd_trace_merge(args) -> int:
+    """``trace-merge``: stitch per-process traces into one document."""
+    from .obs.schema import validate_trace
+    from .obs.telemetry import merge_trace_docs
+
+    sources = []
+    for spec in args.inputs:
+        label, sep, path = spec.partition("=")
+        if not sep:
+            label, path = "", spec
+        if not label:
+            label = os.path.basename(path)
+            if label.endswith(".json"):
+                label = label[: -len(".json")]
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                doc = json.load(fh)
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"error: cannot read trace {path!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        sources.append((label, doc))
+    merged = merge_trace_docs(sources)
+    try:
+        validate_trace(merged)
+    except Exception as exc:
+        print(f"error: merged document is not a valid trace: {exc}",
+              file=sys.stderr)
+        return 2
+    dump_trace(merged, args.output)
+    env = merged["repro"]
+    corr = env.get("correlation")
+    print(f"merged {len(sources)} trace(s) -> {args.output}  "
+          f"({len(merged.get('traceEvents', []))} events, "
+          f"{len(env.get('sources', []))} sources"
+          + (f", correlation {corr}" if corr else "") + ")")
+    for src in env.get("sources", []):
+        note = (f" [corr {src['correlation']}]"
+                if src.get("correlation") else "")
+        lo = src["pid_offset"]
+        hi = lo + src["pids"] - 1
+        print(f"  {src['label']}: pids {lo}..{hi}{note}")
+    if not corr and len(sources) > 1:
+        print("note: sources carry differing (or missing) correlation "
+              "ids — stitched by position, not by run identity")
+    return 0
+
+
+def _render_top(endpoint: str, parsed: dict) -> str:
+    """One scrape, rendered as a compact live-telemetry panel."""
+    scope = ""
+    counters, gauges, histograms = [], [], []
+    for name, metric in sorted(parsed.items()):
+        if name == "_scope":
+            scope = metric["value"]
+        elif metric["type"] == "counter":
+            counters.append((name, metric["value"]))
+        elif metric["type"] == "gauge":
+            gauges.append((name, metric["value"]))
+        elif metric["type"] == "histogram":
+            histograms.append((name, metric))
+    lines = [f"== {endpoint}" + (f"  [{scope}]" if scope else "")]
+    for name, value in gauges:
+        lines.append(f"  {name:<44} {value:>12g}")
+    for name, value in counters:
+        lines.append(f"  {name:<44} {value:>12g}  (total)")
+    for name, h in histograms:
+        total = h.get("total", 0)
+        mean = (h.get("sum", 0.0) / total) if total else 0.0
+        lines.append(f"  {name:<44} {total:>12g}  (mean {mean:g})")
+    if len(lines) == 1:
+        lines.append("  (no metrics exposed yet)")
+    return "\n".join(lines)
+
+
+def cmd_top(args) -> int:
+    """``top``: scrape telemetry endpoints and render them."""
+    from .obs.telemetry import parse_exposition, scrape
+
+    rounds = 0
+    failures = 0
+    while True:
+        rounds += 1
+        panels = []
+        for endpoint in args.endpoints:
+            try:
+                text = scrape(endpoint)
+            except OSError as exc:
+                failures += 1
+                panels.append(f"== {endpoint}\n  unreachable: {exc}")
+                continue
+            panels.append(_render_top(endpoint, parse_exposition(text)))
+        print("\n".join(panels))
+        if args.count and rounds >= args.count:
+            break
+        print()
+        try:
+            time.sleep(args.interval)
+        except KeyboardInterrupt:
+            break
+    # every endpoint unreachable on every round = operational error
+    return 1 if failures == rounds * len(args.endpoints) else 0
+
+
+def cmd_bench_report(args) -> int:
+    """``bench-report``: summarize the perf-harness run history."""
+    from .bench.history import load_history, render_history_report
+
+    if not os.path.exists(args.history):
+        print(f"no history at {args.history} — run the perf harness "
+              f"(pytest benchmarks/) to start one")
+        return 0
+    entries = load_history(args.history)
+    print(render_history_report(entries, window=args.window))
     return 0
 
 
@@ -981,6 +1206,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return cmd_serve(args)
     if args.command == "report":
         return cmd_report(args)
+    if args.command == "trace-merge":
+        return cmd_trace_merge(args)
+    if args.command == "top":
+        return cmd_top(args)
+    if args.command == "bench-report":
+        return cmd_bench_report(args)
     if args.command == "verify-guidelines":
         return cmd_verify_guidelines(args)
     raise AssertionError(f"unhandled command {args.command!r}")  # pragma: no cover

@@ -174,6 +174,13 @@ class NBCRequest(Waitable):
             obs.instant("communication", "nbc.round", ctx.rank, ctx.now,
                         {"sched": self.schedule.name, "round": self._round,
                          "ops": len(ops)})
+            # hierarchical schedules (PR-8) get an explicit phase marker
+            # so the intra/inter/broadcast structure is visible in traces
+            if "[hier" in self.schedule.name:
+                obs.instant("communication", "nbc.hier.phase", ctx.rank,
+                            ctx.now, {"sched": self.schedule.name,
+                                      "phase": self._round,
+                                      "ops": len(ops)})
         buffers = self.buffers
         comm = self.comm
         tag_base = self.tag_base

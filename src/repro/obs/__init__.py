@@ -12,6 +12,12 @@ See DESIGN.md §11 for the architecture and the event taxonomy.
 """
 
 from .audit import AuditLog
+from .critpath import (
+    analyze,
+    attach_explanations,
+    overlay_critical_path,
+    render_critical_path,
+)
 from .export import (
     build_trace_doc,
     dump_trace,
@@ -30,6 +36,14 @@ from .recorder import (
 )
 from .report import render_report
 from .schema import TRACE_SCHEMA_VERSION, validate_trace
+from .telemetry import (
+    TelemetryServer,
+    correlation_id,
+    merge_trace_docs,
+    parse_exposition,
+    render_exposition,
+    scrape,
+)
 
 __all__ = [
     "AuditLog",
@@ -40,15 +54,25 @@ __all__ = [
     "NULL_RECORDER",
     "NullRecorder",
     "TRACE_SCHEMA_VERSION",
+    "TelemetryServer",
     "TraceRecorder",
+    "analyze",
+    "attach_explanations",
     "build_trace_doc",
+    "correlation_id",
     "dump_trace",
     "get_recorder",
     "install",
     "merge_snapshots",
+    "merge_trace_docs",
+    "overlay_critical_path",
+    "parse_exposition",
     "recording",
+    "render_critical_path",
+    "render_exposition",
     "render_report",
     "render_timeline",
+    "scrape",
     "trace_to_bytes",
     "uninstall",
     "validate_trace",

@@ -122,6 +122,9 @@ class AuditLog:
             elif kind == "defect":
                 lines.append(f"defect [{e.get('component', '?')}] "
                              f"{e.get('key', '?')}: {e['reason']}")
+            elif kind == "explanation":
+                lines.append(f"critical path for {e.get('name', '?')!r}: "
+                             f"{e.get('reason', '')}")
             elif kind == "retune":
                 lines.append(f"drift detected at iteration {e['it']}: "
                              f"tuning re-opened")

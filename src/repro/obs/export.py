@@ -36,7 +36,8 @@ Task = Tuple[str, List[list], List[dict]]
 
 def build_trace_doc(tasks: Sequence[Task], *, scenario: str = "",
                     audit: Optional[list] = None,
-                    metrics: Optional[dict] = None) -> dict:
+                    metrics: Optional[dict] = None,
+                    correlation: Optional[str] = None) -> dict:
     """Build the trace document from one or more recorded tasks.
 
     Each (task, world) pair becomes a distinct Chrome ``pid`` so that a
@@ -92,16 +93,19 @@ def build_trace_doc(tasks: Sequence[Task], *, scenario: str = "",
                                     "pid": pid_of[w], "tid": tid,
                                     "args": {"name": tname}})
 
+    envelope = {
+        "schema": TRACE_SCHEMA_VERSION,
+        "scenario": scenario,
+        "worlds": worlds_meta,
+        "audit": audit if audit is not None else [],
+        "metrics": metrics if metrics is not None else {},
+    }
+    if correlation:
+        envelope["correlation"] = correlation
     return {
         "traceEvents": meta_events + trace_events,
         "displayTimeUnit": "ms",
-        "repro": {
-            "schema": TRACE_SCHEMA_VERSION,
-            "scenario": scenario,
-            "worlds": worlds_meta,
-            "audit": audit if audit is not None else [],
-            "metrics": metrics if metrics is not None else {},
-        },
+        "repro": envelope,
     }
 
 

@@ -172,14 +172,25 @@ def merge_snapshots(snapshots: Sequence[dict]) -> dict:
 
     Counters and histogram vectors add; gauges are last-write-wins (in
     the order given, which callers keep deterministic — task order).
-    Histograms with mismatched bounds raise ``ValueError`` rather than
-    silently producing garbage.
+    Histograms with mismatched bounds or a counts vector that does not
+    match its bounds raise ``ValueError`` rather than silently
+    producing garbage (``zip`` would truncate a short vector).
     """
+
+    def check_histogram(name: str, m: dict) -> None:
+        if len(m.get("counts", ())) != len(m.get("bounds", ())) + 1:
+            raise ValueError(
+                f"histogram {name!r}: counts length "
+                f"{len(m.get('counts', ()))} != bounds length "
+                f"{len(m.get('bounds', ()))} + 1")
+
     out: dict = {}
     for snap in snapshots:
         for name, m in snap.items():
             prev = out.get(name)
             if prev is None:
+                if m.get("type") == "histogram":
+                    check_histogram(name, m)
                 out[name] = {k: (list(v) if isinstance(v, list) else v)
                              for k, v in m.items()}
                 continue
@@ -193,6 +204,7 @@ def merge_snapshots(snapshots: Sequence[dict]) -> dict:
             else:  # histogram
                 if prev["bounds"] != m["bounds"]:
                     raise ValueError(f"histogram {name!r}: bounds mismatch")
+                check_histogram(name, m)
                 prev["counts"] = [a + b for a, b in zip(prev["counts"], m["counts"])]
                 prev["total"] += m["total"]
                 prev["sum"] += m["sum"]

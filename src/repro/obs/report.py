@@ -11,10 +11,12 @@ import json
 from typing import Dict, List, Tuple
 
 from .audit import AuditLog
+from .critpath import render_critical_path
 from .export import render_timeline
 from .schema import WORLD_TID, validate_trace
 
-__all__ = ["load_trace", "overlap_by_candidate", "render_report"]
+__all__ = ["batched_syscalls_in", "load_trace", "overlap_by_candidate",
+           "render_report"]
 
 _US = 1e6
 
@@ -85,7 +87,28 @@ def overlap_by_candidate(doc: dict) -> Dict[str, dict]:
             for fn, v in sorted(acc.items())}
 
 
-def render_report(doc: dict, timeline: bool = False, width: int = 100) -> str:
+def batched_syscalls_in(doc: dict) -> int:
+    """The fast-lane ``batched_syscalls`` count carried by a trace.
+
+    Prefers the metrics snapshot (``engine.batched_syscalls``); falls
+    back to the per-run engine instants' args.  The count is cumulative
+    per engine, so events take the max, not the sum.
+    """
+    metrics = doc.get("repro", {}).get("metrics", {})
+    m = metrics.get("engine.batched_syscalls")
+    if isinstance(m, dict) and m.get("type") in ("counter", "gauge"):
+        return int(m.get("value", 0))
+    batched = 0
+    for e in doc.get("traceEvents", []):
+        if e.get("cat") == "engine" and e.get("name") in ("run",
+                                                          "fastlane.batch"):
+            args = e.get("args") or {}
+            batched = max(batched, int(args.get("batched_syscalls", 0)))
+    return batched
+
+
+def render_report(doc: dict, timeline: bool = False, width: int = 100,
+                  critical_path: bool = False) -> str:
     """Full report text (assumes the document already validated)."""
     lines: List[str] = []
     repro = doc.get("repro", {})
@@ -121,6 +144,18 @@ def render_report(doc: dict, timeline: bool = False, width: int = 100) -> str:
     else:
         lines.append("overlap ratio per candidate: no tuning iteration spans "
                      "in this trace")
+
+    batched = batched_syscalls_in(doc)
+    if batched:
+        lines.append(f"fast lane: {batched} batched syscall flush(es)")
+    else:
+        lines.append("fast lane: 0 batched syscalls (the P>=1024 array "
+                     "fast lane disables itself while tracing)")
+
+    if critical_path:
+        lines.append("")
+        for ln in render_critical_path(doc).splitlines():
+            lines.append(ln)
 
     lines.append("")
     lines.append("decision narrative:")

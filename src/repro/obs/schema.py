@@ -13,7 +13,8 @@ Our extra key is ``repro``:
         "scenario": "...",            # human-readable config description
         "worlds": [{"nprocs": N, "label": "..."}, ...],
         "audit": [...],               # AuditLog.to_json()
-        "metrics": {...}              # MetricsRegistry.snapshot()
+        "metrics": {...},             # MetricsRegistry.snapshot()
+        "correlation": "c..."         # optional cross-process trace id
       }
     }
 
@@ -44,14 +45,21 @@ CATEGORIES = {
     "compute": ("compute",),
     "progress": ("progress",),
     "communication": ("msg.post", "msg.deliver", "nbc.round", "nbc.done",
-                      "wait"),
+                      "nbc.hier.phase", "wait"),
     "tuning": ("iteration", "tune.decide", "tune.reopen", "tune.epoch"),
     "fault": ("fault.drop", "fault.retransmit", "fault.dead_letter",
               "fault.crash", "fault.repair", "fault.window"),
-    "engine": ("run",),
+    "engine": ("run", "fastlane.batch"),
+    #: flow-event overlay drawn by the critical-path profiler
+    #: (repro.obs.critpath): "crit" flow arrows along the dominant chain
+    "critpath": ("crit",),
 }
 
 _PHASES = {"X", "i", "M"}
+
+#: Perfetto flow-event phases (start / step / finish); they carry an
+#: ``id`` tying the arrow's endpoints together
+_FLOW_PHASES = {"s", "t", "f"}
 
 
 def validate_trace(doc: object) -> List[str]:
@@ -78,6 +86,8 @@ def validate_trace(doc: object) -> List[str]:
             errors.append("'repro.audit' is not a list")
         if not isinstance(repro.get("metrics", {}), dict):
             errors.append("'repro.metrics' is not an object")
+        if not isinstance(repro.get("correlation", ""), str):
+            errors.append("'repro.correlation' is not a string")
 
     events = doc.get("traceEvents")
     if not isinstance(events, list):
@@ -91,7 +101,7 @@ def validate_trace(doc: object) -> List[str]:
             errors.append(f"{where}: not an object")
             continue
         ph = ev.get("ph")
-        if ph not in _PHASES:
+        if ph not in _PHASES and ph not in _FLOW_PHASES:
             errors.append(f"{where}: bad phase {ph!r}")
             continue
         if not isinstance(ev.get("name"), str):
@@ -100,6 +110,8 @@ def validate_trace(doc: object) -> List[str]:
             errors.append(f"{where}: pid/tid must be integers")
         if ph == "M":
             continue
+        if ph in _FLOW_PHASES and not isinstance(ev.get("id"), (int, str)):
+            errors.append(f"{where}: flow event without an id")
         if not isinstance(ev.get("ts"), (int, float)) or ev["ts"] < 0:
             errors.append(f"{where}: bad ts {ev.get('ts')!r}")
         if ev.get("cat") not in known_cats:

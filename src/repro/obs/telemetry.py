@@ -1,0 +1,380 @@
+"""Live telemetry plane: exposition endpoint, scraping, trace merging.
+
+Three concerns, one module:
+
+* **Text exposition** — :func:`render_exposition` turns a
+  ``MetricsRegistry.snapshot()`` into canonical Prometheus-style text
+  (sorted series, deterministic float formatting: same snapshot, same
+  bytes).  :class:`TelemetryServer` serves those bytes read-only on a
+  ``unix:``/``tcp:`` endpoint: one connection = one scrape = the full
+  exposition, then close.  The server only *reads* the registry, so
+  scraping can never perturb decisions — the PR-4 passivity contract
+  extends to the wire.
+
+* **Scraping** — :func:`scrape` pulls one exposition from an endpoint,
+  :func:`parse_exposition` turns the text back into a snapshot-shaped
+  dict (used by ``repro top`` and the tests' round-trip check).
+
+* **Cross-process correlation** — :func:`correlation_id` mints a
+  deterministic request/sweep id (honouring ``REPRO_CORR_ID`` when a
+  parent process already minted one), and :func:`merge_trace_docs`
+  stitches per-process trace files (workers, master, daemon) into one
+  Perfetto document with disjoint pids, source-prefixed track names,
+  concatenated audits and merged metrics.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import socket
+import threading
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .metrics import merge_snapshots
+from .schema import TRACE_SCHEMA_VERSION
+
+__all__ = [
+    "TelemetryServer",
+    "correlation_id",
+    "merge_trace_docs",
+    "parse_exposition",
+    "render_exposition",
+    "scrape",
+]
+
+#: environment variable carrying the minted id across process spawns
+CORR_ENV = "REPRO_CORR_ID"
+
+_NAME_RE = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+# ---------------------------------------------------------------------------
+# correlation ids
+# ---------------------------------------------------------------------------
+
+
+def correlation_id(material: str = "", *,
+                   env: Optional[dict] = None) -> str:
+    """A deterministic cross-process correlation id.
+
+    If the spawning process already minted one (``REPRO_CORR_ID`` in the
+    environment) that id wins — workers and daemons join their parent's
+    trace.  Otherwise the id is a pure hash of ``material`` (scenario
+    description + seed at the CLI), so serial and parallel runs of the
+    same request mint the *same* id and stay byte-identical.
+    """
+    source = os.environ if env is None else env
+    inherited = source.get(CORR_ENV, "")
+    if inherited:
+        return str(inherited)
+    digest = hashlib.sha256(material.encode("utf-8")).hexdigest()
+    return "c" + digest[:12]
+
+
+# ---------------------------------------------------------------------------
+# text exposition (canonical bytes)
+# ---------------------------------------------------------------------------
+
+
+def _number(value) -> str:
+    """Deterministic shortest-round-trip rendering."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    f = float(value)
+    if f != f:
+        return "NaN"
+    if f in (float("inf"), float("-inf")):
+        return "+Inf" if f > 0 else "-Inf"
+    if f == int(f) and abs(f) < 1e15:
+        return str(int(f))
+    return repr(f)
+
+
+def _series_name(name: str) -> str:
+    out = _NAME_RE.sub("_", name)
+    if not out.startswith("repro_"):
+        out = "repro_" + out
+    return out
+
+
+def render_exposition(snapshot: Dict[str, dict], scope: str = "") -> bytes:
+    """Canonical Prometheus text exposition of a metrics snapshot.
+
+    Series are sorted by name, numbers rendered deterministically; the
+    same snapshot always yields the same bytes.  ``scope`` becomes a
+    label on every sample so merged dashboards can tell the daemon from
+    the fabric master.
+    """
+    label = f'{{scope="{scope}"}}' if scope else ""
+    lines: List[str] = []
+    for name in sorted(snapshot):
+        m = snapshot[name]
+        if not isinstance(m, dict):
+            continue
+        kind = m.get("type")
+        series = _series_name(name)
+        if kind == "counter":
+            lines.append(f"# TYPE {series} counter")
+            lines.append(f"{series}{label} {_number(m.get('value', 0))}")
+        elif kind == "gauge":
+            lines.append(f"# TYPE {series} gauge")
+            lines.append(f"{series}{label} {_number(m.get('value', 0))}")
+        elif kind == "histogram":
+            lines.append(f"# TYPE {series} histogram")
+            bounds = list(m.get("bounds", []))
+            counts = list(m.get("counts", []))
+            inner = f'scope="{scope}",' if scope else ""
+            cum = 0
+            for le, n in zip(bounds, counts):
+                cum += n
+                lines.append(f'{series}_bucket{{{inner}le="{_number(le)}"}}'
+                             f" {cum}")
+            cum += counts[len(bounds)] if len(counts) > len(bounds) else 0
+            lines.append(f'{series}_bucket{{{inner}le="+Inf"}} {cum}')
+            lines.append(f"{series}_sum{label} {_number(m.get('sum', 0.0))}")
+            lines.append(f"{series}_count{label} "
+                         f"{_number(m.get('total', cum))}")
+    return ("\n".join(lines) + "\n").encode("ascii")
+
+
+_SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z0-9_:]+)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)$")
+
+
+def _parse_value(text: str) -> float:
+    if text == "+Inf":
+        return float("inf")
+    if text == "-Inf":
+        return float("-inf")
+    return float(text)
+
+
+def parse_exposition(text: str) -> Dict[str, dict]:
+    """Parse exposition text back into a snapshot-shaped dict.
+
+    Counters/gauges come back as ``{"type", "value"}``; histograms as
+    ``{"type", "buckets": [(le, cumulative), ...], "sum", "total"}``.
+    The ``scope`` label, if present, is reported under ``"_scope"``.
+    """
+    types: Dict[str, str] = {}
+    out: Dict[str, dict] = {}
+    scope = ""
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split()
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                types[parts[2]] = parts[3]
+            continue
+        m = _SAMPLE_RE.match(line)
+        if not m:
+            continue
+        name, labels, value = m.group("name", "labels", "value")
+        le = None
+        for item in (labels or "").split(","):
+            k, _, v = item.partition("=")
+            v = v.strip('"')
+            if k == "scope":
+                scope = v
+            elif k == "le":
+                le = _parse_value(v)
+        base = name
+        field = "value"
+        for suffix in ("_bucket", "_sum", "_count"):
+            if name.endswith(suffix) and name[:-len(suffix)] in types \
+                    and types[name[:-len(suffix)]] == "histogram":
+                base, field = name[:-len(suffix)], suffix[1:]
+                break
+        kind = types.get(base, "untyped")
+        entry = out.setdefault(base, {"type": kind})
+        if field == "bucket":
+            entry.setdefault("buckets", []).append(
+                (le, int(_parse_value(value))))
+        elif field == "sum":
+            entry["sum"] = _parse_value(value)
+        elif field == "count":
+            entry["total"] = int(_parse_value(value))
+        else:
+            v = _parse_value(value)
+            entry["value"] = int(v) if v == int(v) else v
+    if scope:
+        out["_scope"] = {"type": "label", "value": scope}
+    return out
+
+
+# ---------------------------------------------------------------------------
+# the read-only endpoint
+# ---------------------------------------------------------------------------
+
+
+class TelemetryServer:
+    """Serve the exposition on an endpoint; one connection = one scrape.
+
+    The handler calls ``snapshot_fn()`` (typically
+    ``registry.snapshot`` behind a derived-gauge sync), renders and
+    writes the bytes, and closes.  Strictly read-only: nothing a
+    scraper sends is interpreted, and no registry state is written.
+    """
+
+    def __init__(self, endpoint: str, snapshot_fn: Callable[[], dict],
+                 scope: str = ""):
+        # imported here to keep obs importable without the serve package
+        from ..serve.endpoint import bind_listener
+        self._snapshot_fn = snapshot_fn
+        self._scope = scope
+        self._sock = bind_listener(endpoint)
+        self._sock.settimeout(0.25)
+        self._stop = threading.Event()
+        self._thread = threading.Thread(
+            target=self._loop, name="telemetry", daemon=True)
+        self.scrapes = 0
+        if endpoint.startswith("tcp:"):
+            host, port = self._sock.getsockname()[:2]
+            self.endpoint = f"tcp:{host}:{port}"
+        else:
+            self.endpoint = endpoint
+
+    def start(self) -> "TelemetryServer":
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._stop.set()
+        self._thread.join(timeout=5.0)
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+        if self.endpoint.startswith("unix:"):
+            try:
+                os.unlink(self.endpoint[len("unix:"):])
+            except OSError:
+                pass
+
+    def _loop(self) -> None:
+        while not self._stop.is_set():
+            try:
+                conn, _ = self._sock.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                break
+            try:
+                conn.settimeout(2.0)
+                payload = render_exposition(self._snapshot_fn(),
+                                            self._scope)
+                conn.sendall(payload)
+                self.scrapes += 1
+            except OSError:
+                pass
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+
+def scrape(endpoint: str, timeout: float = 2.0) -> str:
+    """Pull one exposition from a telemetry endpoint."""
+    from ..serve.endpoint import connect
+    sock = connect(endpoint, timeout)
+    chunks: List[bytes] = []
+    try:
+        sock.settimeout(timeout)
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            chunks.append(chunk)
+    finally:
+        sock.close()
+    return b"".join(chunks).decode("ascii", errors="replace")
+
+
+# ---------------------------------------------------------------------------
+# cross-process trace merging
+# ---------------------------------------------------------------------------
+
+
+def merge_trace_docs(sources: Sequence[Tuple[str, dict]]) -> dict:
+    """Stitch per-process trace documents into one Perfetto document.
+
+    ``sources`` is ``[(label, doc), ...]`` in the order the processes
+    should appear (e.g. master first, then workers, then the daemon).
+    Each source's pids are shifted into a disjoint range, its process
+    names prefixed with the label, audits concatenated (each entry
+    tagged with its source), and metrics combined via
+    :func:`merge_snapshots`.  The result passes ``validate_trace``.
+    """
+    events: List[dict] = []
+    worlds: List[dict] = []
+    audit: List[dict] = []
+    metrics: dict = {}
+    scenarios: List[str] = []
+    correlations: Dict[str, str] = {}
+    source_meta: List[dict] = []
+    offset = 0
+
+    for label, doc in sources:
+        repro = doc.get("repro", {}) if isinstance(doc, dict) else {}
+        max_pid = -1
+        for ev in doc.get("traceEvents", []):
+            ev = dict(ev)
+            pid = ev.get("pid", 0)
+            max_pid = max(max_pid, pid)
+            ev["pid"] = pid + offset
+            if ev.get("ph") == "M" and ev.get("name") == "process_name":
+                args = dict(ev.get("args") or {})
+                args["name"] = f"{label}: {args.get('name', '')}"
+                ev["args"] = args
+            events.append(ev)
+        for w in repro.get("worlds", []):
+            w = dict(w)
+            max_pid = max(max_pid, w.get("pid", 0))
+            w["pid"] = w.get("pid", 0) + offset
+            w["label"] = f"{label}: {w.get('label', '')}"
+            worlds.append(w)
+        for entry in repro.get("audit", []):
+            if isinstance(entry, dict):
+                entry = dict(entry)
+                entry.setdefault("source", label)
+            audit.append(entry)
+        doc_metrics = repro.get("metrics", {})
+        if isinstance(doc_metrics, dict) and doc_metrics:
+            metrics = merge_snapshots([metrics, doc_metrics]) \
+                if metrics else merge_snapshots([doc_metrics])
+        if repro.get("scenario"):
+            scenarios.append(f"{label}: {repro['scenario']}")
+        corr = repro.get("correlation", "")
+        if corr:
+            correlations[label] = corr
+        source_meta.append({"label": label, "pid_offset": offset,
+                            "pids": max_pid + 1,
+                            "correlation": corr or ""})
+        offset += max_pid + 1
+
+    envelope = {
+        "schema": TRACE_SCHEMA_VERSION,
+        "scenario": "merge of " + "; ".join(scenarios) if scenarios
+                    else "merge",
+        "worlds": worlds,
+        "audit": audit,
+        "metrics": metrics,
+        "sources": source_meta,
+    }
+    unique = sorted(set(correlations.values()))
+    if len(unique) == 1:
+        envelope["correlation"] = unique[0]
+    return {
+        "traceEvents": events,
+        "displayTimeUnit": "ms",
+        "repro": envelope,
+    }

@@ -59,7 +59,8 @@ class TuningClient:
                  attempts: int = 3, backoff_base: float = 0.05,
                  backoff_cap: float = 1.0, jitter_seed: int = 0,
                  fallback: bool = True,
-                 breaker: Optional[CircuitBreaker] = None):
+                 breaker: Optional[CircuitBreaker] = None,
+                 correlation: str = ""):
         if attempts < 1:
             raise ServeError(f"attempts must be >= 1, got {attempts}")
         self.endpoint = endpoint
@@ -69,6 +70,10 @@ class TuningClient:
         self.backoff_cap = backoff_cap
         self.fallback = fallback
         self.breaker = breaker or CircuitBreaker()
+        #: cross-process trace correlation id; when set, every RPC frame
+        #: carries it as a trailing element so daemon-side telemetry and
+        #: merged traces can tie requests back to the originating run
+        self.correlation = correlation
         self._rng = random.Random(jitter_seed)
         # telemetry (plain counters; the daemon owns the real registry)
         self.rpc_ok = 0
@@ -91,6 +96,14 @@ class TuningClient:
         """Capped exponential backoff with full jitter."""
         cap = min(self.backoff_base * (2 ** attempt), self.backoff_cap)
         return self._rng.uniform(0.0, cap)
+
+    def _frame(self, op: str, *args) -> tuple:
+        """Build an RPC frame; a set correlation id rides as a trailing
+        element (never inside the request dict, which the daemon
+        normalises strictly)."""
+        if self.correlation:
+            return (op, *args, self.correlation)
+        return (op, *args)
 
     # -- one framed RPC -----------------------------------------------------
 
@@ -171,7 +184,7 @@ class TuningClient:
         ``service_source``; ``"local"`` for degraded answers).
         """
         req = normalize_request(fields)  # request errors fail fast, locally
-        reply = self._call(("get", req))
+        reply = self._call(self._frame("get", req))
         if reply is not None and reply[0] == "ok" and \
                 isinstance(reply[1], dict):
             record = dict(reply[1])
@@ -195,32 +208,32 @@ class TuningClient:
     def warm(self, fields: Optional[dict] = None) -> Optional[dict]:
         """Nearest-geometry warm-start record, or None (miss/degraded)."""
         req = normalize_request(fields)
-        reply = self._call(("warm", req))
+        reply = self._call(self._frame("warm", req))
         if reply is not None and reply[0] == "ok":
             return reply[1]
         return None
 
     def lookup(self, key: str) -> Optional[dict]:
         """Exact knowledge-base record, or None (miss/degraded)."""
-        reply = self._call(("lookup", key))
+        reply = self._call(self._frame("lookup", key))
         if reply is not None and reply[0] == "ok":
             return reply[1]
         return None
 
     def record(self, key: str, decision: dict) -> bool:
         """Push a client-side decision; False when the push was degraded."""
-        reply = self._call(("record", key, decision))
+        reply = self._call(self._frame("record", key, decision))
         return reply is not None and reply[0] == "ok"
 
     def forget(self, key: str) -> bool:
-        reply = self._call(("forget", key))
+        reply = self._call(self._frame("forget", key))
         return reply is not None and reply[0] == "ok"
 
     def report(self, fields: Optional[dict], seconds: float) -> Optional[dict]:
         """Post-decision measurement for drift detection (best-effort)."""
         req = normalize_request(fields)
         try:
-            reply = self._call(("report", req, float(seconds)))
+            reply = self._call(self._frame("report", req, float(seconds)))
         except ServeError:
             return None  # e.g. no decision on file — nothing to drift from
         if reply is not None and reply[0] == "ok":
@@ -232,7 +245,7 @@ class TuningClient:
         return reply is not None and reply[0] == "pong"
 
     def stats(self) -> Optional[dict]:
-        reply = self._call(("stats",))
+        reply = self._call(self._frame("stats"))
         if reply is not None and reply[0] == "ok":
             return reply[1]
         return None

@@ -98,6 +98,11 @@ class ServeConfig:
     metrics_path: Optional[str] = None
     #: write the audit log here on shutdown (None = skip)
     audit_path: Optional[str] = None
+    #: optional second ``unix:``/``tcp:`` endpoint serving a read-only
+    #: Prometheus-style text exposition of the metrics registry; the
+    #: scrape path never writes daemon state, so telemetry on vs off
+    #: cannot change any decision (the PR-4 passivity contract)
+    telemetry_endpoint: Optional[str] = None
 
 
 class TuningServer:
@@ -126,6 +131,7 @@ class TuningServer:
         self._shutdown = threading.Event()
         self._stopped = threading.Event()
         self._listener: Optional[socket.socket] = None
+        self._telemetry = None
         self._threads: list = []
         self._conn_threads: list = []
         self._record_recovery()
@@ -198,12 +204,27 @@ class TuningServer:
                                     name="serve-accept", daemon=True)
         acceptor.start()
         self._threads.append(acceptor)
+        if self.config.telemetry_endpoint:
+            from ..obs.telemetry import TelemetryServer
+
+            self._telemetry = TelemetryServer(
+                self.config.telemetry_endpoint,
+                self._telemetry_snapshot,
+                scope="tuning-service").start()
+
+    def _telemetry_snapshot(self) -> dict:
+        """Read-only snapshot fed to the exposition endpoint."""
+        self._sync_derived_metrics()
+        return self.metrics.snapshot()
 
     def stop(self) -> None:
         """Drain-then-checkpoint shutdown (idempotent)."""
         if self._stopped.is_set():
             return
         self._shutdown.set()
+        if self._telemetry is not None:
+            self._telemetry.stop()
+            self._telemetry = None
         if self._listener is not None:
             try:
                 self._listener.close()
@@ -351,10 +372,17 @@ class TuningServer:
         if op == "report":
             return self._op_report(*args)
         if op == "stats":
-            return self._op_stats()
+            return self._op_stats(*args)
         raise ServeError(f"unknown operation {op!r}")
 
-    def _op_get(self, fields=None) -> tuple:
+    def _note_correlation(self, corr) -> None:
+        """Count correlated requests (the id itself rides the frame, not
+        the request dict, so ``normalize_request`` stays strict)."""
+        if corr:
+            self.metrics.counter("serve.requests.correlated").inc()
+
+    def _op_get(self, fields=None, corr=None) -> tuple:
+        self._note_correlation(corr)
         req = normalize_request(fields)
         key = request_key(req)
         record = self.cache.get(key)
@@ -391,14 +419,16 @@ class TuningServer:
         self.metrics.counter("serve.miss.computed").inc()
         return ("ok", result)
 
-    def _op_warm(self, fields=None) -> tuple:
+    def _op_warm(self, fields=None, corr=None) -> tuple:
+        self._note_correlation(corr)
         req = normalize_request(fields)
         record = self.kb.nearest(req)
         self.metrics.counter(
             "serve.warm.hits" if record else "serve.warm.misses").inc()
         return ("ok", record)
 
-    def _op_lookup(self, key=None) -> tuple:
+    def _op_lookup(self, key=None, corr=None) -> tuple:
+        self._note_correlation(corr)
         if not isinstance(key, str):
             raise ServeError(f"lookup key must be a string, got {key!r}")
         record = self.kb.get(key)
@@ -406,10 +436,11 @@ class TuningServer:
             "serve.lookup.hits" if record else "serve.lookup.misses").inc()
         return ("ok", record)
 
-    def _op_record(self, key=None, decision=None) -> tuple:
+    def _op_record(self, key=None, decision=None, corr=None) -> tuple:
         """A client-computed decision (e.g. a degraded tuner that later
         reconnected, or an ``ADCLRequest`` running stateless over the
         shared store) pushed into the knowledge base."""
+        self._note_correlation(corr)
         if not isinstance(key, str):
             raise ServeError(f"record key must be a string, got {key!r}")
         if not isinstance(decision, dict) or "winner" not in decision:
@@ -421,14 +452,16 @@ class TuningServer:
         self.metrics.counter("serve.records.client").inc()
         return ("ok", record)
 
-    def _op_forget(self, key=None) -> tuple:
+    def _op_forget(self, key=None, corr=None) -> tuple:
+        self._note_correlation(corr)
         if not isinstance(key, str):
             raise ServeError(f"forget key must be a string, got {key!r}")
         removed = self.kb.forget(key)
         self.cache.invalidate(key)
         return ("ok", {"removed": removed})
 
-    def _op_stats(self) -> tuple:
+    def _op_stats(self, corr=None) -> tuple:
+        self._note_correlation(corr)
         self._sync_derived_metrics()
         return ("ok", {
             "metrics": self.metrics.snapshot(),
@@ -438,12 +471,18 @@ class TuningServer:
             "audit": self.audit.to_json(),
         })
 
+    #: numeric encoding of the breaker state for gauge exposition
+    _BREAKER_STATES = {"closed": 0, "half_open": 1, "open": 2}
+
     def _sync_derived_metrics(self) -> None:
         self.metrics.gauge("serve.kb.records").set(len(self.kb))
         self.metrics.gauge("serve.coalesced").set(self.coalescer.coalesced)
         self.metrics.gauge("serve.cache.hits").set(self.cache.hits)
         self.metrics.gauge("serve.retune.trips").set(
             self.retunes.breaker.trips)
+        self.metrics.gauge("serve.queue.depth").set(self._queue.qsize())
+        self.metrics.gauge("serve.retune.breaker_state").set(
+            self._BREAKER_STATES.get(self.retunes.breaker.state, -1))
 
     # -- compute pool -------------------------------------------------------
 
@@ -474,8 +513,9 @@ class TuningServer:
 
     # -- drift & background re-tuning ---------------------------------------
 
-    def _op_report(self, fields=None, seconds=None) -> tuple:
+    def _op_report(self, fields=None, seconds=None, corr=None) -> tuple:
         """A client's post-decision measurement for drift detection."""
+        self._note_correlation(corr)
         if not isinstance(seconds, (int, float)) or seconds <= 0:
             raise ServeError(
                 f"report needs a positive measurement, got {seconds!r}")

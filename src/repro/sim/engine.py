@@ -368,5 +368,14 @@ class Simulator:
             rec.instant("engine", "run", -1, self._now,
                         {"dispatched": dispatched, "pending": self._live,
                          "heap_size": len(self._heap),
-                         "compactions": self.compactions})
+                         "compactions": self.compactions,
+                         "batched_syscalls": self.batched_syscalls})
+            if self.batched_syscalls:
+                rec.instant("engine", "fastlane.batch", -1, self._now,
+                            {"batched_syscalls": self.batched_syscalls})
+            # fold the kernel counters (incl. pool_<name>_<field>) into
+            # the registry as gauges: stats are cumulative, so
+            # last-write-wins is the aggregation that stays truthful
+            for field, value in self.stats().items():
+                rec.metrics.gauge(f"engine.{field}").set(value)
         return self._now

@@ -1,0 +1,98 @@
+"""Correlation propagation through task frames + the master's live
+telemetry endpoint."""
+
+import os
+import threading
+import time
+
+import pytest
+
+from repro.bench.fabric import FabricConfig, run_tasks_fabric
+from repro.bench.fabric.master import fork_available
+from repro.obs.telemetry import parse_exposition, scrape
+
+pytestmark = pytest.mark.skipif(
+    not fork_available(), reason="fabric needs the fork start method")
+
+
+def _report_corr(payload):
+    return {"task": payload,
+            "corr": os.environ.get("REPRO_CORR_ID", ""),
+            "in_worker": bool(os.environ.get("REPRO_FABRIC_WORKER"))}
+
+
+def _sleepy_corr(payload):
+    time.sleep(payload)
+    return _report_corr(payload)
+
+
+def test_correlation_id_reaches_every_worker_task():
+    tasks = [(f"k{i}", i) for i in range(8)]
+    cfg = FabricConfig(task_timeout=30.0, correlation="cfeedfacecafe")
+    results = run_tasks_fabric(tasks, _report_corr, jobs=2, config=cfg)
+    assert len(results) == 8
+    for r in results:
+        if r["in_worker"]:
+            assert r["corr"] == "cfeedfacecafe"
+
+
+def test_no_correlation_leaves_env_unset():
+    tasks = [(f"k{i}", i) for i in range(4)]
+    cfg = FabricConfig(task_timeout=30.0)
+    results = run_tasks_fabric(tasks, _report_corr, jobs=2, config=cfg)
+    for r in results:
+        if r["in_worker"]:
+            assert r["corr"] == ""
+
+
+def test_master_telemetry_live_during_run(tmp_path):
+    sock = str(tmp_path / "fabric-tel.sock")
+    tasks = [(f"k{i}", 0.2) for i in range(6)]
+    cfg = FabricConfig(task_timeout=30.0,
+                       telemetry_endpoint=f"unix:{sock}")
+    scraped = {}
+    stop = threading.Event()
+
+    def poll():
+        while not stop.is_set():
+            try:
+                parsed = parse_exposition(scrape(f"unix:{sock}",
+                                                 timeout=1.0))
+            except OSError:
+                time.sleep(0.02)
+                continue
+            if parsed.get("repro_fabric_workers_live", {}).get("value"):
+                scraped.update(parsed)
+                return
+            time.sleep(0.02)
+
+    poller = threading.Thread(target=poll)
+    poller.start()
+    try:
+        results = run_tasks_fabric(tasks, _sleepy_corr, jobs=2, config=cfg)
+    finally:
+        stop.set()
+        poller.join(timeout=10.0)
+    assert len(results) == 6
+    assert scraped, "never scraped live fabric telemetry mid-run"
+    assert scraped["_scope"]["value"] == "sweep-fabric"
+    assert scraped["repro_fabric_workers_live"]["value"] >= 1
+    assert "repro_fabric_leases_open" in scraped
+    # the endpoint dies with the run
+    with pytest.raises(OSError):
+        scrape(f"unix:{sock}", timeout=0.5)
+
+
+def test_telemetry_does_not_change_results(tmp_path):
+    tasks = [(f"k{i}", i) for i in range(6)]
+    plain = run_tasks_fabric(tasks, _report_corr, jobs=2,
+                             config=FabricConfig(task_timeout=30.0))
+    sock = str(tmp_path / "tel.sock")
+    cfg = FabricConfig(task_timeout=30.0,
+                       telemetry_endpoint=f"unix:{sock}")
+    with_tel = run_tasks_fabric(tasks, _report_corr, jobs=2, config=cfg)
+    strip = [{k: v for k, v in r.items() if k != "in_worker"}
+             for r in plain]
+    strip_tel = [{k: v for k, v in r.items() if k != "in_worker"}
+                 for r in with_tel]
+    assert strip == strip_tel

@@ -1,0 +1,96 @@
+"""Perf-run history: append/load robustness, trends, reporting."""
+
+import json
+
+from repro.bench.history import (
+    append_run,
+    detect_trends,
+    load_history,
+    render_history_report,
+)
+
+
+def test_append_and_load_round_trip(tmp_path):
+    path = str(tmp_path / "h.jsonl")
+    append_run(path, "perf", {"s": {"speedup": 2.0}}, timestamp=100.0)
+    append_run(path, "scale", {"s": {"speedup": 8.0}}, timestamp=200.0)
+    entries = load_history(path)
+    assert [e["source"] for e in entries] == ["perf", "scale"]
+    assert entries[0]["ts"] == 100.0
+    assert entries[0]["sections"]["s"]["speedup"] == 2.0
+
+
+def test_load_skips_torn_tail_and_garbage(tmp_path):
+    path = str(tmp_path / "h.jsonl")
+    append_run(path, "perf", {"s": {"v": 1}}, timestamp=1.0)
+    append_run(path, "perf", {"s": {"v": 2}}, timestamp=2.0)
+    with open(path, "a", encoding="ascii") as fh:
+        fh.write('{"ts": 3.0, "source": "perf", "sections": {"s"')  # torn
+    with open(path, "a", encoding="ascii") as fh:
+        fh.write("\nnot json at all\n")
+    entries = load_history(path)
+    assert [e["sections"]["s"]["v"] for e in entries] == [1, 2]
+
+
+def test_load_missing_file_is_empty(tmp_path):
+    assert load_history(str(tmp_path / "nope.jsonl")) == []
+
+
+def seed_series(path, values, source="perf", section="s", field="m"):
+    for i, v in enumerate(values):
+        append_run(path, source, {section: {field: v}}, timestamp=float(i))
+
+
+def test_detect_trends_flags_regression(tmp_path):
+    path = str(tmp_path / "h.jsonl")
+    seed_series(path, [10.0, 11.0, 9.0, 10.0, 10.5, 2.0])
+    findings = detect_trends(load_history(path), [("perf", "s", "m")],
+                             window=5, factor=3.0)
+    assert len(findings) == 1
+    f = findings[0]
+    assert f["regressed"] is True
+    assert f["latest"] == 2.0
+    assert f["baseline_median"] == 10.0
+
+
+def test_detect_trends_tolerates_noise(tmp_path):
+    path = str(tmp_path / "h.jsonl")
+    seed_series(path, [10.0, 11.0, 9.0, 10.0, 10.5, 6.0])  # 10/6 < 3x
+    findings = detect_trends(load_history(path), [("perf", "s", "m")],
+                             window=5, factor=3.0)
+    assert findings[0]["regressed"] is False
+
+
+def test_detect_trends_zero_latest_regresses(tmp_path):
+    path = str(tmp_path / "h.jsonl")
+    seed_series(path, [10.0, 0.0])
+    findings = detect_trends(load_history(path), [("perf", "s", "m")],
+                             window=5, factor=3.0)
+    assert findings[0]["regressed"] is True
+
+
+def test_detect_trends_needs_two_runs(tmp_path):
+    path = str(tmp_path / "h.jsonl")
+    seed_series(path, [10.0])
+    assert detect_trends(load_history(path), [("perf", "s", "m")]) == []
+    # unknown metric: skipped, not an error
+    assert detect_trends(load_history(path), [("perf", "s", "zz")]) == []
+
+
+def test_entries_are_canonical_json_lines(tmp_path):
+    path = str(tmp_path / "h.jsonl")
+    append_run(path, "perf", {"b": {"x": 1}, "a": {"y": 2}},
+               timestamp=5.0)
+    line = open(path, encoding="ascii").read().strip()
+    assert line == json.dumps(json.loads(line), sort_keys=True,
+                              separators=(",", ":"))
+
+
+def test_render_history_report(tmp_path):
+    path = str(tmp_path / "h.jsonl")
+    seed_series(path, [10.0, 12.0, 8.0])
+    out = render_history_report(load_history(path))
+    assert "3 run(s)" in out
+    assert "s.m" in out
+    assert "%" in out  # a trend delta was computed
+    assert render_history_report([]).startswith("bench history: empty")

@@ -1,0 +1,105 @@
+"""Property tests for ``merge_snapshots``: algebra and rejection.
+
+For well-formed snapshots the merge must be associative, and — for the
+counter/histogram subset (gauges are last-writer-wins by design) —
+order-independent.  Histograms with mismatched bucket bounds, or with
+a counts vector that does not line up with its bounds, must be
+rejected loudly: a silent zip would truncate counts and fabricate a
+plausible-looking but wrong distribution.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.obs.metrics import merge_snapshots
+
+#: one shared bounds vector per generated name, so snapshots agree
+BOUNDS = {
+    "h0": [0.001, 0.1, 1.0],
+    "h1": [1.0, 2.0, 4.0, 8.0],
+}
+
+counts = st.integers(min_value=0, max_value=1_000_000)
+values = st.floats(min_value=0.0, max_value=1e9,
+                   allow_nan=False, allow_infinity=False)
+
+
+@st.composite
+def snapshots(draw, with_gauges=True):
+    snap = {}
+    for name in draw(st.sets(st.sampled_from(["c0", "c1", "c2"]))):
+        snap[name] = {"type": "counter", "value": draw(counts)}
+    if with_gauges:
+        for name in draw(st.sets(st.sampled_from(["g0", "g1"]))):
+            snap[name] = {"type": "gauge", "value": draw(values)}
+    for name in draw(st.sets(st.sampled_from(sorted(BOUNDS)))):
+        bounds = BOUNDS[name]
+        cs = draw(st.lists(counts, min_size=len(bounds) + 1,
+                           max_size=len(bounds) + 1))
+        snap[name] = {"type": "histogram", "bounds": list(bounds),
+                      "counts": cs, "total": sum(cs),
+                      "sum": draw(values)}
+    return snap
+
+
+def assert_equivalent(ab, ba):
+    """Structural equality, with float fields compared to the ulp
+    (float addition is only approximately associative/commutative)."""
+    assert set(ab) == set(ba)
+    for name in ab:
+        x, y = ab[name], ba[name]
+        assert x["type"] == y["type"]
+        if x["type"] in ("counter", "gauge"):
+            assert x["value"] == pytest.approx(y["value"])
+        else:
+            assert x["bounds"] == y["bounds"]
+            assert x["counts"] == y["counts"]
+            assert x["total"] == y["total"]
+            assert x["sum"] == pytest.approx(y["sum"])
+
+
+@settings(max_examples=60, deadline=None)
+@given(snapshots(), snapshots(), snapshots())
+def test_merge_is_associative(a, b, c):
+    left = merge_snapshots([merge_snapshots([a, b]), c])
+    right = merge_snapshots([a, merge_snapshots([b, c])])
+    assert_equivalent(left, right)
+
+
+@settings(max_examples=60, deadline=None)
+@given(snapshots(with_gauges=False), snapshots(with_gauges=False))
+def test_merge_is_order_independent_without_gauges(a, b):
+    assert_equivalent(merge_snapshots([a, b]), merge_snapshots([b, a]))
+
+
+@settings(max_examples=30, deadline=None)
+@given(snapshots())
+def test_merge_identity(a):
+    assert merge_snapshots([a]) == a
+    merged = merge_snapshots([a, {}])
+    assert set(merged) == set(a)
+
+
+def test_mismatched_bucket_bounds_rejected():
+    a = {"h": {"type": "histogram", "bounds": [1.0, 2.0],
+               "counts": [0, 0, 0], "total": 0, "sum": 0.0}}
+    b = {"h": {"type": "histogram", "bounds": [1.0, 4.0],
+               "counts": [0, 0, 0], "total": 0, "sum": 0.0}}
+    with pytest.raises(ValueError, match="bounds"):
+        merge_snapshots([a, b])
+
+
+def test_malformed_counts_length_rejected():
+    # counts must have len(bounds)+1 entries; a short vector would be
+    # silently truncated by zip-addition
+    short = {"h": {"type": "histogram", "bounds": [1.0, 2.0],
+                   "counts": [0, 0], "total": 0, "sum": 0.0}}
+    ok = {"h": {"type": "histogram", "bounds": [1.0, 2.0],
+                "counts": [1, 2, 3], "total": 6, "sum": 9.0}}
+    with pytest.raises(ValueError):
+        merge_snapshots([short, ok])
+    with pytest.raises(ValueError):
+        merge_snapshots([ok, short])
+    with pytest.raises(ValueError):
+        merge_snapshots([short])

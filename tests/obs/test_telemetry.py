@@ -1,0 +1,158 @@
+"""Telemetry plane: canonical exposition, live endpoint, correlation."""
+
+import threading
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.telemetry import (
+    CORR_ENV,
+    TelemetryServer,
+    correlation_id,
+    parse_exposition,
+    render_exposition,
+    scrape,
+)
+
+
+def sample_registry():
+    reg = MetricsRegistry()
+    reg.counter("serve.connections").inc(7)
+    reg.gauge("serve.queue.depth").set(3)
+    h = reg.histogram("serve.request_seconds", bounds=[0.01, 0.1, 1.0])
+    for v in (0.005, 0.05, 0.5, 5.0):
+        h.observe(v)
+    return reg
+
+
+# ---------------------------------------------------------------------------
+# exposition bytes
+# ---------------------------------------------------------------------------
+
+
+def test_exposition_is_canonical_bytes():
+    snap = sample_registry().snapshot()
+    a = render_exposition(snap, scope="t")
+    b = render_exposition(dict(reversed(list(snap.items()))), scope="t")
+    assert a == b
+    assert isinstance(a, bytes)
+    a.decode("ascii")  # must be pure ascii
+
+
+def test_exposition_round_trips_through_parse():
+    snap = sample_registry().snapshot()
+    parsed = parse_exposition(render_exposition(snap, scope="x").decode())
+    assert parsed["_scope"]["value"] == "x"
+    assert parsed["repro_serve_connections"]["type"] == "counter"
+    assert parsed["repro_serve_connections"]["value"] == 7
+    assert parsed["repro_serve_queue_depth"]["value"] == 3
+    hist = parsed["repro_serve_request_seconds"]
+    assert hist["type"] == "histogram"
+    assert hist["total"] == 4
+    assert hist["sum"] == pytest.approx(5.555)
+    # buckets are cumulative and end with +Inf
+    les = [le for le, _ in hist["buckets"]]
+    assert les[-1] == float("inf")
+    cums = [c for _, c in hist["buckets"]]
+    assert cums == sorted(cums) and cums[-1] == 4
+
+
+def test_histogram_buckets_cumulative_in_text():
+    text = render_exposition(sample_registry().snapshot()).decode()
+    bucket_lines = [ln for ln in text.splitlines() if "_bucket" in ln]
+    assert len(bucket_lines) == 4  # 3 bounds + +Inf
+    assert 'le="+Inf"' in bucket_lines[-1]
+
+
+# ---------------------------------------------------------------------------
+# the live endpoint
+# ---------------------------------------------------------------------------
+
+
+def test_server_scrape_tcp_ephemeral():
+    reg = sample_registry()
+    server = TelemetryServer("tcp:127.0.0.1:0", reg.snapshot,
+                             scope="test").start()
+    try:
+        assert server.endpoint.startswith("tcp:127.0.0.1:")
+        text = scrape(server.endpoint)
+        parsed = parse_exposition(text)
+        assert parsed["repro_serve_connections"]["value"] == 7
+        # a second scrape sees registry changes (live, not a snapshot)
+        reg.counter("serve.connections").inc()
+        parsed2 = parse_exposition(scrape(server.endpoint))
+        assert parsed2["repro_serve_connections"]["value"] == 8
+        assert server.scrapes == 2
+    finally:
+        server.stop()
+    with pytest.raises(OSError):
+        scrape(server.endpoint, timeout=0.5)
+
+
+def test_server_unix_socket(tmp_path):
+    sock = str(tmp_path / "tel.sock")
+    server = TelemetryServer(f"unix:{sock}", sample_registry().snapshot)
+    server.start()
+    try:
+        parsed = parse_exposition(scrape(f"unix:{sock}"))
+        assert "repro_serve_queue_depth" in parsed
+    finally:
+        server.stop()
+    assert not (tmp_path / "tel.sock").exists()
+
+
+def test_server_is_read_only_against_garbage():
+    reg = sample_registry()
+    before = reg.snapshot()
+    server = TelemetryServer("tcp:127.0.0.1:0", reg.snapshot).start()
+    try:
+        import socket as socketlib
+        host, port = server.endpoint[len("tcp:"):].rsplit(":", 1)
+        try:
+            with socketlib.create_connection((host, int(port)), 2.0) as s:
+                s.sendall(b"DELETE * FROM metrics;\r\n\r\n")
+                while s.recv(4096):
+                    pass
+        except OSError:
+            pass  # the server may RST the write-after-close; fine
+    finally:
+        server.stop()
+    assert reg.snapshot() == before
+
+
+def test_concurrent_scrapes_all_complete():
+    server = TelemetryServer("tcp:127.0.0.1:0",
+                             sample_registry().snapshot).start()
+    results = []
+    try:
+        def one():
+            results.append(parse_exposition(scrape(server.endpoint)))
+
+        threads = [threading.Thread(target=one) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30.0)
+    finally:
+        server.stop()
+    assert len(results) == 8
+    assert all(r["repro_serve_connections"]["value"] == 7 for r in results)
+
+
+# ---------------------------------------------------------------------------
+# correlation ids
+# ---------------------------------------------------------------------------
+
+
+def test_correlation_id_is_deterministic_hash():
+    a = correlation_id("sweep|bcast@whale P=8", env={})
+    b = correlation_id("sweep|bcast@whale P=8", env={})
+    c = correlation_id("sweep|bcast@whale P=16", env={})
+    assert a == b
+    assert a != c
+    assert a.startswith("c") and len(a) == 13
+
+
+def test_correlation_id_inherits_parent():
+    assert correlation_id("anything",
+                          env={CORR_ENV: "c123"}) == "c123"

@@ -1,0 +1,86 @@
+"""Cross-process trace stitching: disjoint pids, merged envelopes."""
+
+from repro.obs import (
+    TraceRecorder,
+    build_trace_doc,
+    trace_to_bytes,
+    validate_trace,
+)
+from repro.obs.telemetry import merge_trace_docs
+
+
+def make_doc(label, nranks=2, correlation=None, audit=None):
+    rec = TraceRecorder()
+    rec.begin_world(nranks, label)
+    rec.complete("compute", "compute", 0, 0.0, 1e-3)
+    rec.instant("communication", "msg.post", 0, 5e-4, {"dst": 1})
+    rec.metrics.counter("sim.messages_posted").inc()
+    return build_trace_doc([(label, rec.export_events(), rec.worlds)],
+                           scenario=label, audit=audit,
+                           metrics=rec.metrics.snapshot(),
+                           correlation=correlation)
+
+
+def test_merged_doc_validates_with_disjoint_pids():
+    merged = merge_trace_docs([("master", make_doc("m")),
+                               ("w0", make_doc("a")),
+                               ("w1", make_doc("b"))])
+    assert validate_trace(merged) == []
+    env = merged["repro"]
+    assert len(env["sources"]) == 3
+    ranges = []
+    for src in env["sources"]:
+        lo = src["pid_offset"]
+        ranges.append((lo, lo + src["pids"]))
+    for (a0, a1), (b0, b1) in zip(ranges, ranges[1:]):
+        assert a1 <= b0, "pid ranges overlap"
+    pids = {e["pid"] for e in merged["traceEvents"]}
+    assert pids <= {p for lo, hi in ranges for p in range(lo, hi)}
+
+
+def test_process_names_carry_source_labels():
+    merged = merge_trace_docs([("master", make_doc("sweep")),
+                               ("daemon", make_doc("serve"))])
+    names = [e["args"]["name"] for e in merged["traceEvents"]
+             if e.get("ph") == "M" and e.get("name") == "process_name"]
+    assert any(n.startswith("master: ") for n in names)
+    assert any(n.startswith("daemon: ") for n in names)
+
+
+def test_metrics_and_audit_merge():
+    a1 = [{"kind": "decision", "component": "adcl", "name": "x"}]
+    merged = merge_trace_docs([
+        ("m", make_doc("m", audit=a1)),
+        ("w", make_doc("w")),
+    ])
+    # counters add across sources
+    counter = merged["repro"]["metrics"]["sim.messages_posted"]
+    assert counter["value"] == 2
+    audit = merged["repro"]["audit"]
+    assert any(e.get("kind") == "decision" and e.get("source") == "m"
+               for e in audit)
+
+
+def test_shared_correlation_promotes_to_envelope():
+    docs = [("a", make_doc("a", correlation="cfeed")),
+            ("b", make_doc("b", correlation="cfeed"))]
+    merged = merge_trace_docs(docs)
+    assert merged["repro"]["correlation"] == "cfeed"
+
+    mixed = merge_trace_docs([("a", make_doc("a", correlation="cfeed")),
+                              ("b", make_doc("b", correlation="cother"))])
+    assert "correlation" not in mixed["repro"] or \
+        not mixed["repro"].get("correlation")
+
+
+def test_merge_is_deterministic():
+    docs = [("m", make_doc("m")), ("w", make_doc("w"))]
+    assert trace_to_bytes(merge_trace_docs(docs)) == \
+        trace_to_bytes(merge_trace_docs(docs))
+
+
+def test_merge_does_not_mutate_sources():
+    doc = make_doc("m")
+    before = trace_to_bytes(doc)
+    merge_trace_docs([("m", doc), ("w", make_doc("w"))])
+    assert trace_to_bytes(doc) == before

@@ -1,0 +1,91 @@
+"""Daemon telemetry plane: live exposition, passivity, correlation."""
+
+import pytest
+
+from repro.serve import (
+    ServeConfig,
+    TuningClient,
+    TuningServer,
+    compute_decision,
+    normalize_request,
+)
+from repro.obs.telemetry import parse_exposition, scrape
+
+FIELDS = {"operation": "alltoall", "nprocs": 4, "nbytes": 1024,
+          "iterations": 12, "evals": 1}
+
+
+@pytest.fixture()
+def server(tmp_path):
+    cfg = ServeConfig(
+        endpoint=f"unix:{tmp_path}/t.sock",
+        data_dir=str(tmp_path / "kb"),
+        workers=2,
+        request_timeout=30.0,
+        telemetry_endpoint=f"unix:{tmp_path}/tel.sock",
+    )
+    srv = TuningServer(cfg)
+    srv.start()
+    yield srv
+    srv.stop()
+
+
+def test_exposition_reflects_daemon_state(server):
+    c = TuningClient(server.config.endpoint, timeout=10.0)
+    c.decide(FIELDS)
+    parsed = parse_exposition(
+        scrape(server.config.telemetry_endpoint, timeout=10.0))
+    assert parsed["_scope"]["value"] == "tuning-service"
+    assert parsed["repro_serve_connections"]["value"] >= 1
+    assert parsed["repro_serve_kb_records"]["value"] >= 1
+    assert parsed["repro_serve_queue_depth"]["value"] >= 0
+    # breaker gauge encodes closed=0 / half_open=1 / open=2
+    assert parsed["repro_serve_retune_breaker_state"]["value"] in (0, 1, 2)
+
+
+def test_scraping_does_not_perturb_decisions(server, tmp_path):
+    c = TuningClient(server.config.endpoint, timeout=10.0)
+    baseline = compute_decision(normalize_request(FIELDS))
+    for _ in range(3):
+        scrape(server.config.telemetry_endpoint, timeout=10.0)
+        record = c.decide(FIELDS)
+        assert record["decision"] == baseline
+    # the scrape path is read-only: request counters unchanged by it
+    parsed = parse_exposition(
+        scrape(server.config.telemetry_endpoint, timeout=10.0))
+    assert parsed["repro_serve_ops_get"]["value"] == 3
+
+
+def test_correlated_requests_are_counted(server):
+    plain = TuningClient(server.config.endpoint, timeout=10.0)
+    plain.decide(FIELDS)
+    tagged = TuningClient(server.config.endpoint, timeout=10.0,
+                          correlation="cabc123")
+    tagged.decide(FIELDS)
+    tagged.lookup("nope")
+    parsed = parse_exposition(
+        scrape(server.config.telemetry_endpoint, timeout=10.0))
+    assert parsed["repro_serve_requests_correlated"]["value"] == 2
+
+
+def test_correlated_and_plain_answers_identical(server):
+    plain = TuningClient(server.config.endpoint, timeout=10.0)
+    tagged = TuningClient(server.config.endpoint, timeout=10.0,
+                          correlation="cfeedbeef0123")
+    a = plain.decide(FIELDS)
+    b = tagged.decide(FIELDS)
+    assert a["decision"] == b["decision"]
+
+
+def test_telemetry_endpoint_stops_with_server(tmp_path):
+    cfg = ServeConfig(
+        endpoint=f"unix:{tmp_path}/t2.sock",
+        data_dir=str(tmp_path / "kb2"),
+        telemetry_endpoint=f"unix:{tmp_path}/tel2.sock",
+    )
+    srv = TuningServer(cfg)
+    srv.start()
+    assert scrape(cfg.telemetry_endpoint, timeout=10.0)
+    srv.stop()
+    with pytest.raises(OSError):
+        scrape(cfg.telemetry_endpoint, timeout=0.5)

@@ -162,3 +162,107 @@ def test_sweep_with_trace(capsys, tmp_path):
     labels = [w["label"] for w in doc["repro"]["worlds"]]
     assert len(labels) == len({lbl for lbl in labels})
     assert any("binomial" in lbl for lbl in labels)
+
+
+def test_report_critical_path_and_overlay(capsys, tmp_path):
+    import json
+
+    trace = str(tmp_path / "trace.json")
+    rc = main([
+        "tune", "--platform", "whale", "--nprocs", "8",
+        "--nbytes", "1KB", "--iterations", "44", "--evals", "2",
+        "--operation", "bcast", "--trace", trace,
+    ])
+    assert rc == 0
+    capsys.readouterr()
+
+    assert main(["report", trace, "--critical-path"]) == 0
+    out = capsys.readouterr().out
+    assert "critical-path blame per candidate" in out
+    assert "why the decision went this way:" in out
+    assert "dominant chain of the slowest window" in out
+
+    overlay = str(tmp_path / "overlay.json")
+    assert main(["report", trace, "--critical-path",
+                 "--overlay", overlay]) == 0
+    capsys.readouterr()
+    assert main(["report", overlay, "--validate"]) == 0
+
+    # the tune trace already embeds the critpath explanations
+    with open(trace, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    assert any(e.get("kind") == "explanation"
+               and e.get("component") == "critpath"
+               for e in doc["repro"]["audit"])
+    assert doc["repro"].get("correlation", "").startswith("c")
+
+
+def test_trace_merge_command(capsys, tmp_path):
+    import json
+
+    t1 = str(tmp_path / "a.json")
+    t2 = str(tmp_path / "b.json")
+    for path, op in ((t1, "bcast"), (t2, "alltoall")):
+        assert main([
+            "tune", "--platform", "whale", "--nprocs", "4",
+            "--nbytes", "1KB", "--iterations", "8", "--evals", "1",
+            "--operation", op, "--trace", path,
+        ]) in (0, 1)
+    capsys.readouterr()
+
+    merged = str(tmp_path / "merged.json")
+    assert main(["trace-merge", merged, f"first={t1}", t2]) == 0
+    out = capsys.readouterr().out
+    assert "merged 2 trace(s)" in out
+    assert "first: pids" in out and "b: pids" in out
+
+    assert main(["report", merged, "--validate"]) == 0
+    with open(merged, encoding="utf-8") as fh:
+        doc = json.load(fh)
+    labels = [s["label"] for s in doc["repro"]["sources"]]
+    assert labels == ["first", "b"]
+
+    # unreadable input is an operational error, not a traceback
+    assert main(["trace-merge", merged,
+                 str(tmp_path / "nope.json")]) == 2
+
+
+def test_bench_report_command(capsys, tmp_path):
+    from repro.bench.history import append_run
+
+    history = str(tmp_path / "h.jsonl")
+    assert main(["bench-report", "--history", history]) == 0
+    assert "no history" in capsys.readouterr().out
+
+    append_run(history, "perf", {"sweep": {"speedup": 2.0}},
+               timestamp=1.0)
+    append_run(history, "perf", {"sweep": {"speedup": 2.5}},
+               timestamp=2.0)
+    assert main(["bench-report", "--history", history]) == 0
+    out = capsys.readouterr().out
+    assert "2 run(s)" in out and "sweep.speedup" in out
+
+
+def test_top_command_unreachable_endpoint(capsys, tmp_path):
+    rc = main(["top", f"unix:{tmp_path}/nobody.sock", "--count", "1"])
+    assert rc == 1
+    assert "unreachable" in capsys.readouterr().out
+
+
+def test_top_command_scrapes_live_endpoint(capsys):
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.telemetry import TelemetryServer
+
+    reg = MetricsRegistry()
+    reg.counter("serve.connections").inc(3)
+    reg.gauge("serve.queue.depth").set(1)
+    server = TelemetryServer("tcp:127.0.0.1:0", reg.snapshot,
+                             scope="test-scope").start()
+    try:
+        assert main(["top", server.endpoint, "--count", "1"]) == 0
+    finally:
+        server.stop()
+    out = capsys.readouterr().out
+    assert "test-scope" in out
+    assert "repro_serve_connections" in out
+    assert "repro_serve_queue_depth" in out
